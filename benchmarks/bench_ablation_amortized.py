@@ -1,0 +1,36 @@
+"""Ablation G: inspector amortization over repeated loop instances.
+
+The paper's own workload re-executes one triangular solve per Krylov
+iteration with unchanged subscripts; sharing a single inspector pass drives
+the per-instance cost down toward the executor + reduced-postprocessor
+floor.  Monotone convergence asserted.
+"""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_amortization
+from repro.bench.reporting import format_table
+
+
+def test_ablation_amortization(benchmark):
+    rows = run_once(benchmark, ablation_amortization)
+    per_instance = [r.metrics["per_instance_cycles"] for r in rows]
+    assert per_instance == sorted(per_instance, reverse=True)
+    gains = [r.metrics["gain_vs_full"] for r in rows]
+    assert gains == sorted(gains)
+    assert gains[-1] > 1.15
+    print()
+    print(
+        format_table(
+            ["config", "per-instance cyc", "gain vs full pipeline"],
+            [
+                (
+                    r.label,
+                    round(r.metrics["per_instance_cycles"]),
+                    r.metrics["gain_vs_full"],
+                )
+                for r in rows
+            ],
+            title="Ablation G — inspector amortization",
+        )
+    )

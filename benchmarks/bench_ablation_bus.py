@@ -1,0 +1,29 @@
+"""Ablation E: shared-bus contention (DESIGN.md §5).
+
+With the bus model on, every shared access also occupies a single serial
+bus; total time must grow monotonically with the per-access bus cost and
+the bus must become the bottleneck at high cost.
+"""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_bus
+from repro.bench.reporting import format_table
+
+
+def test_ablation_bus(benchmark):
+    rows = run_once(benchmark, ablation_bus)
+    totals = [r.result.total_cycles for r in rows]
+    assert totals == sorted(totals)
+    assert totals[-1] > totals[0]
+    print()
+    print(
+        format_table(
+            ["config", "efficiency", "total cycles"],
+            [
+                (r.label, r.result.efficiency, r.result.total_cycles)
+                for r in rows
+            ],
+            title="Ablation E — bus contention (Figure-4, M=2, L=5)",
+        )
+    )

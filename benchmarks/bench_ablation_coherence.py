@@ -1,0 +1,47 @@
+"""Ablation F: coherence misses × schedule (DESIGN.md §5).
+
+On a distance-1 chain, cyclic chunk-1 pipelines but pays an invalidation
+miss per dependence; block scheduling keeps the chain cache-local but
+serializes it.  The winner flips as the miss cost grows — both directions
+asserted here.
+"""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_coherence
+from repro.bench.reporting import format_table
+
+
+def test_ablation_coherence(benchmark):
+    rows = run_once(benchmark, ablation_coherence)
+    by = {r.label: r for r in rows}
+    # Cheap misses: pipelining wins.
+    assert (
+        by["cyclic/miss=0"].result.total_cycles
+        < by["block/miss=0"].result.total_cycles
+    )
+    # Expensive misses: locality wins.
+    assert (
+        by["block/miss=200"].result.total_cycles
+        < by["cyclic/miss=200"].result.total_cycles
+    )
+    # Cyclic pays ~one miss per dependence; block only at boundaries.
+    assert by["cyclic/miss=10"].metrics["misses"] > 50 * (
+        by["block/miss=10"].metrics["misses"]
+    )
+    print()
+    print(
+        format_table(
+            ["config", "misses", "efficiency", "total cycles"],
+            [
+                (
+                    r.label,
+                    r.metrics["misses"],
+                    r.result.efficiency,
+                    r.result.total_cycles,
+                )
+                for r in rows
+            ],
+            title="Ablation F — coherence x schedule (distance-1 chain)",
+        )
+    )

@@ -1,0 +1,37 @@
+"""Ablation C: the §2.3 linear-subscript variant (DESIGN.md §5).
+
+With a statically affine write subscript, the inspector phase and the
+``iter`` array vanish; the saved cycles equal the inspector span plus one
+barrier — measured here directly.
+"""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_linear
+from repro.bench.reporting import format_table
+
+
+def test_ablation_linear(benchmark):
+    rows = run_once(benchmark, ablation_linear)
+    by = {r.label: r for r in rows}
+    for m in (1, 5):
+        standard = by[f"M={m}/standard"]
+        linear = by[f"M={m}/linear"]
+        assert linear.metrics["inspector_cycles"] == 0
+        assert linear.result.total_cycles < standard.result.total_cycles
+    print()
+    print(
+        format_table(
+            ["config", "inspector cyc", "efficiency", "total cycles"],
+            [
+                (
+                    r.label,
+                    r.metrics["inspector_cycles"],
+                    r.result.efficiency,
+                    r.result.total_cycles,
+                )
+                for r in rows
+            ],
+            title="Ablation C — inspector elimination (Figure-4, odd L)",
+        )
+    )

@@ -1,0 +1,43 @@
+"""Ablation D: processor-count sweep on a Table-1 problem (DESIGN.md §5).
+
+Speedup must grow with P while efficiency decays (barriers, chains, and
+scheduling tails amortize worse); one processor measures pure machinery
+overhead (speedup < 1).
+"""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_processors
+from repro.bench.reporting import format_table
+
+
+def test_ablation_processors(benchmark):
+    rows = run_once(benchmark, ablation_processors, problem="5-PT")
+    speedups = [r.metrics["reordered_speedup"] for r in rows]
+    assert speedups == sorted(speedups)
+    assert rows[0].metrics["plain_speedup"] < 1.0
+    effs = [r.metrics["reordered_efficiency"] for r in rows]
+    assert effs == sorted(effs, reverse=True)
+    print()
+    print(
+        format_table(
+            [
+                "P",
+                "plain speedup",
+                "reord speedup",
+                "plain eff",
+                "reord eff",
+            ],
+            [
+                (
+                    r.params["processors"],
+                    r.metrics["plain_speedup"],
+                    r.metrics["reordered_speedup"],
+                    r.metrics["plain_efficiency"],
+                    r.metrics["reordered_efficiency"],
+                )
+                for r in rows
+            ],
+            title="Ablation D — processor sweep (5-PT forward solve)",
+        )
+    )

@@ -1,0 +1,42 @@
+"""Ablation A: executor schedule kind × chunk size (DESIGN.md §5).
+
+Chunked schedules place adjacent iterations on one processor and serialize
+short dependence chains; cyclic chunk-1 maximizes chain pipelining; dynamic
+self-scheduling adds dispatch-counter serialization.
+"""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_scheduling
+from repro.bench.reporting import format_table
+
+
+def test_ablation_scheduling(benchmark):
+    rows = run_once(benchmark, ablation_scheduling)
+    by = {r.label: r for r in rows}
+    # Tight chain (L=8 → distance 3): cyclic-1 must beat big chunks and
+    # the block schedule.
+    assert (
+        by["cyclic/chunk=1"].result.total_cycles
+        < by["cyclic/chunk=64"].result.total_cycles
+    )
+    assert (
+        by["cyclic/chunk=1"].result.total_cycles
+        < by["block/chunk=1"].result.total_cycles
+    )
+    print()
+    print(
+        format_table(
+            ["config", "efficiency", "wait cycles", "total cycles"],
+            [
+                (
+                    r.label,
+                    r.result.efficiency,
+                    r.result.wait_cycles,
+                    r.result.total_cycles,
+                )
+                for r in rows
+            ],
+            title="Ablation A — schedule kind x chunk (Figure-4, M=1, L=8)",
+        )
+    )

@@ -1,0 +1,35 @@
+"""Ablation B: strip-mine block size (paper §2.3, DESIGN.md §5).
+
+Smaller blocks shrink the scratch footprint (the §2.3 motivation) at the
+price of extra barriers and lost cross-block overlap.
+"""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_stripmine
+from repro.bench.reporting import format_table
+
+
+def test_ablation_stripmine(benchmark):
+    rows = run_once(benchmark, ablation_stripmine)
+    blocked = [r for r in rows if r.params["block"]]
+    scratch = [r.metrics["scratch_elements"] for r in blocked]
+    assert scratch == sorted(scratch), "scratch must shrink with block size"
+    totals = [r.result.total_cycles for r in blocked]
+    assert totals[0] >= totals[-1], "tiny blocks must not be free"
+    print()
+    print(
+        format_table(
+            ["config", "scratch elems", "efficiency", "total cycles"],
+            [
+                (
+                    r.label,
+                    r.metrics["scratch_elements"],
+                    r.result.efficiency,
+                    r.result.total_cycles,
+                )
+                for r in rows
+            ],
+            title="Ablation B — strip-mine block size (Figure-4, M=2, L=8)",
+        )
+    )

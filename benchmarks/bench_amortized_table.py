@@ -1,0 +1,25 @@
+"""Extension experiment "Table 2": amortization over repeated solves.
+
+``pytest benchmarks/bench_amortized_table.py --benchmark-only`` reruns the
+per-solve comparison across the five Table-1 problems at full size and
+fails if the expected ordering (amort+reord cheapest everywhere; every
+amortized/reordered mode beats the full-pipeline baseline) inverts.
+"""
+
+from conftest import run_once
+
+from repro.bench.amortized_table import run_amortized_table
+
+
+def test_amortized_table(benchmark):
+    result = run_once(benchmark, run_amortized_table)
+    result.check_shape()
+    print()
+    print(result.report())
+    gains = {
+        r.label: r.metrics["full"] / r.metrics["amort+reord"]
+        for r in result.rows
+    }
+    # The chain-dominated point stencil benefits most.
+    assert gains["5-PT"] == max(gains.values())
+    assert gains["5-PT"] > 1.5

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate the paper's Figure 6.
+
+``pytest benchmarks/bench_figure6.py --benchmark-only`` reruns the full
+sweep (N = 10000, M ∈ {1, 5}, L = 1..14, 16 processors), prints the
+measured efficiency series next to the paper's plateaus, and *fails* if the
+qualitative shape stops matching (flat odd-L plateaus at ≈0.33/0.49,
+monotone even-L rise below the plateau).
+"""
+
+from conftest import run_once
+
+from repro.bench.figure6 import PAPER_PLATEAU, run_figure6
+
+
+def test_figure6_full_sweep(benchmark):
+    result = run_once(benchmark, run_figure6, n=10000)
+    result.check_shape()
+    print()
+    print(result.report())
+
+
+def test_figure6_m1_series(benchmark):
+    result = run_once(benchmark, run_figure6, n=10000, ms=(1,))
+    result.check_shape()
+    plateau = result.plateau(1)
+    assert abs(plateau - PAPER_PLATEAU[1]) < 0.06
+    print(f"\nM=1 plateau: measured {plateau:.3f}, paper ≈{PAPER_PLATEAU[1]}")
+
+
+def test_figure6_m5_series(benchmark):
+    result = run_once(benchmark, run_figure6, n=10000, ms=(5,))
+    result.check_shape()
+    plateau = result.plateau(5)
+    assert abs(plateau - PAPER_PLATEAU[5]) < 0.06
+    print(f"\nM=5 plateau: measured {plateau:.3f}, paper ≈{PAPER_PLATEAU[5]}")

@@ -1,0 +1,23 @@
+"""Extension experiment: the Krylov motivation (paper §3.2's framing).
+
+``pytest benchmarks/bench_krylov_fraction.py --benchmark-only`` runs
+ILU(0)-preconditioned CG/GMRES on all five appendix problems with
+sequential and with parallel-doacross triangular solves, asserting the
+"large fraction" claim (>35% everywhere; measured ≈60–65%) and the
+whole-solver payoff (>1.2×; measured ≈2.2×).
+"""
+
+from conftest import run_once
+
+from repro.bench.krylov_fraction import run_krylov_fraction
+
+
+def test_krylov_fraction(benchmark):
+    result = run_once(benchmark, run_krylov_fraction)
+    result.check_shape()
+    print()
+    print(result.report())
+    fractions = [r.metrics["precond_fraction_seq"] for r in result.rows]
+    assert min(fractions) > 0.5  # the paper's "large fraction", measured
+    solver_speedups = [r.metrics["solver_speedup"] for r in result.rows]
+    assert min(solver_speedups) > 2.0

@@ -1,0 +1,63 @@
+"""Model-validation bench: closed-form predictions vs. the simulator.
+
+Prints the predicted-vs-simulated table across the Figure-4 family and
+chain loops, and fails if the analytic model's worst relative error on
+total makespan exceeds 7% — a strong regression net for both the model
+*and* the simulator (an unintended cost change breaks this immediately).
+"""
+
+from conftest import run_once
+
+from repro.bench.model import (
+    predict_chain_loop,
+    predict_figure4,
+    relative_error,
+)
+from repro.bench.reporting import format_table
+from repro.core.doacross import PreprocessedDoacross
+from repro.workloads.synthetic import chain_loop
+from repro.workloads.testloop import make_test_loop
+
+
+def _validate():
+    runner = PreprocessedDoacross(processors=16)
+    rows = []
+    worst = 0.0
+    for m in (1, 2, 5):
+        for l in (3, 4, 8, 12, 14):
+            sim = runner.run(make_test_loop(n=4000, m=m, l=l))
+            pred = predict_figure4(4000, m, l, 16)
+            err = relative_error(pred, sim)
+            worst = max(worst, err)
+            rows.append(
+                (
+                    f"fig4 M={m} L={l}",
+                    pred.regime,
+                    pred.total,
+                    sim.total_cycles,
+                    err,
+                )
+            )
+    for d in (1, 4, 16):
+        sim = runner.run(chain_loop(3000, d))
+        pred = predict_chain_loop(3000, d, 16)
+        err = relative_error(pred, sim)
+        worst = max(worst, err)
+        rows.append(
+            (f"chain d={d}", pred.regime, pred.total, sim.total_cycles, err)
+        )
+    return rows, worst
+
+
+def test_model_validation(benchmark):
+    rows, worst = run_once(benchmark, _validate)
+    print()
+    print(
+        format_table(
+            ["workload", "regime", "predicted", "simulated", "rel err"],
+            rows,
+            title="Analytic model vs. discrete-event simulation",
+        )
+    )
+    print(f"\nworst relative error: {worst:.3f}")
+    assert worst < 0.07

@@ -1,0 +1,70 @@
+"""Microbenchmarks of the substrates themselves (not paper artifacts).
+
+Tracks the host-side cost of the pieces every experiment leans on: the
+discrete-event engine's op throughput, ILU(0) factorization, CSR matvec,
+and the full preprocessed-doacross pipeline on a mid-size loop.  Useful for
+catching performance regressions in the simulator, which directly gate how
+large an experiment the harness can afford.
+"""
+
+import numpy as np
+
+from repro.core.doacross import PreprocessedDoacross
+from repro.machine.costs import CostModel
+from repro.machine.engine import Engine
+from repro.machine.ops import Compute
+from repro.sparse.ilu import ilu0
+from repro.sparse.stencils import five_point, seven_point
+from repro.sparse.trisolve import lower_solve_loop
+from repro.workloads.testloop import make_test_loop
+
+
+def test_engine_compute_throughput(benchmark):
+    """Raw engine overhead: 16 processors x 20k Compute ops."""
+
+    def run():
+        engine = Engine(CostModel())
+
+        def task(st):
+            for _ in range(20_000):
+                yield Compute(3)
+
+        return engine.run("t", [task] * 16)
+
+    phase = benchmark(run)
+    assert phase.span == 60_000
+
+
+def test_preprocessed_doacross_pipeline(benchmark):
+    """Full pipeline on the Figure-4 loop (N=5000, M=2)."""
+    loop = make_test_loop(n=5000, m=2, l=8)
+    runner = PreprocessedDoacross(processors=16)
+    result = benchmark(runner.run, loop)
+    assert result.total_cycles > 0
+
+
+def test_ilu0_five_point(benchmark):
+    A = five_point(63, 63)
+    L, U = benchmark(ilu0, A)
+    assert L.nnz + U.nnz == A.nnz + A.n_rows
+
+
+def test_ilu0_seven_point(benchmark):
+    A = seven_point(20, 20, 20)
+    L, _ = benchmark(ilu0, A)
+    assert L.n_rows == 8000
+
+
+def test_csr_matvec(benchmark):
+    A = seven_point(20, 20, 20)
+    x = np.linspace(0.0, 1.0, A.n_cols)
+    y = benchmark(A.matvec, x)
+    assert y.shape == (8000,)
+
+
+def test_trisolve_loop_construction(benchmark):
+    A = five_point(63, 63)
+    L, _ = ilu0(A)
+    rhs = np.ones(A.n_rows)
+    loop = benchmark(lower_solve_loop, L, rhs)
+    assert loop.n == 3969

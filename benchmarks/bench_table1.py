@@ -1,0 +1,33 @@
+"""Benchmark: regenerate the paper's Table 1.
+
+``pytest benchmarks/bench_table1.py --benchmark-only`` reruns all five
+triangular-solve problems at the paper's exact sizes on 16 simulated
+processors, prints the three-column table (natural doacross, doconsider-
+rearranged, sequential) with the paper's numbers alongside, and fails if
+the shape inverts (reordered must beat natural, both must beat sequential,
+efficiencies must land in the acceptance bands).
+"""
+
+from conftest import run_once
+
+from repro.bench.table1 import run_table1
+
+
+def test_table1_full(benchmark):
+    result = run_once(benchmark, run_table1)
+    result.check_shape()
+    print()
+    print(result.report())
+
+
+def test_table1_reordering_gain(benchmark):
+    """The headline Table-1 effect: doconsider reordering buys a clear
+    speedup over natural order on the stencil problems."""
+    result = run_once(benchmark, run_table1, verify_values=False)
+    gains = {
+        r.label: r.metrics["plain_cycles"] / r.metrics["reordered_cycles"]
+        for r in result.rows
+    }
+    print(f"\nreordering gains: { {k: round(v, 2) for k, v in gains.items()} }")
+    assert gains["5-PT"] > 1.5  # paper: 37/19 ≈ 1.9
+    assert all(g >= 1.0 for g in gains.values())

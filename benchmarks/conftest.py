@@ -1,0 +1,13 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment here is deterministic (discrete-event simulation), so each
+benchmark runs one round: variance across rounds would only measure host
+noise, not the simulated system.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,75 @@
+"""Regenerate the golden experiment records in ``benchmarks/golden/``.
+
+The simulator is deterministic, so the paper experiments produce *exactly*
+the same cycle counts on every run of the same code.  The golden files pin
+those numbers; ``tests/test_golden.py`` compares fresh runs against them
+bit-for-bit, so any unintended change to the cost model, the engine, or a
+workload generator fails loudly.
+
+Intentional changes (e.g. recalibrating the cost model) are made explicit
+by rerunning::
+
+    python benchmarks/update_golden.py
+
+and committing the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def figure6_record() -> dict:
+    from repro.bench.figure6 import run_figure6
+
+    result = run_figure6(n=2000)  # reduced N: fast yet fully deterministic
+    return {
+        "n": result.n,
+        "processors": result.processors,
+        "points": {
+            f"M={row.params['m']},L={row.params['l']}": {
+                "total_cycles": int(row.result.total_cycles),
+                "sequential_cycles": int(row.result.sequential_cycles),
+                "wait_cycles": int(row.result.wait_cycles),
+            }
+            for row in result.rows
+        },
+    }
+
+
+def table1_record() -> dict:
+    from repro.bench.table1 import run_table1
+
+    result = run_table1(small=True)
+    return {
+        "processors": result.processors,
+        "rows": {
+            row.label: {
+                "sequential_cycles": int(row.metrics["sequential_cycles"]),
+                "plain_cycles": int(row.metrics["plain_cycles"]),
+                "reordered_cycles": int(row.metrics["reordered_cycles"]),
+                "n": int(row.params["n"]),
+                "levels": int(row.params["n_levels"]),
+            }
+            for row in result.rows
+        },
+    }
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, builder in (
+        ("figure6.json", figure6_record),
+        ("table1.json", table1_record),
+    ):
+        path = GOLDEN_DIR / name
+        path.write_text(json.dumps(builder(), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

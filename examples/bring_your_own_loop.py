@@ -1,0 +1,74 @@
+"""Bring your own loop: source in, parallel execution out.
+
+The full front-to-back pipeline on a loop *you* write as source text:
+
+1. **parse** — :func:`repro.loop_from_source` turns restricted loop source
+   plus runtime array bindings into the normalized loop form (affine write
+   subscripts are detected symbolically from the text);
+2. **plan** — the "compiler" picks the cheapest sound strategy from the
+   static structure;
+3. **codegen** — inspect the transformed pseudo-Fortran it would emit;
+4. **run** — execute on the simulated 16-processor machine;
+5. **verify** — every applicable strategy against the sequential oracle.
+
+The sample loop is a gather-update over runtime permutations — the kind of
+kernel (particle push, indirect assembly) the inspector/executor literature
+grew up on.
+
+Run:  ``python examples/bring_your_own_loop.py``
+"""
+
+import numpy as np
+
+import repro
+from repro.ir.codegen import generate_source
+from repro.ir.transform import plan_transform
+
+SOURCE = """
+for i in range(2000):
+    y[cell[i]] = y[cell[i]]
+    for j in range(4):
+        y[cell[i]] += w[j] * y[nbr[4*i + j]]
+"""
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    n = 2000
+    # Runtime data: an injective scatter target and arbitrary gathers.
+    cell = rng.permutation(n * 2)[:n]
+    nbr = rng.integers(0, n * 2, size=4 * n)
+    w = np.full(4, 0.1)
+
+    # --- 1. parse -------------------------------------------------------
+    loop = repro.loop_from_source(
+        SOURCE,
+        arrays={"cell": cell, "nbr": nbr, "w": w},
+        y0=np.ones(n * 2),
+        name="gather-update",
+    )
+    print(f"parsed: {loop}")
+
+    # --- 2. plan --------------------------------------------------------
+    plan = plan_transform(loop)
+    print(f"plan:   {plan.describe()}")
+
+    # --- 3. codegen -----------------------------------------------------
+    print("\ntransformed source the compiler would emit:\n")
+    print(generate_source(loop, plan))
+
+    # --- 4. run ---------------------------------------------------------
+    runner = repro.PreprocessedDoacross(processors=16)
+    result = runner.run(loop)
+    print("\n--- simulated run ---")
+    print(result.summary())
+
+    # --- 5. verify ------------------------------------------------------
+    report = repro.verify_loop(loop, processors=16)
+    print()
+    print(report.summary())
+    assert report.passed
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Understanding doacross performance: model, simulation, and timelines.
+
+Three views of the same executions:
+
+1. the **closed-form model** (`repro.bench.model`) predicts makespans from
+   the cost constants — throughput-bound loops exactly, chain-bound loops
+   via the binding post-wake rate;
+2. the **simulator** measures them event by event;
+3. the **execution trace** shows *why*: Gantt timelines make the
+   staircase of a serialized chain and the dense weave of a pipelined one
+   visible at a glance.
+
+Run:  ``python examples/performance_model.py``
+"""
+
+import repro
+from repro.bench.model import (
+    predict_chain_loop,
+    predict_figure4,
+    relative_error,
+)
+from repro.bench.reporting import format_table
+
+
+def main() -> None:
+    processors = 16
+    runner = repro.PreprocessedDoacross(processors=processors)
+
+    # --- 1+2: predicted vs simulated across the Figure-4 family ---------
+    rows = []
+    for m in (1, 5):
+        for l in (3, 4, 8, 12, 14):
+            loop = repro.make_test_loop(n=4000, m=m, l=l)
+            sim = runner.run(loop)
+            pred = predict_figure4(4000, m, l, processors)
+            rows.append(
+                (
+                    f"M={m} L={l}",
+                    pred.regime,
+                    pred.total,
+                    sim.total_cycles,
+                    relative_error(pred, sim),
+                    pred.efficiency,
+                    sim.efficiency,
+                )
+            )
+    print(
+        format_table(
+            [
+                "config",
+                "regime",
+                "predicted cyc",
+                "simulated cyc",
+                "rel err",
+                "pred eff",
+                "sim eff",
+            ],
+            rows,
+            title=(
+                f"Closed-form model vs discrete-event simulation "
+                f"(P={processors})"
+            ),
+        )
+    )
+
+    # --- chains: the regime boundary ------------------------------------
+    print("\nchain loops y[i] += c·y[i−d]:")
+    chain_rows = []
+    for d in (1, 2, 4, 8, 16, 32):
+        loop = repro.chain_loop(3000, d)
+        sim = runner.run(loop)
+        pred = predict_chain_loop(3000, d, processors)
+        chain_rows.append(
+            (f"d={d}", pred.regime, pred.total, sim.total_cycles,
+             relative_error(pred, sim))
+        )
+    print(
+        format_table(
+            ["config", "regime", "predicted", "simulated", "rel err"],
+            chain_rows,
+        )
+    )
+
+    # --- 3: why — the timelines -----------------------------------------
+    chain = repro.chain_loop(200, 1)
+    print("\ndistance-1 chain under BLOCK scheduling — the serialized")
+    print("staircase ('.' = busy-wait):")
+    blocked = runner.run(chain, schedule="block", trace=True)
+    print(blocked.extras["trace"].gantt(width=70))
+
+    print("\nthe same chain under CYCLIC chunk-1 — pipelined:")
+    pipelined = runner.run(chain, schedule="cyclic", chunk=1, trace=True)
+    print(pipelined.extras["trace"].gantt(width=70))
+    print(
+        f"\nmakespans: block {blocked.total_cycles} vs cyclic-1 "
+        f"{pipelined.total_cycles} cycles — the model attributes the gap "
+        f"to the chain pipelining at the post-wake rate "
+        f"(flag check + term consume + flag set per link)"
+    )
+
+
+if __name__ == "__main__":
+    main()

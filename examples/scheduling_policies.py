@@ -1,0 +1,79 @@
+"""Scheduling policies and the cost of dependence chains.
+
+The executor's iteration-to-processor schedule interacts sharply with the
+dependence structure:
+
+- **cyclic, chunk 1** puts adjacent iterations on different processors, so
+  a distance-1 chain pipelines across the machine (each processor finishes
+  only the post-wake tail of its iteration on the critical path);
+- **chunked or block schedules** put adjacent iterations on the *same*
+  processor, serializing short chains completely;
+- **dynamic self-scheduling** adds a serialized fetch-and-add per chunk —
+  negligible with big chunks, dominant with chunk 1.
+
+This example sweeps schedule × chunk × dependence distance on the Figure-4
+loop and prints the resulting efficiency surface.
+
+Run:  ``python examples/scheduling_policies.py``
+"""
+
+import repro
+from repro.bench.reporting import format_table
+
+
+def main() -> None:
+    n = 6000
+    processors = 16
+    rows = []
+    for l, structure in [
+        (7, "none (odd L)"),
+        (4, "distance 1"),
+        (10, "distance 4"),
+    ]:
+        loop = repro.make_test_loop(n=n, m=1, l=l)
+        for kind in ("cyclic", "block", "dynamic", "guided"):
+            for chunk in (1, 8, 32):
+                if kind == "block" and chunk != 1:
+                    continue
+                runner = repro.PreprocessedDoacross(
+                    processors=processors, schedule=kind, chunk=chunk
+                )
+                result = runner.run(loop)
+                rows.append(
+                    (
+                        structure,
+                        kind,
+                        "-" if kind == "block" else chunk,
+                        result.efficiency,
+                        result.wait_cycles,
+                        result.total_cycles,
+                    )
+                )
+    print(
+        format_table(
+            [
+                "dependences",
+                "schedule",
+                "chunk",
+                "efficiency",
+                "busy-wait cyc",
+                "total cyc",
+            ],
+            rows,
+            title=(
+                f"Figure-4 loop (N={n}, M=1) on {processors} simulated "
+                f"processors"
+            ),
+        )
+    )
+
+    print(
+        "\nreading guide: with no dependencies every schedule lands on the "
+        "overhead plateau;\nwith a distance-1 chain, cyclic chunk-1 "
+        "pipelines while chunked/block schedules serialize;\ndynamic "
+        "chunk-1 pays the dispatch counter on top."
+    )
+
+
+if __name__ == "__main__":
+    main()

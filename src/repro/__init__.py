@@ -1,0 +1,111 @@
+"""repro — a reproduction of *The Preprocessed Doacross Loop*.
+
+Saltz & Mirchandaney's inspector/executor scheme for parallelizing loops
+whose inter-iteration dependencies are only known at run time, rebuilt as a
+Python library on a deterministic discrete-event model of a shared-memory
+multiprocessor (the substitute for the paper's Encore Multimax/320 — see
+DESIGN.md §3).
+
+Quick start::
+
+    import repro
+
+    loop = repro.make_test_loop(n=1000, m=5, l=8)     # paper Figure 4
+    runner = repro.PreprocessedDoacross(processors=16)
+    result = runner.run(loop)
+    print(result.summary())                            # efficiency, phases
+    assert (result.y == loop.run_sequential()).all()   # exact semantics
+
+Subpackages
+-----------
+- :mod:`repro.core` — the paper's contribution: preprocessed doacross,
+  strip-mined and linear-subscript variants, doconsider reordering, classic
+  doacross / doall baselines.
+- :mod:`repro.machine` — the simulated multiprocessor.
+- :mod:`repro.ir` — the loop IR and the transformation "compiler".
+- :mod:`repro.graph` — dependence DAG, wavefronts, critical paths.
+- :mod:`repro.sparse` — CSR matrices, stencil and SPE operators, ILU(0),
+  triangular solves (the Table-1 substrate).
+- :mod:`repro.backends` — simulated and real-thread executors.
+- :mod:`repro.workloads` — Figure-4 and synthetic loop generators.
+- :mod:`repro.bench` — the experiment harness regenerating Figure 6 and
+  Table 1, plus ablations.
+"""
+
+from repro._version import __version__
+from repro.core.amortized import AmortizedDoacross
+from repro.core.classic import ClassicDoacross
+from repro.core.doacross import PreprocessedDoacross, parallelize
+from repro.core.doall_runner import DoallRunner
+from repro.core.doconsider import Doconsider, level_order
+from repro.core.linear import LinearDoacross
+from repro.core.results import RunResult
+from repro.core.sequential import run_reference, sequential_time
+from repro.core.serialize import result_to_dict, result_to_json, results_to_csv
+from repro.core.stripmine import StripminedDoacross
+from repro.core.verify import VerificationReport, verify_loop
+from repro.core.workspace import MAXINT, DoacrossWorkspace
+from repro.errors import (
+    InvalidLoopError,
+    OutputDependenceError,
+    ReproError,
+    ScheduleError,
+    SimulationDeadlockError,
+)
+from repro.ir.accesses import ReadTable
+from repro.ir.frontend import loop_from_source
+from repro.ir.loop import INIT_EXTERNAL, INIT_OLD_VALUE, IrregularLoop
+from repro.ir.subscript import AffineSubscript, IndirectSubscript
+from repro.ir.transform import TransformPlan, plan_transform
+from repro.machine.costs import CostModel, WorkProfile
+from repro.machine.engine import Machine
+from repro.workloads.synthetic import chain_loop, random_irregular_loop
+from repro.workloads.testloop import make_test_loop
+
+__all__ = [
+    "__version__",
+    # Core runners
+    "PreprocessedDoacross",
+    "StripminedDoacross",
+    "LinearDoacross",
+    "AmortizedDoacross",
+    "Doconsider",
+    "level_order",
+    "ClassicDoacross",
+    "DoallRunner",
+    "parallelize",
+    "run_reference",
+    "sequential_time",
+    "RunResult",
+    "DoacrossWorkspace",
+    "MAXINT",
+    "verify_loop",
+    "VerificationReport",
+    "result_to_dict",
+    "result_to_json",
+    "results_to_csv",
+    # IR
+    "IrregularLoop",
+    "ReadTable",
+    "AffineSubscript",
+    "IndirectSubscript",
+    "INIT_OLD_VALUE",
+    "INIT_EXTERNAL",
+    "TransformPlan",
+    "plan_transform",
+    "loop_from_source",
+    # Machine
+    "Machine",
+    "CostModel",
+    "WorkProfile",
+    # Workloads
+    "make_test_loop",
+    "random_irregular_loop",
+    "chain_loop",
+    # Errors
+    "ReproError",
+    "InvalidLoopError",
+    "OutputDependenceError",
+    "ScheduleError",
+    "SimulationDeadlockError",
+]

@@ -1,0 +1,144 @@
+"""Command-line front door: ``python -m repro <command>``.
+
+Commands
+--------
+``figure6 [N]``
+    Regenerate the paper's Figure 6 (default N=10000) with shape check.
+``table1 [--small]``
+    Regenerate the paper's Table 1 (``--small``: reduced grids).
+``ablations [--small]``
+    Run all ablation sweeps (A–G) and print their tables.
+``table2 [--small] [k]``
+    The amortization extension experiment (per-solve cost over k solves).
+``krylov [--small]``
+    The §3.2 Krylov motivation experiment.
+``verify [n] [seed]``
+    Cross-strategy verification of a random irregular loop (default
+    n=200, seed=0) — every applicable strategy vs. the sequential oracle.
+``codegen [kind]``
+    Print the transformed pseudo-Fortran source the "compiler" emits for a
+    sample loop; ``kind`` is ``irregular`` (default), ``affine``,
+    ``chain``, or ``independent``.
+``demo``
+    Two-minute tour: run a dependence-carrying Figure-4 loop, print the
+    result summary and an executor-phase Gantt chart.
+``version``
+    Print the package version.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro._version import __version__
+
+USAGE = __doc__
+
+
+def _demo() -> int:
+    import repro
+
+    loop = repro.make_test_loop(n=600, m=2, l=8)
+    runner = repro.PreprocessedDoacross(processors=8)
+    result = runner.run(loop)
+    print(result.summary())
+    print()
+    reordered = repro.Doconsider(doacross=runner).run(loop)
+    print("after doconsider reordering:")
+    print(reordered.summary())
+
+    # The iconic picture: a distance-1 recurrence under *block* scheduling
+    # serializes into a staircase of busy-waits ('.'), while cyclic chunk-1
+    # pipelines it (dense '#').
+    chain = repro.chain_loop(240, 1)
+    print("\ndistance-1 chain, block schedule (staircase of busy-waits):")
+    blocked = runner.run(chain, schedule="block", trace=True)
+    print(blocked.extras["trace"].gantt(width=72))
+    print("\nsame chain, cyclic chunk-1 schedule (pipelined):")
+    pipelined = runner.run(chain, schedule="cyclic", chunk=1, trace=True)
+    print(pipelined.extras["trace"].gantt(width=72))
+    print(
+        f"\nblock: {blocked.total_cycles} cycles;  "
+        f"cyclic-1: {pipelined.total_cycles} cycles"
+    )
+    return 0
+
+
+def _verify(args: list[str]) -> int:
+    import repro
+
+    n = int(args[0]) if args else 200
+    seed = int(args[1]) if len(args) > 1 else 0
+    loop = repro.random_irregular_loop(n, seed=seed)
+    report = repro.verify_loop(loop)
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+def _codegen(args: list[str]) -> int:
+    import repro
+    from repro.ir.codegen import generate_source
+    from repro.ir.transform import plan_transform
+
+    kind = args[0] if args else "irregular"
+    if kind == "irregular":
+        loop = repro.random_irregular_loop(100, seed=0)
+        plan = plan_transform(loop)
+    elif kind == "affine":
+        loop = repro.make_test_loop(n=100, m=2, l=6)
+        plan = plan_transform(loop)
+    elif kind == "chain":
+        loop = repro.chain_loop(100, 4)
+        plan = plan_transform(loop, known_distance=4)
+    elif kind == "independent":
+        loop = repro.random_irregular_loop(100, max_terms=0, seed=0)
+        plan = plan_transform(loop, assert_independent=True)
+    else:
+        print(f"unknown codegen kind {kind!r}")
+        return 2
+    print(generate_source(loop, plan))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if not args or args[0] in ("-h", "--help", "help"):
+        print(USAGE)
+        return 0
+    command, rest = args[0], args[1:]
+    if command == "version":
+        print(__version__)
+        return 0
+    if command == "figure6":
+        from repro.bench.figure6 import main as figure6_main
+
+        return figure6_main(rest)
+    if command == "table1":
+        from repro.bench.table1 import main as table1_main
+
+        return table1_main(rest)
+    if command == "ablations":
+        from repro.bench.ablations import main as ablations_main
+
+        return ablations_main(rest)
+    if command == "table2":
+        from repro.bench.amortized_table import main as table2_main
+
+        return table2_main(rest)
+    if command == "krylov":
+        from repro.bench.krylov_fraction import main as krylov_main
+
+        return krylov_main(rest)
+    if command == "verify":
+        return _verify(rest)
+    if command == "codegen":
+        return _codegen(rest)
+    if command == "demo":
+        return _demo()
+    print(f"unknown command {command!r}\n")
+    print(USAGE)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Execution backends for the transformed loops.
+
+- :mod:`repro.backends.simulated` — the primary backend: runs the
+  inspector/executor/postprocessor phases on the discrete-event machine
+  (:mod:`repro.machine`), producing both correct values and simulated
+  timings.  All paper experiments use this backend.
+- :mod:`repro.backends.threaded` — real ``threading`` execution with
+  per-element events; demonstrates the protocol is functionally correct on
+  actual concurrent hardware (no timing claims — the GIL forbids them; see
+  DESIGN.md §3).
+- :mod:`repro.backends.base` — shared helpers (order validation).
+"""
+
+from repro.backends.base import validate_execution_order
+from repro.backends.simulated import SimulatedRunner
+from repro.backends.threaded import ThreadedRunner
+
+__all__ = ["SimulatedRunner", "ThreadedRunner", "validate_execution_order"]

@@ -1,0 +1,56 @@
+"""Shared backend helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.ir.analysis import dependence_pairs
+from repro.ir.loop import IrregularLoop
+
+__all__ = ["validate_execution_order", "inverse_permutation"]
+
+
+def inverse_permutation(order: np.ndarray) -> np.ndarray:
+    """Positions: ``pos[order[p]] = p``.  Validates that ``order`` is a
+    permutation of ``0..n-1``."""
+    order = np.asarray(order, dtype=np.int64)
+    n = len(order)
+    pos = np.full(n, -1, dtype=np.int64)
+    in_range = (order >= 0) & (order < n)
+    if not in_range.all():
+        raise ScheduleError("execution order contains out-of-range entries")
+    pos[order] = np.arange(n, dtype=np.int64)
+    if np.any(pos < 0):
+        raise ScheduleError("execution order is not a permutation")
+    return pos
+
+
+def validate_execution_order(
+    loop: IrregularLoop, order: np.ndarray
+) -> np.ndarray:
+    """Check that ``order`` is a legal doacross execution order for ``loop``.
+
+    Legality (DESIGN.md §6): every *true* dependence edge must point backward
+    in execution order — the writer's position precedes the reader's.
+    Antidependencies impose no constraint (the ``ynew`` renaming removed
+    them), which is precisely why doconsider reordering is allowed to ignore
+    them.
+
+    Returns the inverse permutation (position of each original iteration).
+    Raises :class:`~repro.errors.ScheduleError` on violation — running such
+    an order would deadlock the busy-wait executor.
+    """
+    pos = inverse_permutation(order)
+    pairs = dependence_pairs(loop)
+    if len(pairs):
+        bad = pos[pairs[:, 0]] >= pos[pairs[:, 1]]
+        if bad.any():
+            k = int(np.nonzero(bad)[0][0])
+            w, r = int(pairs[k, 0]), int(pairs[k, 1])
+            raise ScheduleError(
+                f"execution order violates true dependence {w} → {r}: "
+                f"writer at position {int(pos[w])}, reader at position "
+                f"{int(pos[r])}; the busy-wait executor would deadlock"
+            )
+    return pos

@@ -1,0 +1,115 @@
+"""Real-thread backend: the doacross protocol on actual concurrency.
+
+The paper's protocol is a *correctness* claim as much as a performance one:
+with the inspector's ``iter`` array and per-element ``ready`` flags, any
+interleaving of iterations across processors produces the sequential result.
+This backend checks that claim on real ``threading`` threads — per-element
+``threading.Event`` objects play the ``ready`` flags, a ``threading.Barrier``
+separates the three phases, and iterations are distributed cyclically so
+each thread executes its positions in increasing order (the deadlock-freedom
+precondition, DESIGN.md §6).
+
+No timing is reported: under CPython's GIL these threads interleave rather
+than run in parallel, which is exactly why the *performance* experiments use
+the simulated backend instead (DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.backends.base import validate_execution_order
+from repro.core.workspace import MAXINT
+from repro.ir.loop import INIT_EXTERNAL, IrregularLoop
+
+__all__ = ["ThreadedRunner"]
+
+
+class ThreadedRunner:
+    """Runs the preprocessed doacross on real Python threads."""
+
+    def __init__(self, threads: int = 4):
+        if threads < 1:
+            raise ValueError(f"need at least one thread, got {threads}")
+        self.threads = threads
+
+    def run_preprocessed(
+        self, loop: IrregularLoop, order: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Execute ``loop`` with ``self.threads`` threads; returns final
+        ``y`` (semantically equal to the sequential oracle — tested)."""
+        if order is not None:
+            order = np.asarray(order, dtype=np.int64)
+            validate_execution_order(loop, order)
+
+        n = loop.n
+        t_count = min(self.threads, max(n, 1))
+        write = loop.write
+        ptr, r_idx, r_coeff = loop.reads.ptr, loop.reads.index, loop.reads.coeff
+        external = loop.init_kind == INIT_EXTERNAL
+        init_values = loop.init_values
+
+        y = loop.y0.copy()
+        ynew = np.zeros(loop.y_size, dtype=np.float64)
+        iter_arr = np.full(loop.y_size, MAXINT, dtype=np.int64)
+        ready = [threading.Event() for _ in range(loop.y_size)]
+        barrier = threading.Barrier(t_count)
+        failures: list[BaseException] = []
+        failure_lock = threading.Lock()
+
+        def positions_for(tid: int) -> range:
+            return range(tid, n, t_count)
+
+        def worker(tid: int) -> None:
+            try:
+                # Phase 1: inspector — each thread fills its slice of iter.
+                for p in positions_for(tid):
+                    i = p if order is None else int(order[p])
+                    iter_arr[write[i]] = i
+                barrier.wait()
+
+                # Phase 2: executor (Figure 5).
+                for p in positions_for(tid):
+                    i = p if order is None else int(order[p])
+                    w = write[i]
+                    acc = init_values[i] if external else y[w]
+                    for k in range(ptr[i], ptr[i + 1]):
+                        idx = r_idx[k]
+                        writer = iter_arr[idx]
+                        if writer == i:
+                            value = acc
+                        elif writer < i:
+                            ready[idx].wait()
+                            value = ynew[idx]
+                        else:
+                            value = y[idx]
+                        acc += r_coeff[k] * value
+                    ynew[w] = acc
+                    ready[w].set()
+                barrier.wait()
+
+                # Phase 3: postprocessor — reset scratch, copy back.
+                for p in positions_for(tid):
+                    i = p if order is None else int(order[p])
+                    w = write[i]
+                    iter_arr[w] = MAXINT
+                    y[w] = ynew[w]
+                    ready[w].clear()
+            except BaseException as exc:  # pragma: no cover - defensive
+                with failure_lock:
+                    failures.append(exc)
+                barrier.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(tid,), daemon=True)
+            for tid in range(t_count)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if failures:
+            raise failures[0]
+        return y

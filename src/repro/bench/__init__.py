@@ -1,0 +1,50 @@
+"""Benchmark harness: the paper's experiments and our ablations.
+
+Every table and figure of the paper's evaluation section has a module here
+that regenerates it (DESIGN.md §5):
+
+- :mod:`repro.bench.figure6` — Figure 6 (test-loop efficiencies vs ``L``);
+  run with ``python -m repro.bench.figure6``.
+- :mod:`repro.bench.table1` — Table 1 (sparse triangular solve times);
+  run with ``python -m repro.bench.table1``.
+- :mod:`repro.bench.ablations` — chunk size, schedule policy, strip-mine
+  block, linear-subscript variant, bus contention, processor sweep,
+  coherence/locality, inspector amortization (A–G).
+- :mod:`repro.bench.amortized_table` — "Table 2": per-solve cost over
+  repeated solves (``python -m repro.bench.amortized_table``).
+- :mod:`repro.bench.krylov_fraction` — the §3.2 Krylov motivation
+  (``python -m repro.bench.krylov_fraction``).
+- :mod:`repro.bench.model` — closed-form performance model validated
+  against the simulator.
+
+The pytest-benchmark entry points in ``benchmarks/`` call into these
+modules; the modules themselves are also directly runnable for interactive
+use.
+"""
+
+from repro.bench.amortized_table import AmortizedTableResult, run_amortized_table
+from repro.bench.figure6 import Figure6Result, run_figure6
+from repro.bench.harness import ExperimentRow, check_monotone_nondecreasing
+from repro.bench.krylov_fraction import KrylovFractionResult, run_krylov_fraction
+from repro.bench.model import (
+    predict_chain_loop,
+    predict_dependence_free,
+    predict_figure4,
+)
+from repro.bench.table1 import Table1Result, run_table1
+
+__all__ = [
+    "run_figure6",
+    "Figure6Result",
+    "run_table1",
+    "Table1Result",
+    "run_amortized_table",
+    "AmortizedTableResult",
+    "run_krylov_fraction",
+    "KrylovFractionResult",
+    "predict_figure4",
+    "predict_chain_loop",
+    "predict_dependence_free",
+    "ExperimentRow",
+    "check_monotone_nondecreasing",
+]

@@ -1,0 +1,357 @@
+"""Ablation experiments (DESIGN.md §5, Abl. A–E).
+
+Each function sweeps one design knob the paper discusses (or that the
+implementation exposes) and returns :class:`ExperimentRow` records; the
+``benchmarks/bench_ablation_*.py`` files drive them under pytest-benchmark
+and ``python -m repro.bench.ablations`` prints them all.
+
+- **A. Scheduling** — schedule kind × chunk size on the Figure-4 loop:
+  chunked schedules break the term-level pipelining of short-distance
+  chains (adjacent iterations land on the same processor), while chunk-1
+  cyclic maximizes overlap; dynamic self-scheduling pays dispatch
+  serialization on top.
+- **B. Strip-mining** — §2.3's block size: smaller blocks shrink the
+  modeled scratch footprint but add barriers and cut cross-block overlap.
+- **C. Linear subscript** — §2.3's inspector elimination: identical
+  executor, inspector phase removed.
+- **D. Processor sweep** — Table-1 problems at P ∈ {1..32}.
+- **E. Bus contention** — the optional shared-bus model on/off.
+- **F. Coherence / locality** — with invalidation misses priced, chain
+  pipelining (cyclic chunk-1, every dependence crosses caches) trades off
+  against locality (block schedules keep chains in one cache).
+- **G. Inspector amortization** — repeated instances of one loop share a
+  single inspector pass; the per-instance cost converges to executor +
+  reduced postprocessor.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.bench.harness import ExperimentRow
+from repro.bench.reporting import format_table
+from repro.core.amortized import AmortizedDoacross
+from repro.core.doacross import PreprocessedDoacross
+from repro.core.doconsider import Doconsider
+from repro.workloads.synthetic import chain_loop
+from repro.machine.costs import CostModel
+from repro.sparse.ilu import ilu0
+from repro.sparse.spe import paper_problems
+from repro.sparse.trisolve import lower_solve_loop
+from repro.workloads.testloop import make_test_loop
+
+__all__ = [
+    "ablation_scheduling",
+    "ablation_stripmine",
+    "ablation_linear",
+    "ablation_processors",
+    "ablation_processors_testloop",
+    "ablation_bus",
+    "ablation_coherence",
+    "ablation_amortization",
+    "main",
+]
+
+
+def ablation_scheduling(
+    n: int = 10000,
+    m: int = 1,
+    l: int = 8,
+    processors: int = 16,
+    kinds: tuple[str, ...] = ("cyclic", "block", "dynamic", "guided"),
+    chunks: tuple[int, ...] = (1, 4, 16, 64),
+) -> list[ExperimentRow]:
+    """Abl. A: schedule kind × chunk size on a dependence-carrying
+    Figure-4 configuration."""
+    loop = make_test_loop(n=n, m=m, l=l)
+    rows = []
+    for kind in kinds:
+        for chunk in chunks:
+            if kind == "block" and chunk != chunks[0]:
+                continue  # block scheduling has no chunk knob
+            runner = PreprocessedDoacross(
+                processors=processors, schedule=kind, chunk=chunk
+            )
+            result = runner.run(loop)
+            rows.append(
+                ExperimentRow(
+                    label=f"{kind}/chunk={chunk}",
+                    params={"kind": kind, "chunk": chunk},
+                    result=result,
+                )
+            )
+    return rows
+
+
+def ablation_stripmine(
+    n: int = 10000,
+    m: int = 2,
+    l: int = 8,
+    processors: int = 16,
+    blocks: tuple[int, ...] = (250, 500, 1000, 2500, 10000),
+) -> list[ExperimentRow]:
+    """Abl. B: §2.3 strip-mine block size (memory vs time trade-off)."""
+    loop = make_test_loop(n=n, m=m, l=l)
+    runner = PreprocessedDoacross(processors=processors)
+    baseline = runner.run(loop)
+    rows = [
+        ExperimentRow(
+            label="unblocked",
+            params={"block": None},
+            result=baseline,
+            metrics={"scratch_elements": loop.y_size},
+        )
+    ]
+    for block in blocks:
+        result = runner.run_stripmined(loop, block=block)
+        rows.append(
+            ExperimentRow(
+                label=f"block={block}",
+                params={"block": block},
+                result=result,
+                metrics={
+                    "scratch_elements": result.extras[
+                        "modeled_scratch_elements"
+                    ]
+                },
+            )
+        )
+    return rows
+
+
+def ablation_linear(
+    n: int = 10000,
+    processors: int = 16,
+    ms: tuple[int, ...] = (1, 5),
+    l: int = 7,
+) -> list[ExperimentRow]:
+    """Abl. C: the §2.3 linear-subscript variant vs the full pipeline.
+
+    The Figure-4 loop's write subscript is affine, so both run; the linear
+    variant drops the inspector phase and the ``iter`` array.
+    """
+    rows = []
+    runner = PreprocessedDoacross(processors=processors)
+    for m in ms:
+        loop = make_test_loop(n=n, m=m, l=l)
+        for linear in (False, True):
+            result = runner.run(loop, linear=linear)
+            rows.append(
+                ExperimentRow(
+                    label=f"M={m}/{'linear' if linear else 'standard'}",
+                    params={"m": m, "linear": linear},
+                    result=result,
+                    metrics={
+                        "inspector_cycles": result.breakdown.inspector,
+                    },
+                )
+            )
+    return rows
+
+
+def ablation_processors(
+    problem: str = "5-PT",
+    processor_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    small: bool = False,
+) -> list[ExperimentRow]:
+    """Abl. D: processor-count sweep on one Table-1 problem, natural and
+    doconsider order."""
+    A = paper_problems(small=small)[problem]
+    L, _ = ilu0(A)
+    rhs = np.ones(A.n_rows)
+    loop = lower_solve_loop(L, rhs, name=problem)
+    rows = []
+    for p in processor_counts:
+        runner = PreprocessedDoacross(processors=p)
+        plain = runner.run(loop)
+        reordered = Doconsider(doacross=runner).run(loop)
+        rows.append(
+            ExperimentRow(
+                label=f"P={p}",
+                params={"processors": p},
+                result=plain,
+                metrics={
+                    "plain_speedup": plain.speedup,
+                    "reordered_speedup": reordered.speedup,
+                    "plain_efficiency": plain.efficiency,
+                    "reordered_efficiency": reordered.efficiency,
+                },
+            )
+        )
+    return rows
+
+
+def ablation_processors_testloop(
+    n: int = 4000,
+    m: int = 1,
+    processor_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    ls: tuple[int, ...] = (3, 4, 10),
+) -> list[ExperimentRow]:
+    """Abl. H: processor sweep on the Figure-4 loop.
+
+    Expected structure: for the dependence-free configuration (odd ``L``)
+    speedup grows with ``P`` toward the plateau-limited ceiling, while a
+    distance-1 chain (``L=4``) saturates almost immediately — adding
+    processors cannot shorten the chain."""
+    rows = []
+    for l in ls:
+        loop = make_test_loop(n=n, m=m, l=l)
+        for p in processor_counts:
+            runner = PreprocessedDoacross(processors=p)
+            result = runner.run(loop)
+            rows.append(
+                ExperimentRow(
+                    label=f"L={l}/P={p}",
+                    params={"l": l, "processors": p},
+                    result=result,
+                )
+            )
+    return rows
+
+
+def ablation_bus(
+    n: int = 10000,
+    m: int = 2,
+    l: int = 5,
+    processors: int = 16,
+    bus_costs: tuple[int, ...] = (0, 1, 2, 4),
+) -> list[ExperimentRow]:
+    """Abl. E: shared-bus contention.  ``bus_per_access = 0`` disables the
+    model; higher values serialize every shared access for that long."""
+    rows = []
+    for bus_cost in bus_costs:
+        cm = CostModel(bus_per_access=bus_cost)
+        runner = PreprocessedDoacross(
+            processors=processors, cost_model=cm, bus=bus_cost > 0
+        )
+        result = runner.run(make_test_loop(n=n, m=m, l=l))
+        rows.append(
+            ExperimentRow(
+                label=f"bus={bus_cost}",
+                params={"bus_per_access": bus_cost},
+                result=result,
+            )
+        )
+    return rows
+
+
+def ablation_coherence(
+    n: int = 4000,
+    processors: int = 16,
+    miss_costs: tuple[int, ...] = (0, 10, 50, 200),
+    kinds: tuple[str, ...] = ("cyclic", "block"),
+) -> list[ExperimentRow]:
+    """Abl. F: invalidation-miss cost × schedule on a distance-1 chain.
+
+    Cyclic chunk-1 maximizes pipelining but every dependence crosses
+    caches; block scheduling keeps the chain local but serializes it.  The
+    crossover moves with the miss cost."""
+    loop = chain_loop(n, 1)
+    rows = []
+    for kind in kinds:
+        for miss in miss_costs:
+            cm = CostModel(coherence_miss=miss)
+            runner = PreprocessedDoacross(
+                processors=processors,
+                cost_model=cm,
+                schedule=kind,
+                coherence=miss > 0,
+            )
+            result = runner.run(loop)
+            executor = next(
+                p for p in result.phases if p.name == "executor"
+            )
+            rows.append(
+                ExperimentRow(
+                    label=f"{kind}/miss={miss}",
+                    params={"kind": kind, "miss": miss},
+                    result=result,
+                    metrics={
+                        "misses": sum(
+                            p.coherence_misses for p in executor.processors
+                        )
+                    },
+                )
+            )
+    return rows
+
+
+def ablation_amortization(
+    n: int = 4000,
+    processors: int = 16,
+    instance_counts: tuple[int, ...] = (1, 2, 5, 10, 20),
+) -> list[ExperimentRow]:
+    """Abl. G: inspector amortization over repeated loop instances.
+
+    Per-instance cost falls toward the executor + reduced-postprocessor
+    floor as the single inspector pass spreads over more instances."""
+    loop = make_test_loop(n=n, m=1, l=5)
+    runner = AmortizedDoacross(processors=processors)
+    full = PreprocessedDoacross(processors=processors).run(loop)
+    rows = []
+    for instances in instance_counts:
+        result = runner.run(loop, instances)
+        per_instance = result.total_cycles / instances
+        rows.append(
+            ExperimentRow(
+                label=f"instances={instances}",
+                params={"instances": instances},
+                result=result,
+                metrics={
+                    "per_instance_cycles": per_instance,
+                    "gain_vs_full": full.total_cycles / per_instance,
+                },
+            )
+        )
+    return rows
+
+
+def _print(rows: list[ExperimentRow], title: str) -> None:
+    table = format_table(
+        ["config", "efficiency", "speedup", "total cycles", "wait cycles"],
+        [
+            (
+                r.label,
+                r.result.efficiency,
+                r.result.speedup,
+                r.result.total_cycles,
+                r.result.wait_cycles,
+            )
+            for r in rows
+        ],
+        title=title,
+    )
+    print(table)
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    small = "--small" in args
+    _print(ablation_scheduling(), "Ablation A — schedule kind x chunk")
+    _print(ablation_stripmine(), "Ablation B — strip-mine block size")
+    _print(ablation_linear(), "Ablation C — linear-subscript variant")
+    _print(
+        ablation_processors(small=small),
+        "Ablation D — processor sweep (5-PT trisolve)",
+    )
+    _print(ablation_bus(), "Ablation E — bus contention")
+    _print(
+        ablation_coherence(),
+        "Ablation F — coherence misses x schedule (distance-1 chain)",
+    )
+    _print(
+        ablation_processors_testloop(),
+        "Ablation H — processor sweep on the Figure-4 loop",
+    )
+    _print(
+        ablation_amortization(),
+        "Ablation G — inspector amortization over repeated instances",
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,199 @@
+"""Closed-form performance model of the preprocessed doacross.
+
+The simulator executes the transformed loops event by event; this module
+predicts the same makespans from closed forms — the kind of back-of-envelope
+analysis §3.1 of the paper does in prose ("the efficiencies we see for those
+L values reflect the overheads of...").  The model covers the two regimes a
+cyclic chunk-1 executor exhibits:
+
+- **throughput-bound**: no (binding) chain; the executor span is each
+  processor's share of per-iteration work, and the total adds the
+  inspector/postprocessor shares and three barriers.  Dependence-free loops
+  (odd ``L``) land exactly here — the Figure-6 plateau.
+- **chain-bound**: a uniform-distance recurrence paces execution.  After
+  the binding wait only the *post-wake* work remains per chain link (flag
+  check, the awaited term's consume, any later terms, the flag set), so
+  ``chain span ≈ (n / d) · step``.  The executor span is the max of the
+  two regimes.
+
+Accuracy is a tested property: predictions must track the simulator within
+a tight relative tolerance across the Figure-4 family and chain loops (see
+``benchmarks/bench_model_validation.py`` for the predicted-vs-simulated
+table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import RunResult
+from repro.machine.costs import CostModel, WorkProfile
+from repro.workloads.testloop import dependence_distances
+
+__all__ = [
+    "ModelPrediction",
+    "predict_dependence_free",
+    "predict_figure4",
+    "predict_chain_loop",
+    "relative_error",
+]
+
+
+@dataclass(frozen=True)
+class ModelPrediction:
+    """Predicted cycle counts for one preprocessed-doacross run."""
+
+    n: int
+    processors: int
+    inspector: int
+    executor_throughput: int
+    executor_chain: int
+    postprocessor: int
+    barriers: int
+    sequential: int
+
+    @property
+    def executor(self) -> int:
+        return max(self.executor_throughput, self.executor_chain)
+
+    @property
+    def total(self) -> int:
+        return self.inspector + self.executor + self.postprocessor + self.barriers
+
+    @property
+    def efficiency(self) -> float:
+        return self.sequential / (self.processors * self.total)
+
+    @property
+    def regime(self) -> str:
+        return (
+            "chain-bound"
+            if self.executor_chain > self.executor_throughput
+            else "throughput-bound"
+        )
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _base_prediction(
+    n: int,
+    terms: int,
+    processors: int,
+    cm: CostModel,
+    work: WorkProfile,
+    chain_span: int,
+) -> ModelPrediction:
+    share = _ceil_div(n, processors)
+    exec_iter = (
+        cm.exec_iter_overhead
+        + work.overhead
+        + terms * (work.term + cm.dep_check)
+        + cm.flag_set
+    )
+    return ModelPrediction(
+        n=n,
+        processors=processors,
+        inspector=share * cm.pre_iter,
+        executor_throughput=share * exec_iter,
+        executor_chain=chain_span,
+        postprocessor=share * cm.post_iter,
+        barriers=3 * cm.barrier(processors),
+        sequential=n * (work.overhead + terms * work.term),
+    )
+
+
+def predict_dependence_free(
+    n: int,
+    terms: int,
+    processors: int,
+    cost_model: CostModel | None = None,
+    work: WorkProfile | None = None,
+) -> ModelPrediction:
+    """Prediction for a loop with no cross-iteration true dependencies
+    (the Figure-6 odd-``L`` plateau)."""
+    cm = cost_model if cost_model is not None else CostModel()
+    return _base_prediction(
+        n, terms, processors, cm, cm.effective_work(work), chain_span=0
+    )
+
+
+def predict_chain_loop(
+    n: int,
+    distance: int,
+    processors: int,
+    cost_model: CostModel | None = None,
+    work: WorkProfile | None = None,
+) -> ModelPrediction:
+    """Prediction for ``y[i] += c·y[i−d]`` (one term per iteration,
+    iterations ``< d`` term-free) under a cyclic chunk-1 schedule."""
+    cm = cost_model if cost_model is not None else CostModel()
+    w = cm.effective_work(work)
+    step = cm.flag_check + w.term_consume + cm.flag_set
+    # d independent chains of ~n/d links each, pipelined across processors
+    # (needs P > d for full overlap; the simulator confirms the boundary).
+    chain_span = _ceil_div(n, distance) * step if distance < n else 0
+    # terms=1 slightly overstates sequential time (the first d iterations
+    # are term-free); correct exactly.
+    pred = _base_prediction(n, 1, processors, cm, w, chain_span)
+    sequential = n * w.overhead + (n - distance) * w.term
+    return ModelPrediction(
+        n=pred.n,
+        processors=pred.processors,
+        inspector=pred.inspector,
+        executor_throughput=pred.executor_throughput,
+        executor_chain=pred.executor_chain,
+        postprocessor=pred.postprocessor,
+        barriers=pred.barriers,
+        sequential=sequential,
+    )
+
+
+def predict_figure4(
+    n: int,
+    m: int,
+    l: int,
+    processors: int,
+    cost_model: CostModel | None = None,
+) -> ModelPrediction:
+    """Prediction for the Figure-4/Figure-6 loop under cyclic chunk-1.
+
+    For even ``L``, term ``j`` carries a true dependence of distance
+    ``d_j = L/2 − j`` (when positive).  Each dependent term imposes a chain
+    rate: iteration ``i`` cannot finish earlier than ``d_j`` links' worth
+    of *post-wake tail* after iteration ``i − d_j`` — waking at term ``j``,
+    executing every later term (satisfied waits included), and setting the
+    flag.  The binding rate is the maximum of ``tail_j / d_j`` over the
+    dependent terms; the chain span is ``n`` times that rate.
+    """
+    cm = cost_model if cost_model is not None else CostModel()
+    w = cm.work
+    distances = dependence_distances(m, l)
+    if not distances:
+        return predict_dependence_free(n, m, processors, cm)
+    half = l // 2
+
+    def is_true_dep(j: int) -> bool:
+        return 1 <= half - j
+
+    rate = 0.0
+    for j in range(1, m + 1):
+        if not is_true_dep(j):
+            continue
+        d_j = half - j
+        tail = cm.flag_check + w.term_consume + cm.flag_set
+        for later in range(j + 1, m + 1):
+            tail += cm.dep_check + w.term
+            if is_true_dep(later):
+                tail += cm.flag_check  # satisfied wait still checks once
+        rate = max(rate, tail / d_j)
+    chain_span = int(n * rate)
+    return _base_prediction(n, m, processors, cm, w, chain_span)
+
+
+def relative_error(prediction: ModelPrediction, result: RunResult) -> float:
+    """|predicted − simulated| / simulated, on total makespan."""
+    if result.total_cycles == 0:
+        return 0.0 if prediction.total == 0 else float("inf")
+    return abs(prediction.total - result.total_cycles) / result.total_cycles

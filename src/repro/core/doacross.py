@@ -1,0 +1,168 @@
+"""The public preprocessed-doacross API.
+
+:class:`PreprocessedDoacross` bundles a simulated machine, a reusable
+workspace, and a default schedule behind the interface the examples and
+benchmarks use::
+
+    from repro import PreprocessedDoacross
+    runner = PreprocessedDoacross(processors=16)
+    result = runner.run(loop)
+    print(result.summary())
+
+:func:`parallelize` is the fully automatic entry point: it asks the
+"compiler" (:func:`repro.ir.transform.plan_transform`) which strategy is
+sound for the loop's static structure and dispatches accordingly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.simulated import SimulatedRunner
+from repro.core.results import RunResult
+from repro.core.workspace import DoacrossWorkspace
+from repro.ir.loop import IrregularLoop
+from repro.ir.transform import (
+    STRATEGY_CLASSIC_DOACROSS,
+    STRATEGY_DOALL,
+    STRATEGY_LINEAR,
+    TransformPlan,
+    plan_transform,
+)
+from repro.machine.costs import CostModel
+from repro.machine.engine import Machine
+
+__all__ = ["PreprocessedDoacross", "parallelize"]
+
+
+class PreprocessedDoacross:
+    """Inspector/executor/postprocessor runner with sensible defaults.
+
+    Parameters
+    ----------
+    processors:
+        Simulated processor count (paper experiments use 16).  Ignored when
+        an explicit ``machine`` is supplied.
+    cost_model:
+        Cycle costs; defaults to the calibrated model (DESIGN.md §7).
+    machine:
+        A pre-built :class:`~repro.machine.engine.Machine` (overrides
+        ``processors``/``cost_model``/``bus``).
+    workspace:
+        Scratch arrays shared across runs (created on demand).  Reuse across
+        many loop instances is the paper's Figure-3 design point.
+    schedule, chunk:
+        Default executor schedule (kind string or
+        :class:`~repro.machine.scheduler.IterationSchedule`) and chunk size.
+    bus:
+        Enable the shared-bus contention model.
+    coherence:
+        Enable the write-invalidate coherence model (requires a cost model
+        with ``coherence_miss > 0``).
+    """
+
+    def __init__(
+        self,
+        processors: int = 16,
+        cost_model: CostModel | None = None,
+        machine: Machine | None = None,
+        workspace: DoacrossWorkspace | None = None,
+        schedule="cyclic",
+        chunk: int = 1,
+        bus: bool = False,
+        coherence: bool = False,
+    ):
+        if machine is None:
+            machine = Machine(
+                processors, cost_model=cost_model, bus=bus, coherence=coherence
+            )
+        self.machine = machine
+        self.workspace = workspace if workspace is not None else DoacrossWorkspace()
+        self.schedule = schedule
+        self.chunk = chunk
+        self._runner = SimulatedRunner(self.machine, self.workspace)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        loop: IrregularLoop,
+        order: np.ndarray | None = None,
+        order_label: str = "natural",
+        linear: bool = False,
+        schedule=None,
+        chunk: int | None = None,
+        trace: bool = False,
+    ) -> RunResult:
+        """Run the full preprocessed doacross (or the §2.3 linear variant
+        with ``linear=True``); optionally in a caller-supplied execution
+        ``order`` (see :class:`~repro.core.doconsider.Doconsider`).  With
+        ``trace=True`` the executor-phase timeline lands in
+        ``result.extras["trace"]``."""
+        return self._runner.run_preprocessed(
+            loop,
+            schedule=self.schedule if schedule is None else schedule,
+            chunk=self.chunk if chunk is None else chunk,
+            order=order,
+            order_label=order_label,
+            linear=linear,
+            trace=trace,
+        )
+
+    def run_stripmined(
+        self, loop: IrregularLoop, block: int, chunk: int | None = None
+    ) -> RunResult:
+        """Run the §2.3 strip-mined variant with ``block`` iterations per
+        inner doacross."""
+        kind = self.schedule if isinstance(self.schedule, str) else "cyclic"
+        return self._runner.run_stripmined(
+            loop,
+            block,
+            schedule_kind=kind,
+            chunk=self.chunk if chunk is None else chunk,
+        )
+
+    def runner(self) -> SimulatedRunner:
+        """The underlying backend (for baselines sharing the machine)."""
+        return self._runner
+
+
+def parallelize(
+    loop: IrregularLoop,
+    processors: int = 16,
+    cost_model: CostModel | None = None,
+    assert_independent: bool = False,
+    known_distance: int | None = None,
+    schedule="cyclic",
+    chunk: int = 1,
+) -> tuple[RunResult, TransformPlan]:
+    """Automatically select and run the cheapest sound strategy.
+
+    Mirrors the paper's compiler flow: the *static* structure of the loop
+    (plus optional user assertions) picks among doall, classic doacross,
+    linear-subscript doacross, and the full preprocessed doacross.  Returns
+    the run result together with the plan that justified it.
+    """
+    plan = plan_transform(
+        loop,
+        assert_independent=assert_independent,
+        known_distance=known_distance,
+    )
+    pd = PreprocessedDoacross(
+        processors=processors,
+        cost_model=cost_model,
+        schedule=schedule,
+        chunk=chunk,
+    )
+    runner = pd.runner()
+    if plan.strategy == STRATEGY_DOALL:
+        result = runner.run_doall(loop, schedule=schedule, chunk=chunk)
+    elif plan.strategy == STRATEGY_CLASSIC_DOACROSS:
+        result = runner.run_classic(
+            loop, plan.uniform_distance, schedule=schedule, chunk=chunk
+        )
+    elif plan.strategy == STRATEGY_LINEAR:
+        result = pd.run(loop, linear=True)
+    else:
+        result = pd.run(loop)
+    result.extras.setdefault("plan", plan.describe())
+    return result, plan

@@ -1,0 +1,50 @@
+"""Doall baseline (asserted independence).
+
+The other classic construct of §1: when iterations are independent, no
+synchronization at all is needed.  For runtime subscripts the compiler can
+never prove independence — the doall here models a *user assertion* (a
+directive), with an optional run-time re-validation as a debugging net.
+Comparing doall to the preprocessed doacross on dependence-free inputs
+measures the full inspector/executor/postprocessor overhead, which is
+exactly what the odd-``L`` points of Figure 6 report.
+"""
+
+from __future__ import annotations
+
+from repro.backends.simulated import SimulatedRunner
+from repro.core.results import RunResult
+from repro.ir.loop import IrregularLoop
+from repro.machine.costs import CostModel
+from repro.machine.engine import Machine
+
+__all__ = ["DoallRunner"]
+
+
+class DoallRunner:
+    """Runner for unsynchronized parallel loops."""
+
+    def __init__(
+        self,
+        processors: int = 16,
+        cost_model: CostModel | None = None,
+        machine: Machine | None = None,
+        schedule="cyclic",
+        chunk: int = 1,
+    ):
+        if machine is None:
+            machine = Machine(processors, cost_model=cost_model)
+        self.machine = machine
+        self.schedule = schedule
+        self.chunk = chunk
+        self._runner = SimulatedRunner(machine)
+
+    def run(self, loop: IrregularLoop, validate: bool = True) -> RunResult:
+        """Run the loop as a doall.
+
+        ``validate=True`` re-checks independence at run time and raises
+        :class:`~repro.errors.InvalidLoopError` if the assertion is false;
+        ``validate=False`` trusts the caller (what a real directive does).
+        """
+        return self._runner.run_doall(
+            loop, schedule=self.schedule, chunk=self.chunk, validate=validate
+        )

@@ -1,0 +1,39 @@
+"""Linear-subscript doacross (paper §2.3).
+
+When the left-hand side is indexed by a known linear function
+``a(i) = c·i + d``, the writer of element ``off`` is computable in closed
+form — ``(off − d)/c`` when ``(off − d) mod c == 0`` — so the execution-time
+preprocessing phase and the ``iter`` array both disappear.  The executor's
+three-way classification is unchanged; only *how* the writer index is
+obtained differs.  Ablation C (DESIGN.md §5) measures the saved inspector
+phase directly.
+"""
+
+from __future__ import annotations
+
+from repro.core.doacross import PreprocessedDoacross
+from repro.core.results import RunResult
+from repro.ir.loop import IrregularLoop
+
+__all__ = ["LinearDoacross"]
+
+
+class LinearDoacross:
+    """Facade for the inspector-free variant (affine write subscripts only;
+    the backend validates and raises otherwise)."""
+
+    def __init__(
+        self,
+        doacross: PreprocessedDoacross | None = None,
+        **doacross_kwargs,
+    ):
+        self.doacross = (
+            doacross
+            if doacross is not None
+            else PreprocessedDoacross(**doacross_kwargs)
+        )
+
+    def run(self, loop: IrregularLoop, **run_kwargs) -> RunResult:
+        """Run the inspector-free pipeline (requires an affine write
+        subscript; raises :class:`~repro.errors.InvalidLoopError` otherwise)."""
+        return self.doacross.run(loop, linear=True, **run_kwargs)

@@ -1,0 +1,45 @@
+"""Strip-mined preprocessed doacross (paper §2.3).
+
+The original loop ``L`` becomes a sequential outer loop over contiguous
+blocks, each block an inner preprocessed doacross.  Pre- and postprocessing
+run per block, so the scratch arrays (``iter``, ``ready``) are reused — the
+modeled scratch footprint shrinks from the whole index set to the widest
+block's write range, at the price of extra barriers and reduced cross-block
+overlap.  :class:`StripminedDoacross` exposes the trade-off; ablation B
+(DESIGN.md §5) sweeps the block size.
+"""
+
+from __future__ import annotations
+
+from repro.core.doacross import PreprocessedDoacross
+from repro.core.results import RunResult
+from repro.ir.loop import IrregularLoop
+
+__all__ = ["StripminedDoacross"]
+
+
+class StripminedDoacross:
+    """Facade for the blocked variant; see
+    :meth:`repro.backends.simulated.SimulatedRunner.run_stripmined`."""
+
+    def __init__(
+        self,
+        block: int,
+        doacross: PreprocessedDoacross | None = None,
+        **doacross_kwargs,
+    ):
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
+        self.block = block
+        self.doacross = (
+            doacross
+            if doacross is not None
+            else PreprocessedDoacross(**doacross_kwargs)
+        )
+
+    def run(self, loop: IrregularLoop, block: int | None = None) -> RunResult:
+        """Run the blocked pipeline (``block`` overrides the constructor's
+        block size for this run)."""
+        return self.doacross.run_stripmined(
+            loop, self.block if block is None else block
+        )

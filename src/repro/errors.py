@@ -1,0 +1,88 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch the package's failures with a single ``except`` clause
+while still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationDeadlockError",
+    "InvalidLoopError",
+    "OutputDependenceError",
+    "ScheduleError",
+    "MatrixFormatError",
+    "SingularMatrixError",
+    "CalibrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SimulationDeadlockError(ReproError):
+    """The discrete-event engine found processors waiting on flags that no
+    remaining task will ever set.
+
+    Attributes
+    ----------
+    waiters:
+        Mapping of processor id to the flag index it is blocked on.
+    time:
+        Simulated time (cycles) at which the deadlock was detected.
+    """
+
+    def __init__(self, waiters: dict[int, int], time: int):
+        self.waiters = dict(waiters)
+        self.time = time
+        detail = ", ".join(f"p{p}→flag {f}" for p, f in sorted(waiters.items()))
+        super().__init__(
+            f"simulation deadlock at t={time}: {len(waiters)} processor(s) "
+            f"blocked on flags that will never be set ({detail})"
+        )
+
+
+class InvalidLoopError(ReproError):
+    """A loop description is malformed (bad sizes, out-of-range subscripts)."""
+
+
+class OutputDependenceError(InvalidLoopError):
+    """The loop's write subscript is not injective.
+
+    The preprocessed doacross (paper §2.1) assumes no output dependencies
+    between left-hand-side references: no two iterations may write the same
+    element.  This error reports the first colliding pair found.
+    """
+
+    def __init__(self, index: int, first_writer: int, second_writer: int):
+        self.index = int(index)
+        self.first_writer = int(first_writer)
+        self.second_writer = int(second_writer)
+        super().__init__(
+            f"output dependence: iterations {first_writer} and {second_writer} "
+            f"both write element {index}; the preprocessed doacross requires an "
+            f"injective write subscript"
+        )
+
+
+class ScheduleError(ReproError):
+    """An iteration schedule is inconsistent (bad chunking, empty claim)."""
+
+
+class MatrixFormatError(ReproError):
+    """A sparse matrix is structurally invalid for the requested operation."""
+
+
+class SingularMatrixError(MatrixFormatError):
+    """A triangular factor has a zero (or missing) diagonal entry."""
+
+    def __init__(self, row: int):
+        self.row = int(row)
+        super().__init__(f"zero or missing diagonal entry in row {row}")
+
+
+class CalibrationError(ReproError):
+    """A cost model's constants are inconsistent (negative costs, etc.)."""

@@ -1,0 +1,29 @@
+"""Iteration dependence-graph analysis.
+
+The doconsider transformation (paper §3.2, reference [4]) and the harness's
+ideal-speedup bounds both need the loop's *true-dependence DAG*: a node per
+iteration, an edge ``w → r`` whenever iteration ``r`` reads a value written
+by earlier iteration ``w``.
+
+- :mod:`repro.graph.depgraph` — :class:`DependenceGraph`, CSR adjacency
+  built from :func:`repro.ir.analysis.dependence_pairs`.
+- :mod:`repro.graph.levels` — level (wavefront) scheduling.
+- :mod:`repro.graph.critical_path` — weighted critical path and parallelism
+  bounds.
+"""
+
+from repro.graph.coloring import color_order, greedy_coloring, validate_coloring
+from repro.graph.critical_path import critical_path_cycles, ideal_speedup
+from repro.graph.depgraph import DependenceGraph
+from repro.graph.levels import LevelSchedule, compute_levels
+
+__all__ = [
+    "DependenceGraph",
+    "compute_levels",
+    "LevelSchedule",
+    "critical_path_cycles",
+    "ideal_speedup",
+    "greedy_coloring",
+    "color_order",
+    "validate_coloring",
+]

@@ -1,0 +1,87 @@
+"""Critical-path analysis of the dependence DAG.
+
+The longest weighted path through the true-dependence DAG is a lower bound
+on any parallel schedule's makespan; ``total_work / critical_path`` bounds
+the achievable speedup regardless of processor count.  The benchmark reports
+use these to show how close the preprocessed doacross (natural and
+doconsider-reordered) comes to the structural limit of each problem.
+
+Weights are per-iteration executor cycles (overhead + terms), so the bound
+is in the same units as the simulated runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.depgraph import DependenceGraph
+from repro.ir.loop import IrregularLoop
+from repro.machine.costs import CostModel
+
+__all__ = ["iteration_weights", "critical_path_cycles", "ideal_speedup"]
+
+
+def iteration_weights(
+    loop: IrregularLoop, cost_model: CostModel
+) -> np.ndarray:
+    """Executor cycle cost of each iteration (no waits, no dispatch)."""
+    work = cost_model.effective_work(loop.work)
+    term_counts = loop.reads.term_counts()
+    return (
+        cost_model.exec_iter_overhead
+        + work.overhead
+        + term_counts * (work.term + cost_model.dep_check)
+        + cost_model.flag_set
+    ).astype(np.int64)
+
+
+def critical_path_cycles(
+    loop: IrregularLoop,
+    cost_model: CostModel,
+    graph: DependenceGraph | None = None,
+) -> int:
+    """A lower bound on any schedule's makespan from the dependence DAG.
+
+    Dependence chains *pipeline*: a reader's setup work overlaps its
+    writer's execution, so after the awaited flag flips only the post-wake
+    cost remains (flag check + term consume + flag set).  The bound is
+    therefore: iteration ``r`` finishes no earlier than the latest of (a)
+    its own full weight and (b) any predecessor's finish plus the minimal
+    post-wake step.  One forward sweep (natural order is topological).
+    """
+    if graph is None:
+        graph = DependenceGraph.from_loop(loop)
+    weights = iteration_weights(loop, cost_model)
+    work = cost_model.effective_work(loop.work)
+    step = cost_model.flag_check + work.term_consume + cost_model.flag_set
+    finish = np.zeros(loop.n, dtype=np.int64)
+    pred_ptr, pred = graph.pred_ptr, graph.pred
+    for r in range(loop.n):
+        lo, hi = pred_ptr[r], pred_ptr[r + 1]
+        after_preds = (
+            int(finish[pred[lo:hi]].max()) + step if hi > lo else 0
+        )
+        finish[r] = max(int(weights[r]), after_preds)
+    return int(finish.max()) if loop.n else 0
+
+
+def ideal_speedup(
+    loop: IrregularLoop,
+    cost_model: CostModel,
+    graph: DependenceGraph | None = None,
+) -> float:
+    """Structural speedup bound: total executor work over the critical path.
+
+    This ignores inspector/postprocessor/barrier overheads and assumes
+    unlimited processors — an optimistic ceiling the measured runs must stay
+    under (tested invariant).
+    """
+    if loop.n == 0:
+        return 1.0
+    if graph is None:
+        graph = DependenceGraph.from_loop(loop)
+    total = int(iteration_weights(loop, cost_model).sum())
+    path = critical_path_cycles(loop, cost_model, graph)
+    if path == 0:
+        return 1.0
+    return total / path

@@ -1,0 +1,73 @@
+"""Loop intermediate representation and runtime "compiler".
+
+The paper's method is a source-to-source transformation: from a loop whose
+array subscripts are only known at run time, derive an *inspector* (parallel
+preprocessing), an *executor* (the transformed loop), and a *postprocessor*
+(parallel reset).  This subpackage plays the compiler's role:
+
+- :mod:`repro.ir.subscript` — first-class subscript functions (affine and
+  indirect) with the algebra needed for the linear-subscript optimization of
+  paper §2.3.
+- :mod:`repro.ir.accesses` — NumPy-backed per-iteration read-term tables.
+- :mod:`repro.ir.loop` — :class:`IrregularLoop`, the normalized loop form
+  covering both the Figure-4 test loop and the Figure-7 triangular solve.
+- :mod:`repro.ir.analysis` — dependence analysis: output-dependence
+  validation, doall detection, uniform-distance detection, true-dependence
+  classification.
+- :mod:`repro.ir.transform` — strategy selection (:class:`TransformPlan`):
+  doall / classic doacross / linear-subscript doacross / full preprocessed
+  doacross.
+- :mod:`repro.ir.codegen` — render the transformation as Figure-3/Figure-5
+  style pseudo-Fortran source.
+- :mod:`repro.ir.frontend` — parse restricted Python-syntax loop source
+  (with runtime array bindings) into an :class:`IrregularLoop`.
+"""
+
+from repro.ir.accesses import ReadTable
+from repro.ir.codegen import generate_original_source, generate_source
+from repro.ir.frontend import loop_from_source
+from repro.ir.analysis import (
+    DependenceSummary,
+    classify_reads,
+    dependence_pairs,
+    is_doall,
+    summarize_dependences,
+    uniform_distance,
+    writer_map,
+)
+from repro.ir.loop import INIT_EXTERNAL, INIT_OLD_VALUE, IrregularLoop
+from repro.ir.subscript import AffineSubscript, IndirectSubscript, Subscript
+from repro.ir.transform import (
+    STRATEGY_CLASSIC_DOACROSS,
+    STRATEGY_DOALL,
+    STRATEGY_LINEAR,
+    STRATEGY_PREPROCESSED,
+    TransformPlan,
+    plan_transform,
+)
+
+__all__ = [
+    "Subscript",
+    "AffineSubscript",
+    "IndirectSubscript",
+    "ReadTable",
+    "IrregularLoop",
+    "INIT_OLD_VALUE",
+    "INIT_EXTERNAL",
+    "writer_map",
+    "classify_reads",
+    "dependence_pairs",
+    "is_doall",
+    "uniform_distance",
+    "summarize_dependences",
+    "DependenceSummary",
+    "TransformPlan",
+    "plan_transform",
+    "generate_source",
+    "generate_original_source",
+    "loop_from_source",
+    "STRATEGY_DOALL",
+    "STRATEGY_CLASSIC_DOACROSS",
+    "STRATEGY_LINEAR",
+    "STRATEGY_PREPROCESSED",
+]

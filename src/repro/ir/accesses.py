@@ -1,0 +1,139 @@
+"""Per-iteration read-term tables.
+
+Each iteration of the normalized loop accumulates a sum of terms
+``coeff · y[index]``.  The number of terms may vary per iteration (the
+Figure-7 triangular solve reads one term per off-diagonal nonzero of the
+row), so the table is stored in CSR style: ``ptr`` (length ``n+1``) delimits
+each iteration's slice of the flat ``index`` and ``coeff`` arrays.  All three
+arrays are contiguous NumPy arrays, so dependence analysis over them
+vectorizes (per the hpc-parallel guides: keep the set-up work in array ops,
+reserve Python loops for the irreducible executor core).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidLoopError
+
+__all__ = ["ReadTable"]
+
+
+class ReadTable:
+    """CSR-style table of read terms: iteration ``i`` reads
+    ``index[ptr[i]:ptr[i+1]]`` with coefficients ``coeff[ptr[i]:ptr[i+1]]``.
+    """
+
+    __slots__ = ("ptr", "index", "coeff")
+
+    def __init__(self, ptr, index, coeff):
+        self.ptr = np.ascontiguousarray(ptr, dtype=np.int64)
+        self.index = np.ascontiguousarray(index, dtype=np.int64)
+        self.coeff = np.ascontiguousarray(coeff, dtype=np.float64)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.ptr.ndim != 1 or self.index.ndim != 1 or self.coeff.ndim != 1:
+            raise InvalidLoopError("read table arrays must be 1-D")
+        if len(self.ptr) == 0:
+            raise InvalidLoopError("read table ptr must have length n+1 >= 1")
+        if self.ptr[0] != 0:
+            raise InvalidLoopError(f"read table ptr[0] must be 0, got {self.ptr[0]}")
+        if len(self.index) != len(self.coeff):
+            raise InvalidLoopError(
+                f"index ({len(self.index)}) and coeff ({len(self.coeff)}) "
+                f"lengths differ"
+            )
+        if self.ptr[-1] != len(self.index):
+            raise InvalidLoopError(
+                f"ptr[-1]={self.ptr[-1]} does not match term count "
+                f"{len(self.index)}"
+            )
+        if len(self.ptr) > 1 and np.any(np.diff(self.ptr) < 0):
+            raise InvalidLoopError("read table ptr must be non-decreasing")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_lists(
+        cls,
+        per_iteration: Iterable[Sequence[tuple[int, float]]],
+    ) -> "ReadTable":
+        """Build from ``[[(index, coeff), ...], ...]`` (one list per
+        iteration).  Convenient for tests and small examples."""
+        ptr = [0]
+        idx: list[int] = []
+        coeff: list[float] = []
+        for terms in per_iteration:
+            for j, c in terms:
+                idx.append(j)
+                coeff.append(c)
+            ptr.append(len(idx))
+        return cls(
+            np.asarray(ptr, dtype=np.int64),
+            np.asarray(idx, dtype=np.int64),
+            np.asarray(coeff, dtype=np.float64),
+        )
+
+    @classmethod
+    def from_uniform(cls, index_matrix, coeff_matrix) -> "ReadTable":
+        """Build from dense ``(n, m)`` matrices: iteration ``i`` reads
+        ``index_matrix[i, :]`` with ``coeff_matrix[i, :]``.  This is the
+        Figure-4 shape — exactly ``M`` terms per iteration."""
+        index_matrix = np.asarray(index_matrix, dtype=np.int64)
+        coeff_matrix = np.asarray(coeff_matrix, dtype=np.float64)
+        if index_matrix.shape != coeff_matrix.shape or index_matrix.ndim != 2:
+            raise InvalidLoopError(
+                f"uniform read table needs matching 2-D matrices, got "
+                f"{index_matrix.shape} and {coeff_matrix.shape}"
+            )
+        n, m = index_matrix.shape
+        ptr = m * np.arange(n + 1, dtype=np.int64)
+        return cls(ptr, index_matrix.reshape(-1), coeff_matrix.reshape(-1))
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of iterations."""
+        return len(self.ptr) - 1
+
+    @property
+    def total_terms(self) -> int:
+        return len(self.index)
+
+    def terms_of(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(indices, coeffs)`` views for iteration ``i``."""
+        lo, hi = self.ptr[i], self.ptr[i + 1]
+        return self.index[lo:hi], self.coeff[lo:hi]
+
+    def term_count(self, i: int) -> int:
+        return int(self.ptr[i + 1] - self.ptr[i])
+
+    def term_counts(self) -> np.ndarray:
+        """Vector of per-iteration term counts."""
+        return np.diff(self.ptr)
+
+    def iteration_of_term(self) -> np.ndarray:
+        """For each flat term, the iteration it belongs to (vectorized
+        inverse of ``ptr``, used by the dependence analysis)."""
+        return np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(self.ptr)
+        )
+
+    def check_bounds(self, y_size: int) -> None:
+        """Raise if any read index falls outside ``[0, y_size)``."""
+        if len(self.index) == 0:
+            return
+        lo = int(self.index.min())
+        hi = int(self.index.max())
+        if lo < 0 or hi >= y_size:
+            raise InvalidLoopError(
+                f"read index out of range: min={lo}, max={hi}, "
+                f"y_size={y_size}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReadTable(n={self.n}, terms={self.total_terms})"

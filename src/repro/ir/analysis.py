@@ -1,0 +1,180 @@
+"""Dependence analysis over :class:`~repro.ir.loop.IrregularLoop`.
+
+This module answers, from the materialized subscript values, the questions a
+parallelizing compiler would ask — plus the ones it *cannot* answer before
+run time (which is the paper's premise).  The runtime transformation uses
+only the statically-known parts (:func:`plan_transform` in
+:mod:`repro.ir.transform`); the full value-level analysis here serves
+
+- the **doconsider** reordering (it needs the true-dependence DAG),
+- the benchmark harness (dependence statistics for reports), and
+- the test suite (oracles for the executor's three-way classification).
+
+Every read term falls in exactly one category, mirroring Figure 5's
+``check = iter(offset) - i`` trichotomy:
+
+- ``TRUE``  (``writer < reader``): true dependence — executor must wait.
+- ``INTRA`` (``writer == reader``): intra-iteration — read the accumulator.
+- ``ANTI``  (``writer > reader``): antidependence — read the old value.
+- ``NONE``  (element never written): read the old value.
+
+All functions are vectorized NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ir.loop import IrregularLoop
+
+__all__ = [
+    "CAT_TRUE",
+    "CAT_INTRA",
+    "CAT_ANTI",
+    "CAT_NONE",
+    "writer_map",
+    "classify_reads",
+    "dependence_pairs",
+    "is_doall",
+    "uniform_distance",
+    "summarize_dependences",
+    "DependenceSummary",
+]
+
+CAT_TRUE = 0
+CAT_INTRA = 1
+CAT_ANTI = 2
+CAT_NONE = 3
+
+
+def writer_map(loop: IrregularLoop) -> np.ndarray:
+    """For each element of ``y``: the iteration that writes it, or ``-1``.
+
+    This is the value-level analogue of the paper's ``iter`` array
+    (with ``-1`` in place of ``MAXINT``).
+    """
+    writers = np.full(loop.y_size, -1, dtype=np.int64)
+    writers[loop.write] = np.arange(loop.n, dtype=np.int64)
+    return writers
+
+
+def classify_reads(
+    loop: IrregularLoop,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Classify every flat read term.
+
+    Returns ``(readers, writers, categories)``, each of length
+    ``loop.reads.total_terms``:
+
+    - ``readers[k]`` — the iteration issuing term ``k``;
+    - ``writers[k]`` — the iteration writing the element term ``k`` reads
+      (``-1`` if unwritten);
+    - ``categories[k]`` — one of :data:`CAT_TRUE`, :data:`CAT_INTRA`,
+      :data:`CAT_ANTI`, :data:`CAT_NONE`.
+    """
+    readers = loop.reads.iteration_of_term()
+    writers = writer_map(loop)[loop.reads.index]
+    categories = np.full(len(readers), CAT_NONE, dtype=np.int8)
+    written = writers >= 0
+    categories[written & (writers < readers)] = CAT_TRUE
+    categories[written & (writers == readers)] = CAT_INTRA
+    categories[written & (writers > readers)] = CAT_ANTI
+    return readers, writers, categories
+
+
+def dependence_pairs(loop: IrregularLoop) -> np.ndarray:
+    """Unique true-dependence edges as an ``(m, 2)`` array of
+    ``(writer, reader)`` iteration pairs, lexicographically sorted."""
+    readers, writers, categories = classify_reads(loop)
+    mask = categories == CAT_TRUE
+    if not mask.any():
+        return np.empty((0, 2), dtype=np.int64)
+    pairs = np.stack([writers[mask], readers[mask]], axis=1)
+    return np.unique(pairs, axis=0)
+
+
+def is_doall(loop: IrregularLoop) -> bool:
+    """True when no cross-iteration true dependence exists.
+
+    Intra-iteration reads and antidependencies do not inhibit a doall once
+    writes are renamed into ``ynew`` — the paper's transformation does that
+    renaming anyway, so only true dependencies order iterations.
+    """
+    _, _, categories = classify_reads(loop)
+    return not np.any(categories == CAT_TRUE)
+
+
+def uniform_distance(loop: IrregularLoop) -> int | None:
+    """If every true dependence has one common distance ``d > 0``, return
+    ``d``; otherwise ``None``.
+
+    A uniform distance is what the *classic* doacross needs a priori; this
+    check is how the benchmark's classic baseline validates its eligibility.
+    Loops with no true dependencies also return ``None`` (they are doall).
+    """
+    pairs = dependence_pairs(loop)
+    if len(pairs) == 0:
+        return None
+    distances = pairs[:, 1] - pairs[:, 0]
+    d = int(distances[0])
+    if np.all(distances == d):
+        return d
+    return None
+
+
+@dataclass(frozen=True)
+class DependenceSummary:
+    """Dependence statistics for reports and shape checks."""
+
+    n: int
+    total_terms: int
+    true_terms: int
+    intra_terms: int
+    anti_terms: int
+    unwritten_terms: int
+    unique_true_edges: int
+    min_distance: int | None
+    max_distance: int | None
+    #: Iterations that are the target of at least one true dependence.
+    dependent_iterations: int
+
+    @property
+    def dependence_fraction(self) -> float:
+        """Fraction of iterations ordered after some other iteration."""
+        if self.n == 0:
+            return 0.0
+        return self.dependent_iterations / self.n
+
+
+def summarize_dependences(loop: IrregularLoop) -> DependenceSummary:
+    """Compute a :class:`DependenceSummary` for ``loop``."""
+    readers, writers, categories = classify_reads(loop)
+    true_mask = categories == CAT_TRUE
+    pairs = (
+        np.unique(
+            np.stack([writers[true_mask], readers[true_mask]], axis=1), axis=0
+        )
+        if true_mask.any()
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    if len(pairs):
+        distances = pairs[:, 1] - pairs[:, 0]
+        min_d, max_d = int(distances.min()), int(distances.max())
+        dependent = len(np.unique(pairs[:, 1]))
+    else:
+        min_d = max_d = None
+        dependent = 0
+    return DependenceSummary(
+        n=loop.n,
+        total_terms=len(categories),
+        true_terms=int(true_mask.sum()),
+        intra_terms=int((categories == CAT_INTRA).sum()),
+        anti_terms=int((categories == CAT_ANTI).sum()),
+        unwritten_terms=int((categories == CAT_NONE).sum()),
+        unique_true_edges=len(pairs),
+        min_distance=min_d,
+        max_distance=max_d,
+        dependent_iterations=dependent,
+    )

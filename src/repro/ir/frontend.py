@@ -1,0 +1,374 @@
+"""Loop front end: build an :class:`IrregularLoop` from loop *source*.
+
+The paper's flow starts "from a given loop" — source code whose subscripts
+reference runtime arrays.  :func:`loop_from_source` plays the front end:
+it parses a restricted Python-syntax loop nest with :mod:`ast`, validates
+its shape, binds the named arrays, and emits the normalized
+:class:`~repro.ir.loop.IrregularLoop` the rest of the system consumes.
+Affine write subscripts are *detected symbolically* (so the §2.3 linear
+variant stays available to parsed loops).
+
+Two templates are accepted (0-based, Python semantics throughout):
+
+**Uniform terms** (the Figure-4 shape)::
+
+    for i in range(N):
+        y[a[i]] = y[a[i]]              # optional; default: old value
+        for j in range(M):
+            y[a[i]] += val[j] * y[b[i] + nbrs[j]]
+
+**CSR terms** (the Figure-7 shape)::
+
+    for i in range(N):
+        y[i] = rhs[i]                  # external init
+        for k in range(ptr[i], ptr[i + 1]):
+            y[i] -= coeff[k] * y[index[k]]
+
+Expression grammar for subscripts/coefficients: integer constants, the
+loop variables ``i``/``j``/``k``, 1-D array references ``name[expr]``,
+unary minus, and ``+ - *`` combinations.  ``+=`` accumulates;
+``-=`` negates the coefficient.  Anything outside the templates raises
+:class:`~repro.errors.InvalidLoopError` with a pointed message.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import numpy as np
+
+from repro.errors import InvalidLoopError
+from repro.ir.accesses import ReadTable
+from repro.ir.loop import INIT_EXTERNAL, INIT_OLD_VALUE, IrregularLoop
+from repro.ir.subscript import AffineSubscript, IndirectSubscript
+
+__all__ = ["loop_from_source"]
+
+
+def _fail(msg: str, node: ast.AST | None = None) -> None:
+    where = f" (line {node.lineno})" if node is not None and hasattr(node, "lineno") else ""
+    raise InvalidLoopError(f"loop source: {msg}{where}")
+
+
+class _ExprEval(ast.NodeVisitor):
+    """Evaluate a restricted expression over vectorized loop variables.
+
+    ``env`` maps loop-variable names to NumPy arrays (broadcastable);
+    ``arrays`` maps array names to bound 1-D data.
+    """
+
+    def __init__(self, env: dict, arrays: dict):
+        self.env = env
+        self.arrays = arrays
+
+    def visit(self, node):  # noqa: D102 - dispatch
+        method = f"visit_{type(node).__name__}"
+        handler = getattr(self, method, None)
+        if handler is None:
+            _fail(
+                f"unsupported expression element {type(node).__name__}", node
+            )
+        return handler(node)
+
+    def visit_Constant(self, node: ast.Constant):
+        if not isinstance(node.value, (int, float)):
+            _fail(f"unsupported constant {node.value!r}", node)
+        return node.value
+
+    def visit_Name(self, node: ast.Name):
+        if node.id in self.env:
+            return self.env[node.id]
+        _fail(
+            f"name {node.id!r} is not a loop variable in scope "
+            f"({sorted(self.env)})",
+            node,
+        )
+
+    def visit_UnaryOp(self, node: ast.UnaryOp):
+        if not isinstance(node.op, ast.USub):
+            _fail("only unary minus is supported", node)
+        return -self.visit(node.operand)
+
+    def visit_BinOp(self, node: ast.BinOp):
+        left = self.visit(node.left)
+        right = self.visit(node.right)
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        _fail(f"unsupported operator {type(node.op).__name__}", node)
+
+    def visit_Subscript(self, node: ast.Subscript):
+        if not isinstance(node.value, ast.Name):
+            _fail("only simple name[expr] references are supported", node)
+        array_name = node.value.id
+        if array_name not in self.arrays:
+            _fail(
+                f"array {array_name!r} is not bound (bound: "
+                f"{sorted(self.arrays)})",
+                node,
+            )
+        index = self.visit(node.slice)
+        data = np.asarray(self.arrays[array_name])
+        if data.ndim != 1:
+            _fail(f"array {array_name!r} must be 1-D", node)
+        index = np.asarray(index)
+        if index.dtype.kind not in "iu":
+            index = index.astype(np.int64)
+        if index.size and (index.min() < 0 or index.max() >= len(data)):
+            _fail(
+                f"index into {array_name!r} out of range "
+                f"[{int(index.min())}, {int(index.max())}] for length "
+                f"{len(data)}",
+                node,
+            )
+        return data[index]
+
+
+def _range_args(node: ast.expr, what: str) -> list[ast.expr]:
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+        and not node.keywords
+        and 1 <= len(node.args) <= 2
+    ):
+        _fail(f"{what} must iterate over range(...) with 1 or 2 args", node)
+    return node.args
+
+
+def _match_y_ref(node: ast.expr) -> ast.expr:
+    """Require ``y[<expr>]`` and return the subscript expression."""
+    if not (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "y"
+    ):
+        _fail("expected a reference to y[...]", node)
+    return node.slice
+
+
+def _detect_affine(write_vec: np.ndarray) -> AffineSubscript | None:
+    """Symbolic-in-spirit affine detection: the front end checks whether
+    the write vector is exactly ``c·i + d`` and, if so, records the closed
+    form (what a compiler would know from the source text)."""
+    n = len(write_vec)
+    if n == 0:
+        return None
+    d = int(write_vec[0])
+    c = int(write_vec[1] - write_vec[0]) if n > 1 else 1
+    candidate = AffineSubscript(c, d)
+    if np.array_equal(candidate.materialize(n), write_vec):
+        return candidate
+    return None
+
+
+def loop_from_source(
+    source: str,
+    arrays: dict,
+    y0=None,
+    y_size: int | None = None,
+    name: str = "parsed-loop",
+) -> IrregularLoop:
+    """Parse restricted loop source into an :class:`IrregularLoop`.
+
+    Parameters
+    ----------
+    source:
+        The loop nest (see module docstring for the accepted templates).
+        ``N``/``M`` in the range headers may be integer literals or names
+        bound in ``arrays`` to Python ints.
+    arrays:
+        Name → data bindings: 1-D arrays for subscript/coefficient arrays,
+        plain ints for scalar bounds.
+    y0, y_size:
+        Initial contents / length of ``y`` (defaults: zeros / smallest
+        size covering every reference).
+    """
+    scalars = {
+        k: int(v) for k, v in arrays.items() if isinstance(v, (int, np.integer))
+    }
+    vectors = {
+        k: np.asarray(v)
+        for k, v in arrays.items()
+        if not isinstance(v, (int, np.integer))
+    }
+
+    def make_eval(loop_env: dict) -> _ExprEval:
+        # Scalar bindings are visible inside expressions alongside the
+        # loop variables.
+        return _ExprEval({**scalars, **loop_env}, vectors)
+
+    try:
+        tree = ast.parse(textwrap.dedent(source))
+    except SyntaxError as exc:
+        raise InvalidLoopError(f"loop source: {exc}") from exc
+    if len(tree.body) != 1 or not isinstance(tree.body[0], ast.For):
+        _fail("expected exactly one top-level 'for i in range(N):' loop")
+    outer = tree.body[0]
+    if not isinstance(outer.target, ast.Name):
+        _fail("outer loop variable must be a simple name", outer)
+    ivar = outer.target.id
+
+    def const_bound(node: ast.expr) -> int:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return -const_bound(node.operand)
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return node.value
+        if isinstance(node, ast.Name) and node.id in scalars:
+            return int(scalars[node.id])
+        _fail("loop bound must be an integer literal or a bound scalar", node)
+
+    outer_args = _range_args(outer.iter, "the outer loop")
+    if len(outer_args) != 1:
+        _fail("the outer loop must be range(N)", outer.iter)
+    n = const_bound(outer_args[0])
+    if n < 0:
+        _fail(f"negative iteration count {n}")
+    i_vec = np.arange(n, dtype=np.int64)
+
+    body = outer.body
+    if not 1 <= len(body) <= 2:
+        _fail("outer body must be [optional init assignment,] inner loop")
+
+    # ------------------------------------------------------------------
+    # Optional init statement: y[W] = <expr>
+    # ------------------------------------------------------------------
+    init_kind = INIT_OLD_VALUE
+    init_values = None
+    init_write_dump = None
+    inner = body[-1]
+    if len(body) == 2:
+        stmt = body[0]
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+            _fail("init statement must be a single assignment", stmt)
+        init_write = _match_y_ref(stmt.targets[0])
+        init_write_dump = ast.dump(init_write)
+        rhs = stmt.value
+        if (
+            isinstance(rhs, ast.Subscript)
+            and isinstance(rhs.value, ast.Name)
+            and rhs.value.id == "y"
+            and ast.dump(rhs.slice) == init_write_dump
+        ):
+            init_kind = INIT_OLD_VALUE
+        else:
+            init_kind = INIT_EXTERNAL
+            values = make_eval({ivar: i_vec}).visit(rhs)
+            init_values = np.broadcast_to(
+                np.asarray(values, dtype=np.float64), (n,)
+            ).copy()
+
+    # ------------------------------------------------------------------
+    # Inner loop: uniform (range(M)) or CSR (range(lo_expr, hi_expr))
+    # ------------------------------------------------------------------
+    if not isinstance(inner, ast.For) or not isinstance(
+        inner.target, ast.Name
+    ):
+        _fail("expected an inner 'for' loop over the terms", inner)
+    jvar = inner.target.id
+    if jvar == ivar:
+        _fail("inner loop variable must differ from the outer one", inner)
+    inner_args = _range_args(inner.iter, "the inner loop")
+    if len(inner.body) != 1 or not isinstance(inner.body[0], ast.AugAssign):
+        _fail(
+            "inner body must be exactly 'y[...] += coeff * y[...]' "
+            "(or -=)",
+            inner,
+        )
+    accum = inner.body[0]
+    write_expr = _match_y_ref(accum.target)
+    if init_write_dump is not None and ast.dump(write_expr) != init_write_dump:
+        _fail(
+            "init statement and accumulation write different y elements",
+            accum,
+        )
+    if isinstance(accum.op, ast.Add):
+        sign = 1.0
+    elif isinstance(accum.op, ast.Sub):
+        sign = -1.0
+    else:
+        _fail("accumulation must be += or -=", accum)
+    if not isinstance(accum.value, ast.BinOp) or not isinstance(
+        accum.value.op, ast.Mult
+    ):
+        _fail("accumulation must be 'coeff * y[...]'", accum)
+    coeff_expr = accum.value.left
+    read_expr = _match_y_ref(accum.value.right)
+
+    # Evaluate write subscript over i.
+    write_vec = np.broadcast_to(
+        np.asarray(
+            make_eval({ivar: i_vec}).visit(write_expr),
+            dtype=np.int64,
+        ),
+        (n,),
+    ).copy()
+
+    if len(inner_args) == 1:
+        # Uniform template: M terms per iteration.
+        m = const_bound(inner_args[0])
+        if m < 0:
+            _fail(f"negative term count {m}")
+        j_vec = np.arange(m, dtype=np.int64)
+        evaluator = make_eval({ivar: i_vec[:, None], jvar: j_vec[None, :]})
+        index_matrix = np.broadcast_to(
+            np.asarray(evaluator.visit(read_expr)), (n, m)
+        ).astype(np.int64)
+        coeff_matrix = sign * np.broadcast_to(
+            np.asarray(evaluator.visit(coeff_expr), dtype=np.float64), (n, m)
+        )
+        reads = ReadTable.from_uniform(index_matrix, coeff_matrix)
+    else:
+        # CSR template: k in range(lo[i], hi[i]).
+        bounds_eval = make_eval({ivar: i_vec})
+        lo = np.broadcast_to(
+            np.asarray(bounds_eval.visit(inner_args[0]), dtype=np.int64), (n,)
+        )
+        hi = np.broadcast_to(
+            np.asarray(bounds_eval.visit(inner_args[1]), dtype=np.int64), (n,)
+        )
+        if np.any(hi < lo):
+            _fail("inner range has hi < lo for some iteration")
+        counts = hi - lo
+        ptr = np.zeros(n + 1, dtype=np.int64)
+        ptr[1:] = np.cumsum(counts)
+        # Flat k values and their owning iteration.
+        k_flat = (
+            np.concatenate([np.arange(a, b) for a, b in zip(lo, hi)])
+            if n
+            else np.empty(0, dtype=np.int64)
+        ).astype(np.int64)
+        i_of_k = np.repeat(i_vec, counts)
+        evaluator = make_eval({ivar: i_of_k, jvar: k_flat})
+        total = len(k_flat)
+        index = np.broadcast_to(
+            np.asarray(evaluator.visit(read_expr)), (total,)
+        ).astype(np.int64)
+        coeff = sign * np.broadcast_to(
+            np.asarray(evaluator.visit(coeff_expr), dtype=np.float64),
+            (total,),
+        )
+        reads = ReadTable(ptr, index.copy(), coeff.copy())
+
+    if y_size is None:
+        hi_ref = int(write_vec.max()) if n else -1
+        if reads.total_terms:
+            hi_ref = max(hi_ref, int(reads.index.max()))
+        y_size = hi_ref + 1
+
+    affine = _detect_affine(write_vec)
+    subscript = affine if affine is not None else IndirectSubscript(write_vec)
+    return IrregularLoop(
+        n=n,
+        y_size=y_size,
+        write_subscript=subscript,
+        reads=reads,
+        init_kind=init_kind,
+        init_values=init_values,
+        y0=y0,
+        name=name,
+    )

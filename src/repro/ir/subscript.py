@@ -1,0 +1,145 @@
+"""First-class subscript functions.
+
+A subscript maps a loop index ``i`` to an array index.  The distinction that
+drives the whole paper is *what the compiler can know about it*:
+
+- :class:`AffineSubscript` — ``i ↦ c·i + d`` with ``c``, ``d`` known
+  symbolically.  The writer of element ``off`` is computable in closed form
+  (``(off − d)/c`` when divisible), which is exactly the §2.3 optimization
+  that eliminates the inspector and the ``iter`` array.
+- :class:`IndirectSubscript` — ``i ↦ a[i]`` for a runtime-filled integer
+  array ``a``; nothing is known until the values exist, so run-time
+  preprocessing is required.
+
+Both materialize to a NumPy index vector for execution; the affine form
+additionally supports the closed-form writer query and a small composition
+algebra used by the workload generators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidLoopError
+
+__all__ = ["Subscript", "AffineSubscript", "IndirectSubscript"]
+
+
+class Subscript:
+    """Abstract subscript function over iterations ``0..n-1``."""
+
+    #: True when the closed form is known to the "compiler" (enables the
+    #: linear-subscript transformation of paper §2.3).
+    statically_known = False
+
+    def materialize(self, n: int) -> np.ndarray:
+        """Index vector of length ``n`` (dtype ``int64``)."""
+        raise NotImplementedError
+
+    def is_injective(self, n: int) -> bool:
+        """Whether no two iterations in ``0..n-1`` map to the same index."""
+        values = self.materialize(n)
+        return len(np.unique(values)) == n
+
+
+class AffineSubscript(Subscript):
+    """The linear subscript ``i ↦ c·i + d``.
+
+    The paper's Figure-6 experiment uses ``a(i) = 2i`` (1-based); in our
+    0-based convention that is ``AffineSubscript(2, 2)`` over ``i = 0..N-1``
+    (see DESIGN.md §8).
+    """
+
+    statically_known = True
+
+    def __init__(self, c: int, d: int = 0):
+        self.c = int(c)
+        self.d = int(d)
+
+    def __call__(self, i: int) -> int:
+        return self.c * i + self.d
+
+    def materialize(self, n: int) -> np.ndarray:
+        return self.c * np.arange(n, dtype=np.int64) + self.d
+
+    def is_injective(self, n: int) -> bool:
+        return self.c != 0 or n <= 1
+
+    def writer_of(self, off: int, n: int) -> int:
+        """Closed-form inverse: which iteration writes element ``off``.
+
+        Returns the iteration index, or ``-1`` if no iteration in ``0..n-1``
+        writes ``off`` — the §2.3 test ``(off − d) mod c == 0``.
+        """
+        if self.c == 0:
+            # Constant subscript: only legal for n <= 1 loops.
+            return 0 if (off == self.d and n >= 1) else -1
+        q, r = divmod(off - self.d, self.c)
+        if r != 0 or not 0 <= q < n:
+            return -1
+        return int(q)
+
+    def writer_of_many(self, offs: np.ndarray, n: int) -> np.ndarray:
+        """Vectorized :meth:`writer_of` (``-1`` where unwritten)."""
+        offs = np.asarray(offs, dtype=np.int64)
+        if self.c == 0:
+            writers = np.where(offs == self.d, 0, -1).astype(np.int64)
+            return writers if n >= 1 else np.full_like(offs, -1)
+        q, r = np.divmod(offs - self.d, self.c)
+        ok = (r == 0) & (q >= 0) & (q < n)
+        return np.where(ok, q, -1).astype(np.int64)
+
+    def shifted(self, offset: int) -> "AffineSubscript":
+        """``i ↦ c·i + d + offset``."""
+        return AffineSubscript(self.c, self.d + offset)
+
+    def composed(self, inner: "AffineSubscript") -> "AffineSubscript":
+        """``self ∘ inner``: ``i ↦ c·(c'·i + d') + d``."""
+        return AffineSubscript(self.c * inner.c, self.c * inner.d + self.d)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AffineSubscript)
+            and self.c == other.c
+            and self.d == other.d
+        )
+
+    def __hash__(self) -> int:
+        return hash((AffineSubscript, self.c, self.d))
+
+    def __repr__(self) -> str:
+        return f"AffineSubscript({self.c}, {self.d})"
+
+
+class IndirectSubscript(Subscript):
+    """The runtime subscript ``i ↦ a[i]`` (paper Figure 1's ``a``/``b``).
+
+    The defining property: its values are *data*, invisible to compile-time
+    dependence analysis — which is why the preprocessed doacross exists.
+    """
+
+    statically_known = False
+
+    def __init__(self, values):
+        arr = np.ascontiguousarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            raise InvalidLoopError(
+                f"indirect subscript array must be 1-D, got shape {arr.shape}"
+            )
+        self.values = arr
+
+    def __call__(self, i: int) -> int:
+        return int(self.values[i])
+
+    def materialize(self, n: int) -> np.ndarray:
+        if n > len(self.values):
+            raise InvalidLoopError(
+                f"loop has {n} iterations but subscript array has only "
+                f"{len(self.values)} entries"
+            )
+        return self.values[:n]
+
+    def __repr__(self) -> str:
+        head = ", ".join(str(v) for v in self.values[:4])
+        tail = ", ..." if len(self.values) > 4 else ""
+        return f"IndirectSubscript([{head}{tail}] len={len(self.values)})"

@@ -1,0 +1,154 @@
+"""Strategy selection: the "symbolic transformation" step.
+
+The paper (§1) produces inspector and executor procedures by symbolic
+transformation at compile time.  This module plays that role: given an
+:class:`~repro.ir.loop.IrregularLoop` and the *static* knowledge embedded in
+its subscript objects, produce a :class:`TransformPlan` naming the cheapest
+sound strategy:
+
+1. ``doall`` — only when the caller *asserts* independence (the compiler
+   cannot prove it for runtime subscripts; the assertion models user
+   directives) or when a degenerate loop (no reads) makes it trivially true.
+2. ``classic`` — when the caller supplies an a-priori uniform dependence
+   distance (the classic doacross's prerequisite).
+3. ``linear`` — when the write subscript is statically affine: the §2.3
+   optimization removes the inspector and the ``iter`` array entirely.
+4. ``preprocessed`` — the general case: full inspector / executor /
+   postprocessor pipeline.
+
+Note the deliberate asymmetry with :mod:`repro.ir.analysis`: analysis looks
+at subscript *values* (available only at run time, used by doconsider and by
+tests); planning looks only at subscript *structure* (what a compiler sees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.loop import IrregularLoop
+from repro.ir.subscript import AffineSubscript
+
+__all__ = [
+    "STRATEGY_DOALL",
+    "STRATEGY_CLASSIC_DOACROSS",
+    "STRATEGY_LINEAR",
+    "STRATEGY_PREPROCESSED",
+    "TransformPlan",
+    "plan_transform",
+]
+
+STRATEGY_DOALL = "doall"
+STRATEGY_CLASSIC_DOACROSS = "classic"
+STRATEGY_LINEAR = "linear"
+STRATEGY_PREPROCESSED = "preprocessed"
+
+
+@dataclass(frozen=True)
+class TransformPlan:
+    """The compiler's decision for one loop.
+
+    Attributes
+    ----------
+    strategy:
+        One of the ``STRATEGY_*`` constants.
+    needs_inspector:
+        Whether a run-time preprocessing phase must build ``iter``.
+    needs_postprocess:
+        Whether a run-time reset/copy-back phase is required (any strategy
+        that renames writes into ``ynew`` needs it).
+    uniform_distance:
+        The a-priori dependence distance (classic strategy only).
+    reason:
+        Human-readable justification, surfaced in reports.
+    """
+
+    strategy: str
+    needs_inspector: bool
+    needs_postprocess: bool
+    uniform_distance: int | None = None
+    reason: str = ""
+
+    def describe(self) -> str:
+        phases = []
+        if self.needs_inspector:
+            phases.append("inspector")
+        phases.append("executor")
+        if self.needs_postprocess:
+            phases.append("postprocessor")
+        return f"{self.strategy} ({' + '.join(phases)}): {self.reason}"
+
+
+def plan_transform(
+    loop: IrregularLoop,
+    assert_independent: bool = False,
+    known_distance: int | None = None,
+) -> TransformPlan:
+    """Select the transformation strategy for ``loop``.
+
+    Parameters
+    ----------
+    assert_independent:
+        Caller-supplied guarantee that no cross-iteration true dependence
+        exists (models a user doall directive).  **Unchecked by design** —
+        the point of the paper is that the compiler cannot check it; the
+        doall runner re-validates at run time in debug mode.
+    known_distance:
+        Caller-supplied uniform dependence distance for the classic
+        doacross baseline.
+    """
+    if assert_independent and known_distance is not None:
+        raise ValueError(
+            "assert_independent and known_distance are mutually exclusive"
+        )
+
+    if loop.reads.total_terms == 0 or assert_independent:
+        reason = (
+            "loop has no read terms"
+            if loop.reads.total_terms == 0
+            else "caller asserts iteration independence"
+        )
+        return TransformPlan(
+            strategy=STRATEGY_DOALL,
+            needs_inspector=False,
+            # A doall still renames writes when init reads old y values could
+            # alias later writes; with independence asserted, writes can go
+            # straight to y, so no copy-back either.
+            needs_postprocess=False,
+            reason=reason,
+        )
+
+    if known_distance is not None:
+        if known_distance < 1:
+            raise ValueError(
+                f"classic doacross distance must be >= 1, got {known_distance}"
+            )
+        return TransformPlan(
+            strategy=STRATEGY_CLASSIC_DOACROSS,
+            needs_inspector=False,
+            needs_postprocess=False,
+            uniform_distance=known_distance,
+            reason=f"caller supplies a-priori dependence distance {known_distance}",
+        )
+
+    if isinstance(loop.write_subscript, AffineSubscript):
+        sub = loop.write_subscript
+        return TransformPlan(
+            strategy=STRATEGY_LINEAR,
+            needs_inspector=False,
+            needs_postprocess=True,
+            reason=(
+                f"write subscript is affine (c={sub.c}, d={sub.d}); writer of "
+                f"off is (off-d)/c when (off-d) mod c == 0, so no iter array "
+                f"is needed (paper §2.3)"
+            ),
+        )
+
+    return TransformPlan(
+        strategy=STRATEGY_PREPROCESSED,
+        needs_inspector=True,
+        needs_postprocess=True,
+        reason=(
+            "write subscript is runtime data; full preprocessed doacross "
+            "(inspector builds iter, postprocessor resets it)"
+        ),
+    )

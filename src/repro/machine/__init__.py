@@ -1,0 +1,59 @@
+"""Discrete-event simulation of a shared-memory multiprocessor.
+
+This subpackage is the substitute for the paper's Encore Multimax/320 (see
+DESIGN.md §3): a deterministic, cycle-accurate-enough model of ``P``
+processors sharing a flat memory, busy-wait synchronization flags, and a
+serialized self-scheduling dispatch counter.
+
+The pieces:
+
+- :mod:`repro.machine.ops` — the operation vocabulary processor tasks yield.
+- :mod:`repro.machine.costs` — :class:`CostModel`, all per-operation cycle
+  constants (calibration documented in DESIGN.md §7).
+- :mod:`repro.machine.engine` — :class:`Engine`, the cooperative scheduler
+  that advances processor tasks in strict global-time order.
+- :mod:`repro.machine.flags` — busy-wait flag store.
+- :mod:`repro.machine.resource` — serially-reusable resources (dispatch
+  counter, optional shared bus).
+- :mod:`repro.machine.scheduler` — iteration-to-processor schedules.
+- :mod:`repro.machine.stats` — per-phase and per-run statistics.
+"""
+
+from repro.machine.costs import CostModel, WorkProfile
+from repro.machine.engine import Engine, Machine
+from repro.machine.flags import FlagStore
+from repro.machine.ops import Compute, SetFlag, UseResource, WaitFlag
+from repro.machine.resource import SerialResource
+from repro.machine.scheduler import (
+    DynamicSchedule,
+    GuidedSchedule,
+    IterationSchedule,
+    StaticBlockSchedule,
+    StaticCyclicSchedule,
+    make_schedule,
+)
+from repro.machine.stats import PhaseStats, ProcessorStats
+from repro.machine.trace import Segment, Tracer
+
+__all__ = [
+    "CostModel",
+    "WorkProfile",
+    "Engine",
+    "Machine",
+    "FlagStore",
+    "Compute",
+    "WaitFlag",
+    "SetFlag",
+    "UseResource",
+    "SerialResource",
+    "IterationSchedule",
+    "StaticBlockSchedule",
+    "StaticCyclicSchedule",
+    "DynamicSchedule",
+    "GuidedSchedule",
+    "make_schedule",
+    "PhaseStats",
+    "ProcessorStats",
+    "Tracer",
+    "Segment",
+]

@@ -1,0 +1,49 @@
+"""Deterministic ready-queue for the discrete-event engine.
+
+The engine must always advance the *globally earliest* runnable processor so
+that shared interactions (flag sets, resource grants, dynamic chunk claims)
+happen in causal order.  :class:`ReadyQueue` is a binary heap of
+``(time, sequence, processor)`` entries; the monotone sequence number breaks
+ties deterministically (earlier-pushed entries first), which makes every
+simulation bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+__all__ = ["ReadyQueue"]
+
+
+class ReadyQueue:
+    """Min-heap of runnable processors keyed by local time.
+
+    Invariant maintained by the engine: each processor has at most one entry
+    in the queue (it is either running, queued once, parked on a flag, or
+    finished).
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, int]] = []
+        self._seq = 0
+
+    def push(self, time: int, proc: int) -> None:
+        heapq.heappush(self._heap, (time, self._seq, proc))
+        self._seq += 1
+
+    def pop(self) -> tuple[int, int]:
+        """Remove and return ``(time, proc)`` for the earliest entry."""
+        time, _, proc = heapq.heappop(self._heap)
+        return time, proc
+
+    def peek_time(self) -> int:
+        """Earliest queued time; raises ``IndexError`` when empty."""
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

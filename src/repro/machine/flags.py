@@ -1,0 +1,87 @@
+"""Simulated busy-wait synchronization flags.
+
+Models the paper's ``ready`` array: one flag per shared array element, each
+either *unset* (``NOTDONE``) or set at a known simulated time (``DONE``).
+Processors that issue a :class:`~repro.machine.ops.WaitFlag` on an unset flag
+are parked by the engine and recorded here as waiters; when the flag is set
+the engine resumes them at the set time.
+
+Flags can be :meth:`reset` between loop invocations — the simulated analogue
+of the paper's postprocessing phase making ``ready`` reusable (the *cost* of
+that reset is charged by the postprocessor phase itself; ``reset`` here only
+restores simulator state).
+"""
+
+from __future__ import annotations
+
+__all__ = ["UNSET", "FlagStore"]
+
+#: Sentinel set-time meaning "flag not set".
+UNSET = -1
+
+
+class FlagStore:
+    """A dense store of ``size`` busy-wait flags.
+
+    Attributes
+    ----------
+    set_time:
+        ``set_time[f]`` is the simulated cycle at which flag ``f`` was set,
+        or :data:`UNSET`.
+    waiters:
+        ``waiters[f]`` is the list of processor ids currently parked on flag
+        ``f`` (present only while non-empty).
+    """
+
+    __slots__ = ("size", "set_time", "waiters", "total_sets")
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise ValueError(f"flag store size must be >= 0, got {size}")
+        self.size = size
+        self.set_time: list[int] = [UNSET] * size
+        self.waiters: dict[int, list[int]] = {}
+        self.total_sets = 0
+
+    def is_set(self, flag: int) -> bool:
+        return self.set_time[flag] != UNSET
+
+    def set(self, flag: int, time: int) -> list[int]:
+        """Set ``flag`` at ``time``; return the processors to wake.
+
+        Setting an already-set flag is rejected: in the paper's protocol
+        every element is written by exactly one iteration (no output
+        dependencies), so a double set indicates a transformation bug.
+        """
+        if self.set_time[flag] != UNSET:
+            raise ValueError(
+                f"flag {flag} set twice (first at t={self.set_time[flag]}, "
+                f"again at t={time}); write subscript not injective?"
+            )
+        self.set_time[flag] = time
+        self.total_sets += 1
+        return self.waiters.pop(flag, [])
+
+    def park(self, flag: int, proc: int) -> None:
+        """Record ``proc`` as busy-waiting on unset ``flag``."""
+        self.waiters.setdefault(flag, []).append(proc)
+
+    def reset(self) -> None:
+        """Clear all flags for reuse by a subsequent loop invocation.
+
+        Raises if any processor is still parked — resetting under waiters
+        would lose wake-ups and deadlock the simulation.
+        """
+        if self.waiters:
+            raise ValueError(
+                f"cannot reset flag store with parked waiters: {self.waiters}"
+            )
+        self.set_time = [UNSET] * self.size
+
+    def parked_processors(self) -> dict[int, int]:
+        """Map of parked processor id → flag it waits on (for diagnostics)."""
+        out: dict[int, int] = {}
+        for flag, procs in self.waiters.items():
+            for p in procs:
+                out[p] = flag
+        return out

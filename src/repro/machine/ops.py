@@ -1,0 +1,106 @@
+"""Operation vocabulary for simulated processor tasks.
+
+A *task* is a Python generator that yields these operation objects; the
+:class:`~repro.machine.engine.Engine` interprets each one, advancing the
+issuing processor's local clock.  The vocabulary is deliberately tiny — it is
+exactly what the paper's transformed loops need:
+
+- :class:`Compute` — spend cycles doing local work (arithmetic, private
+  loads/stores).  Cost aggregation is the caller's job: a whole iteration
+  body's arithmetic is typically charged as one ``Compute``.
+- :class:`WaitFlag` — busy-wait until a shared flag is set (the paper's
+  ``while (ready(off) .ne. DONE)`` loop, Figure 5 statement S4).  The
+  processor is *occupied* while waiting: it cannot pick up other work, and
+  the wasted cycles are accounted as ``wait_cycles``.
+- :class:`SetFlag` — set a shared flag (Figure 5's ``ready(a(i)) = DONE``).
+- :class:`UseResource` — occupy a serially-reusable resource for a number of
+  cycles (the self-scheduling fetch-and-add counter, or the optional shared
+  memory bus).  Requests are granted in global simulated-time order.
+
+Each op class carries an integer ``kind`` used for fast dispatch in the
+engine's inner loop.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "OP_COMPUTE",
+    "OP_WAIT_FLAG",
+    "OP_SET_FLAG",
+    "OP_USE_RESOURCE",
+    "Compute",
+    "WaitFlag",
+    "SetFlag",
+    "UseResource",
+]
+
+OP_COMPUTE = 0
+OP_WAIT_FLAG = 1
+OP_SET_FLAG = 2
+OP_USE_RESOURCE = 3
+
+
+class Compute:
+    """Spend ``cycles`` cycles of local computation."""
+
+    __slots__ = ("cycles",)
+    kind = OP_COMPUTE
+
+    def __init__(self, cycles: int):
+        if cycles < 0:
+            raise ValueError(f"Compute cycles must be >= 0, got {cycles}")
+        self.cycles = cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Compute({self.cycles})"
+
+
+class WaitFlag:
+    """Busy-wait until flag ``flag`` is set.
+
+    If the flag is already set when the wait is issued, only the flag-check
+    cost is charged.  Otherwise the processor spins until the flag's set
+    time; the difference is accounted as busy-wait cycles.
+    """
+
+    __slots__ = ("flag",)
+    kind = OP_WAIT_FLAG
+
+    def __init__(self, flag: int):
+        self.flag = flag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WaitFlag({self.flag})"
+
+
+class SetFlag:
+    """Set flag ``flag``, waking any processors busy-waiting on it."""
+
+    __slots__ = ("flag",)
+    kind = OP_SET_FLAG
+
+    def __init__(self, flag: int):
+        self.flag = flag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SetFlag({self.flag})"
+
+
+class UseResource:
+    """Acquire serially-reusable resource ``resource`` for ``hold`` cycles.
+
+    The engine grants requests in global-time order; time spent queued is
+    accounted as ``resource_wait_cycles`` on the issuing processor.
+    """
+
+    __slots__ = ("resource", "hold")
+    kind = OP_USE_RESOURCE
+
+    def __init__(self, resource: int, hold: int):
+        if hold < 0:
+            raise ValueError(f"UseResource hold must be >= 0, got {hold}")
+        self.resource = resource
+        self.hold = hold
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UseResource({self.resource}, hold={self.hold})"

@@ -1,0 +1,79 @@
+"""Serially-reusable resources for the simulated machine.
+
+Two things in the modeled system serialize concurrent processors:
+
+- the **self-scheduling counter** — the shared fetch-and-add variable that
+  dynamic schedules use to hand out iteration chunks; only one processor can
+  update it per ``dispatch`` window, and
+
+- the optional **memory bus** — when bus modeling is enabled every shared
+  access also occupies the bus briefly, so heavy sharing shows up as queueing
+  delay (ablation E in DESIGN.md §5).
+
+Both are modeled by :class:`SerialResource`: a single-server FCFS queue in
+simulated time.  Because the engine advances processors in strict global-time
+order, granting each request at ``max(now, free_at)`` realizes exact
+first-come-first-served service.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SerialResource"]
+
+
+class SerialResource:
+    """A single-server FCFS resource.
+
+    Attributes
+    ----------
+    free_at:
+        Earliest simulated time at which the next request can be granted.
+    busy_cycles:
+        Total cycles the resource has been held (utilization numerator).
+    queue_cycles:
+        Total cycles requesters spent waiting for a grant.
+    grants:
+        Number of completed acquisitions.
+    """
+
+    __slots__ = ("name", "free_at", "busy_cycles", "queue_cycles", "grants")
+
+    def __init__(self, name: str = "resource"):
+        self.name = name
+        self.free_at = 0
+        self.busy_cycles = 0
+        self.queue_cycles = 0
+        self.grants = 0
+
+    def acquire(self, now: int, hold: int) -> tuple[int, int]:
+        """Grant the resource to a requester arriving at ``now``.
+
+        Returns ``(release_time, queued_cycles)``: the requester resumes at
+        ``release_time`` and spent ``queued_cycles`` waiting in line.
+        """
+        start = self.free_at if self.free_at > now else now
+        release = start + hold
+        self.free_at = release
+        self.busy_cycles += hold
+        queued = start - now
+        self.queue_cycles += queued
+        self.grants += 1
+        return release, queued
+
+    def utilization(self, span: int) -> float:
+        """Fraction of ``span`` cycles the resource was held."""
+        if span <= 0:
+            return 0.0
+        return self.busy_cycles / span
+
+    def reset(self) -> None:
+        self.free_at = 0
+        self.busy_cycles = 0
+        self.queue_cycles = 0
+        self.grants = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SerialResource({self.name!r}, free_at={self.free_at}, "
+            f"grants={self.grants}, busy={self.busy_cycles})"
+        )

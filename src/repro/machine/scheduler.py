@@ -1,0 +1,213 @@
+"""Iteration-to-processor scheduling policies.
+
+The paper's parallel loops hand iterations to processors either statically or
+via *self-scheduling* (a shared fetch-and-add counter).  This module provides
+both families plus a guided variant, behind one small interface used by the
+backends:
+
+- static schedules precompute each processor's chunk list
+  (:meth:`IterationSchedule.chunks_for`);
+- dynamic schedules hand out chunks on demand (:meth:`IterationSchedule.claim`)
+  in the order processors reach the dispatch counter — the engine's strict
+  global-time ordering makes the claim order causally correct.
+
+All policies share one crucial property, verified by tests: **every
+processor receives its iterations in increasing position order**.  Together
+with the doacross invariant that dependencies point backward in execution
+order, this guarantees the busy-wait executor cannot deadlock (the smallest
+unfinished iteration is always currently executable — see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScheduleError
+
+__all__ = [
+    "IterationSchedule",
+    "StaticBlockSchedule",
+    "StaticCyclicSchedule",
+    "DynamicSchedule",
+    "GuidedSchedule",
+    "make_schedule",
+]
+
+
+class IterationSchedule:
+    """Base class: a policy for distributing ``n`` iterations over ``p``
+    processors.
+
+    Subclasses set :attr:`is_dynamic` and implement either
+    :meth:`chunks_for` (static) or :meth:`claim` (dynamic).
+    """
+
+    is_dynamic = False
+
+    def __init__(self, n: int, processors: int):
+        if n < 0:
+            raise ScheduleError(f"iteration count must be >= 0, got {n}")
+        if processors < 1:
+            raise ScheduleError(f"processor count must be >= 1, got {processors}")
+        self.n = n
+        self.processors = processors
+
+    def chunks_for(self, proc: int) -> list[tuple[int, int]]:
+        """Static chunk list ``[(start, stop), ...]`` for ``proc``."""
+        raise NotImplementedError
+
+    def claim(self) -> tuple[int, int] | None:
+        """Dynamically claim the next chunk, or ``None`` when exhausted."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore a dynamic schedule for reuse (static schedules: no-op)."""
+
+    # ------------------------------------------------------------------
+    def validate_partition(self) -> None:
+        """Check that a *static* schedule covers 0..n exactly once.
+
+        Raises :class:`ScheduleError` on overlap or gap.  Dynamic schedules
+        are validated by construction (a single monotone counter).
+        """
+        if self.is_dynamic:
+            return
+        seen = [False] * self.n
+        for proc in range(self.processors):
+            prev_stop = -1
+            for start, stop in self.chunks_for(proc):
+                if not (0 <= start <= stop <= self.n):
+                    raise ScheduleError(
+                        f"chunk ({start}, {stop}) out of range for n={self.n}"
+                    )
+                if start < prev_stop:
+                    raise ScheduleError(
+                        f"processor {proc} receives iterations out of order"
+                    )
+                prev_stop = stop
+                for i in range(start, stop):
+                    if seen[i]:
+                        raise ScheduleError(f"iteration {i} assigned twice")
+                    seen[i] = True
+        missing = [i for i, s in enumerate(seen) if not s]
+        if missing:
+            raise ScheduleError(
+                f"{len(missing)} iteration(s) unassigned, first: {missing[0]}"
+            )
+
+
+class StaticBlockSchedule(IterationSchedule):
+    """Contiguous blocks: processor ``p`` gets iterations
+    ``[p*ceil(n/P), ...)`` (the classic ``parallel do`` blocking of the
+    paper's Figure-3 pre/postprocessing loops)."""
+
+    def chunks_for(self, proc: int) -> list[tuple[int, int]]:
+        if not 0 <= proc < self.processors:
+            raise ScheduleError(f"no processor {proc} (P={self.processors})")
+        # Balanced blocks: first (n % P) processors get one extra iteration.
+        base, extra = divmod(self.n, self.processors)
+        start = proc * base + min(proc, extra)
+        stop = start + base + (1 if proc < extra else 0)
+        if start == stop:
+            return []
+        return [(start, stop)]
+
+
+class StaticCyclicSchedule(IterationSchedule):
+    """Chunked round-robin: chunk ``k`` (of ``chunk`` iterations) goes to
+    processor ``k mod P``."""
+
+    def __init__(self, n: int, processors: int, chunk: int = 1):
+        super().__init__(n, processors)
+        if chunk < 1:
+            raise ScheduleError(f"chunk must be >= 1, got {chunk}")
+        self.chunk = chunk
+
+    def chunks_for(self, proc: int) -> list[tuple[int, int]]:
+        if not 0 <= proc < self.processors:
+            raise ScheduleError(f"no processor {proc} (P={self.processors})")
+        out = []
+        stride = self.chunk * self.processors
+        start = proc * self.chunk
+        while start < self.n:
+            out.append((start, min(start + self.chunk, self.n)))
+            start += stride
+        return out
+
+
+class DynamicSchedule(IterationSchedule):
+    """Self-scheduling via a shared counter, ``chunk`` iterations per grab.
+
+    This is the paper's default executor schedule: each grab models a
+    fetch-and-add on a shared variable, serialized through the machine's
+    dispatch resource (the backend charges ``cost_model.dispatch`` per
+    claim)."""
+
+    is_dynamic = True
+
+    def __init__(self, n: int, processors: int, chunk: int = 4):
+        super().__init__(n, processors)
+        if chunk < 1:
+            raise ScheduleError(f"chunk must be >= 1, got {chunk}")
+        self.chunk = chunk
+        self._next = 0
+
+    def claim(self) -> tuple[int, int] | None:
+        if self._next >= self.n:
+            return None
+        start = self._next
+        stop = min(start + self.chunk, self.n)
+        self._next = stop
+        return start, stop
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class GuidedSchedule(IterationSchedule):
+    """Guided self-scheduling: chunk size decays with remaining work,
+    ``max(min_chunk, ceil(remaining / (2 P)))``.
+
+    Large early chunks amortize dispatch cost; small late chunks balance the
+    tail.  Included as an ablation point (DESIGN.md §5, Abl. A)."""
+
+    is_dynamic = True
+
+    def __init__(self, n: int, processors: int, min_chunk: int = 1):
+        super().__init__(n, processors)
+        if min_chunk < 1:
+            raise ScheduleError(f"min_chunk must be >= 1, got {min_chunk}")
+        self.min_chunk = min_chunk
+        self._next = 0
+
+    def claim(self) -> tuple[int, int] | None:
+        if self._next >= self.n:
+            return None
+        remaining = self.n - self._next
+        size = -(-remaining // (2 * self.processors))  # ceil division
+        if size < self.min_chunk:
+            size = self.min_chunk
+        start = self._next
+        stop = min(start + size, self.n)
+        self._next = stop
+        return start, stop
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+def make_schedule(
+    kind: str, n: int, processors: int, chunk: int = 4
+) -> IterationSchedule:
+    """Factory: ``kind`` is one of ``"block"``, ``"cyclic"``, ``"dynamic"``,
+    ``"guided"``.  ``chunk`` is the cyclic/dynamic chunk size or the guided
+    minimum chunk."""
+    if kind == "block":
+        return StaticBlockSchedule(n, processors)
+    if kind == "cyclic":
+        return StaticCyclicSchedule(n, processors, chunk=chunk)
+    if kind == "dynamic":
+        return DynamicSchedule(n, processors, chunk=chunk)
+    if kind == "guided":
+        return GuidedSchedule(n, processors, min_chunk=chunk)
+    raise ScheduleError(
+        f"unknown schedule kind {kind!r}; expected block/cyclic/dynamic/guided"
+    )

@@ -1,0 +1,108 @@
+"""Coordinate-format matrix builder.
+
+The operator generators (stencils, block operators) emit entries in
+coordinate form; :class:`COOBuilder` accumulates them and converts to CSR
+with duplicate summing, fully vectorized (sort by ``(row, col)``,
+``np.add.reduceat`` over runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+
+__all__ = ["COOBuilder"]
+
+
+class COOBuilder:
+    """Accumulates ``(row, col, value)`` triples for one matrix."""
+
+    def __init__(self, n_rows: int, n_cols: int | None = None):
+        if n_rows < 0:
+            raise MatrixFormatError(f"n_rows must be >= 0, got {n_rows}")
+        self.n_rows = n_rows
+        self.n_cols = n_rows if n_cols is None else n_cols
+        if self.n_cols < 0:
+            raise MatrixFormatError(f"n_cols must be >= 0, got {self.n_cols}")
+        self._rows: list[np.ndarray] = []
+        self._cols: list[np.ndarray] = []
+        self._vals: list[np.ndarray] = []
+
+    def add(self, row: int, col: int, value: float) -> None:
+        """Add a single entry."""
+        self.add_batch([row], [col], [value])
+
+    def add_batch(self, rows, cols, values) -> None:
+        """Add arrays of entries (the fast path for generators)."""
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        cols = np.asarray(cols, dtype=np.int64).reshape(-1)
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if not (len(rows) == len(cols) == len(values)):
+            raise MatrixFormatError(
+                f"batch length mismatch: {len(rows)}, {len(cols)}, "
+                f"{len(values)}"
+            )
+        if len(rows) == 0:
+            return
+        if rows.min() < 0 or rows.max() >= self.n_rows:
+            raise MatrixFormatError(
+                f"row index out of range [0, {self.n_rows})"
+            )
+        if cols.min() < 0 or cols.max() >= self.n_cols:
+            raise MatrixFormatError(
+                f"col index out of range [0, {self.n_cols})"
+            )
+        self._rows.append(rows)
+        self._cols.append(cols)
+        self._vals.append(values)
+
+    def add_block(self, row0: int, col0: int, block: np.ndarray) -> None:
+        """Add a dense block with top-left corner at ``(row0, col0)``."""
+        block = np.asarray(block, dtype=np.float64)
+        if block.ndim != 2:
+            raise MatrixFormatError("block must be 2-D")
+        b_r, b_c = block.shape
+        rr, cc = np.meshgrid(
+            np.arange(row0, row0 + b_r),
+            np.arange(col0, col0 + b_c),
+            indexing="ij",
+        )
+        self.add_batch(rr.reshape(-1), cc.reshape(-1), block.reshape(-1))
+
+    @property
+    def entry_count(self) -> int:
+        """Entries added so far (before duplicate summing)."""
+        return sum(len(r) for r in self._rows)
+
+    def to_csr(self):
+        """Convert to :class:`~repro.sparse.csr.CSRMatrix`, summing
+        duplicate coordinates.  Exact zeros produced by cancellation are
+        kept (pattern stability matters for ILU(0))."""
+        from repro.sparse.csr import CSRMatrix
+
+        if not self._rows:
+            return CSRMatrix(
+                self.n_rows,
+                self.n_cols,
+                np.zeros(self.n_rows + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        rows = np.concatenate(self._rows)
+        cols = np.concatenate(self._cols)
+        vals = np.concatenate(self._vals)
+
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        # Runs of identical (row, col) collapse into one summed entry.
+        new_run = np.empty(len(rows), dtype=bool)
+        new_run[0] = True
+        new_run[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+        starts = np.nonzero(new_run)[0]
+        summed = np.add.reduceat(vals, starts)
+        rows, cols = rows[starts], cols[starts]
+
+        indptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(np.bincount(rows, minlength=self.n_rows))
+        return CSRMatrix(self.n_rows, self.n_cols, indptr, cols, summed)

@@ -1,0 +1,231 @@
+"""Compressed-sparse-row matrix.
+
+A deliberately small, self-contained CSR implementation — the substrate the
+Figure-7 triangular-solve loop walks (``low(i)``/``high(i)`` are exactly
+``indptr[i]``/``indptr[i+1]``, ``column(j)`` is ``indices[j]``, ``a(j)`` is
+``data[j]``).  Column indices within each row are kept sorted; duplicate
+summing happens at construction (:class:`~repro.sparse.coo.COOBuilder`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """CSR matrix with sorted, duplicate-free rows."""
+
+    __slots__ = ("n_rows", "n_cols", "indptr", "indices", "data")
+
+    def __init__(self, n_rows: int, n_cols: int, indptr, indices, data):
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self._validate()
+
+    def _validate(self) -> None:
+        if len(self.indptr) != self.n_rows + 1:
+            raise MatrixFormatError(
+                f"indptr length {len(self.indptr)} != n_rows+1 = "
+                f"{self.n_rows + 1}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise MatrixFormatError("indptr endpoints inconsistent with nnz")
+        if len(self.indices) != len(self.data):
+            raise MatrixFormatError("indices/data length mismatch")
+        if len(self.indptr) > 1 and np.any(np.diff(self.indptr) < 0):
+            raise MatrixFormatError("indptr must be non-decreasing")
+        if len(self.indices):
+            if self.indices.min() < 0 or self.indices.max() >= self.n_cols:
+                raise MatrixFormatError("column index out of range")
+        # Sorted, duplicate-free rows.
+        for i in range(self.n_rows):
+            row = self.indices[self.indptr[i] : self.indptr[i + 1]]
+            if len(row) > 1 and np.any(np.diff(row) <= 0):
+                raise MatrixFormatError(
+                    f"row {i} has unsorted or duplicate column indices"
+                )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense) -> "CSRMatrix":
+        """Build from a dense array, dropping exact zeros."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise MatrixFormatError("dense input must be 2-D")
+        rows, cols = np.nonzero(dense)
+        n_rows, n_cols = dense.shape
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(np.bincount(rows, minlength=n_rows))
+        return cls(n_rows, n_cols, indptr, cols, dense[rows, cols])
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(columns, values)`` views of row ``i``."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def row_nnz(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def get(self, i: int, j: int) -> float:
+        """Entry ``(i, j)`` (0.0 when outside the pattern)."""
+        cols, vals = self.row(i)
+        k = np.searchsorted(cols, j)
+        if k < len(cols) and cols[k] == j:
+            return float(vals[k])
+        return 0.0
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float64)
+        for i in range(self.n_rows):
+            cols, vals = self.row(i)
+            out[i, cols] = vals
+        return out
+
+    def matvec(self, x) -> np.ndarray:
+        """``A @ x``, computed segment-wise (vectorized)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.n_cols,):
+            raise MatrixFormatError(
+                f"matvec expects shape ({self.n_cols},), got {x.shape}"
+            )
+        products = self.data * x[self.indices]
+        out = np.zeros(self.n_rows, dtype=np.float64)
+        if len(products):
+            row_of = np.repeat(
+                np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr)
+            )
+            np.add.at(out, row_of, products)
+        return out
+
+    def diagonal(self) -> np.ndarray:
+        """The main diagonal (zeros where outside the pattern)."""
+        out = np.zeros(min(self.n_rows, self.n_cols), dtype=np.float64)
+        for i in range(len(out)):
+            out[i] = self.get(i, i)
+        return out
+
+    # ------------------------------------------------------------------
+    def _filtered(self, keep_mask: np.ndarray) -> "CSRMatrix":
+        """New matrix keeping only the flagged entries."""
+        new_counts = np.zeros(self.n_rows, dtype=np.int64)
+        if len(keep_mask):
+            row_of = np.repeat(
+                np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr)
+            )
+            np.add.at(new_counts, row_of[keep_mask], 1)
+        indptr = np.zeros(self.n_rows + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(new_counts)
+        return CSRMatrix(
+            self.n_rows,
+            self.n_cols,
+            indptr,
+            self.indices[keep_mask],
+            self.data[keep_mask],
+        )
+
+    def lower_triangle(self, unit: bool = False) -> "CSRMatrix":
+        """The lower triangle (diagonal included).
+
+        ``unit=True`` replaces the diagonal values with exact ones — the
+        form the Figure-7 unit-lower solve consumes.
+        """
+        row_of = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr)
+        )
+        keep = self.indices <= row_of
+        out = self._filtered(keep)
+        if unit:
+            for i in range(out.n_rows):
+                cols, _ = out.row(i)
+                lo = out.indptr[i]
+                k = np.searchsorted(cols, i)
+                if k < len(cols) and cols[k] == i:
+                    out.data[lo + k] = 1.0
+                else:
+                    raise MatrixFormatError(
+                        f"row {i} has no diagonal entry; cannot unit-scale"
+                    )
+        return out
+
+    def strict_lower_triangle(self) -> "CSRMatrix":
+        row_of = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr)
+        )
+        return self._filtered(self.indices < row_of)
+
+    def upper_triangle(self) -> "CSRMatrix":
+        row_of = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr)
+        )
+        return self._filtered(self.indices >= row_of)
+
+    def transpose(self) -> "CSRMatrix":
+        """CSR transpose (CSC reinterpretation + re-bucketing)."""
+        if self.nnz == 0:
+            return CSRMatrix(
+                self.n_cols,
+                self.n_rows,
+                np.zeros(self.n_cols + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        row_of = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr)
+        )
+        order = np.lexsort((row_of, self.indices))
+        new_rows = self.indices[order]
+        indptr = np.zeros(self.n_cols + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(np.bincount(new_rows, minlength=self.n_cols))
+        return CSRMatrix(
+            self.n_cols, self.n_rows, indptr, row_of[order], self.data[order]
+        )
+
+    def permuted(self, perm) -> "CSRMatrix":
+        """Symmetric permutation ``P A Pᵀ``: new row/col ``k`` is old
+        ``perm[k]``.  Requires a square matrix."""
+        if self.n_rows != self.n_cols:
+            raise MatrixFormatError("symmetric permutation needs square A")
+        perm = np.asarray(perm, dtype=np.int64)
+        if sorted(perm.tolist()) != list(range(self.n_rows)):
+            raise MatrixFormatError("perm is not a permutation of 0..n-1")
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(self.n_rows, dtype=np.int64)
+
+        from repro.sparse.coo import COOBuilder
+
+        builder = COOBuilder(self.n_rows, self.n_cols)
+        row_of = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), np.diff(self.indptr)
+        )
+        builder.add_batch(inv[row_of], inv[self.indices], self.data)
+        return builder.to_csr()
+
+    def copy(self) -> "CSRMatrix":
+        return CSRMatrix(
+            self.n_rows,
+            self.n_cols,
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data.copy(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRMatrix({self.n_rows}x{self.n_cols}, nnz={self.nnz})"
+        )

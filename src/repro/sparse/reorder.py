@@ -1,0 +1,54 @@
+"""Permutation utilities for sparse matrices.
+
+Symmetric permutations change a triangular factor's dependence structure
+without changing the linear system being solved — the knob doconsider-style
+experiments turn.  Only *order-preserving-enough* permutations keep a
+triangular matrix triangular; the Table-1 experiments instead reorder at the
+loop level (the doconsider order), which needs no matrix permutation at all.
+These helpers serve the matrix-level tests and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "identity_permutation",
+    "random_symmetric_permutation",
+    "permutation_is_valid",
+    "invert_permutation",
+]
+
+
+def identity_permutation(n: int) -> np.ndarray:
+    return np.arange(n, dtype=np.int64)
+
+
+def random_symmetric_permutation(n: int, seed: int = 0) -> np.ndarray:
+    """A uniformly random permutation of ``0..n-1`` (seeded)."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n).astype(np.int64)
+
+
+def permutation_is_valid(perm) -> bool:
+    """Whether ``perm`` is a permutation of ``0..len(perm)-1``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.ndim != 1:
+        return False
+    n = len(perm)
+    seen = np.zeros(n, dtype=bool)
+    in_range = (perm >= 0) & (perm < n)
+    if not in_range.all():
+        return False
+    seen[perm] = True
+    return bool(seen.all())
+
+
+def invert_permutation(perm) -> np.ndarray:
+    """``inv`` such that ``inv[perm[k]] == k``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    if not permutation_is_valid(perm):
+        raise ValueError("not a permutation of 0..n-1")
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(len(perm), dtype=np.int64)
+    return inv

@@ -1,0 +1,120 @@
+"""Finite-difference stencil operators on regular grids.
+
+The paper's appendix defines three point-operator test problems:
+
+- **5-PT** — five-point central differences on a 63×63 grid (3969 eqs);
+- **7-PT** — seven-point central differences on a 20×20×20 grid (8000 eqs);
+- **9-PT** — nine-point box scheme on a 63×63 grid (3969 eqs).
+
+What the Table-1 experiment consumes is the *lower-triangular pattern* of
+these operators (via ILU(0)); the values below are the standard
+diagonally-dominant Laplacian choices, which keep ILU(0) well defined.
+Grid nodes are numbered in natural order, ``x`` fastest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+from repro.sparse.coo import COOBuilder
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["five_point", "seven_point", "nine_point", "grid_index_2d", "grid_index_3d"]
+
+
+def grid_index_2d(ix: np.ndarray, iy: np.ndarray, nx: int) -> np.ndarray:
+    """Natural ordering of a 2-D grid (``x`` fastest)."""
+    return iy * nx + ix
+
+
+def grid_index_3d(
+    ix: np.ndarray, iy: np.ndarray, iz: np.ndarray, nx: int, ny: int
+) -> np.ndarray:
+    """Natural ordering of a 3-D grid (``x`` fastest, then ``y``)."""
+    return (iz * ny + iy) * nx + ix
+
+
+def _check_dims(*dims: int) -> None:
+    for d in dims:
+        if d < 1:
+            raise MatrixFormatError(f"grid dimensions must be >= 1, got {d}")
+
+
+def five_point(nx: int, ny: int) -> CSRMatrix:
+    """Five-point 2-D operator: center 4, N/S/E/W neighbors −1."""
+    _check_dims(nx, ny)
+    n = nx * ny
+    builder = COOBuilder(n)
+    ix, iy = np.meshgrid(np.arange(nx), np.arange(ny), indexing="xy")
+    ix, iy = ix.reshape(-1), iy.reshape(-1)
+    center = grid_index_2d(ix, iy, nx)
+    builder.add_batch(center, center, np.full(n, 4.0))
+    for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+        jx, jy = ix + dx, iy + dy
+        ok = (jx >= 0) & (jx < nx) & (jy >= 0) & (jy < ny)
+        builder.add_batch(
+            center[ok],
+            grid_index_2d(jx[ok], jy[ok], nx),
+            np.full(int(ok.sum()), -1.0),
+        )
+    return builder.to_csr()
+
+
+def nine_point(nx: int, ny: int) -> CSRMatrix:
+    """Nine-point 2-D box scheme: center 8, all eight neighbors −1."""
+    _check_dims(nx, ny)
+    n = nx * ny
+    builder = COOBuilder(n)
+    ix, iy = np.meshgrid(np.arange(nx), np.arange(ny), indexing="xy")
+    ix, iy = ix.reshape(-1), iy.reshape(-1)
+    center = grid_index_2d(ix, iy, nx)
+    builder.add_batch(center, center, np.full(n, 8.0))
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            if dx == 0 and dy == 0:
+                continue
+            jx, jy = ix + dx, iy + dy
+            ok = (jx >= 0) & (jx < nx) & (jy >= 0) & (jy < ny)
+            builder.add_batch(
+                center[ok],
+                grid_index_2d(jx[ok], jy[ok], nx),
+                np.full(int(ok.sum()), -1.0),
+            )
+    return builder.to_csr()
+
+
+def seven_point(nx: int, ny: int, nz: int) -> CSRMatrix:
+    """Seven-point 3-D operator: center 6, the six axis neighbors −1."""
+    _check_dims(nx, ny, nz)
+    n = nx * ny * nz
+    builder = COOBuilder(n)
+    ix, iy, iz = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    ix, iy, iz = ix.reshape(-1), iy.reshape(-1), iz.reshape(-1)
+    center = grid_index_3d(ix, iy, iz, nx, ny)
+    builder.add_batch(center, center, np.full(n, 6.0))
+    for dx, dy, dz in (
+        (1, 0, 0),
+        (-1, 0, 0),
+        (0, 1, 0),
+        (0, -1, 0),
+        (0, 0, 1),
+        (0, 0, -1),
+    ):
+        jx, jy, jz = ix + dx, iy + dy, iz + dz
+        ok = (
+            (jx >= 0)
+            & (jx < nx)
+            & (jy >= 0)
+            & (jy < ny)
+            & (jz >= 0)
+            & (jz < nz)
+        )
+        builder.add_batch(
+            center[ok],
+            grid_index_3d(jx[ok], jy[ok], jz[ok], nx, ny),
+            np.full(int(ok.sum()), -1.0),
+        )
+    return builder.to_csr()

@@ -1,0 +1,33 @@
+"""Workload generators.
+
+- :mod:`repro.workloads.testloop` — the paper's Figure-4 test loop family
+  (the Figure-6 experiment).
+- :mod:`repro.workloads.synthetic` — random irregular loops for property
+  tests and ablations, plus uniform-distance chain loops for the classic
+  doacross baseline.
+- :mod:`repro.workloads.mesh` — unstructured-mesh relaxation sweeps with
+  natural/random/BFS/coloring vertex orderings.
+"""
+
+from repro.workloads.mesh import (
+    MeshAdjacency,
+    mesh_orderings,
+    random_mesh,
+    sweep_loop,
+)
+from repro.workloads.synthetic import chain_loop, random_irregular_loop
+from repro.workloads.testloop import (
+    dependence_distances,
+    make_test_loop,
+)
+
+__all__ = [
+    "make_test_loop",
+    "dependence_distances",
+    "random_irregular_loop",
+    "chain_loop",
+    "MeshAdjacency",
+    "random_mesh",
+    "sweep_loop",
+    "mesh_orderings",
+]

@@ -1,0 +1,113 @@
+"""Synthetic irregular loops for property tests and ablations.
+
+- :func:`random_irregular_loop` — the adversarial generator: a random
+  injective write subscript (a permutation slice, so writes land anywhere)
+  and random read indices, producing an arbitrary mix of true, intra, anti,
+  and never-written references.  Hypothesis drives it through seeds to check
+  that every parallel strategy matches the sequential oracle.
+- :func:`chain_loop` — a loop whose every true dependence has one uniform
+  distance ``d`` (and no antidependencies), the eligibility envelope of the
+  classic doacross baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidLoopError
+from repro.ir.accesses import ReadTable
+from repro.ir.loop import INIT_EXTERNAL, INIT_OLD_VALUE, IrregularLoop
+from repro.ir.subscript import AffineSubscript, IndirectSubscript
+
+__all__ = ["random_irregular_loop", "chain_loop"]
+
+
+def random_irregular_loop(
+    n: int,
+    max_terms: int = 4,
+    y_extra: int = 8,
+    seed: int = 0,
+    external_init: bool = False,
+    coeff_scale: float = 0.4,
+) -> IrregularLoop:
+    """A random loop with runtime-determined dependencies.
+
+    Parameters
+    ----------
+    n:
+        Iteration count.
+    max_terms:
+        Per-iteration term counts are drawn uniformly from ``0..max_terms``.
+    y_extra:
+        ``y`` has ``n + y_extra`` elements, so some reads hit never-written
+        elements (the ``iter == MAXINT`` path).
+    seed:
+        RNG seed (all randomness is explicit, per the hpc-parallel guides).
+    external_init:
+        Use an external per-iteration initial value (Figure-7 style) rather
+        than the old ``y[w(i)]`` (Figure-4 style).
+    coeff_scale:
+        Coefficients are uniform in ``[-coeff_scale, coeff_scale]``; keep
+        below ~0.5/max_terms if you need bounded values on long chains.
+    """
+    if n < 0:
+        raise InvalidLoopError(f"n must be >= 0, got {n}")
+    rng = np.random.default_rng(seed)
+    y_size = n + y_extra
+    write = rng.permutation(y_size)[:n].astype(np.int64)
+
+    term_counts = rng.integers(0, max_terms + 1, size=n)
+    total = int(term_counts.sum())
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    ptr[1:] = np.cumsum(term_counts)
+    index = rng.integers(0, y_size, size=total).astype(np.int64)
+    coeff = rng.uniform(-coeff_scale, coeff_scale, size=total)
+    reads = ReadTable(ptr, index, coeff)
+
+    kwargs = {}
+    if external_init:
+        kwargs["init_kind"] = INIT_EXTERNAL
+        kwargs["init_values"] = rng.normal(size=n)
+    else:
+        kwargs["init_kind"] = INIT_OLD_VALUE
+    return IrregularLoop(
+        n=n,
+        y_size=y_size,
+        write_subscript=IndirectSubscript(write),
+        reads=reads,
+        y0=rng.normal(size=y_size),
+        name=f"random(n={n},seed={seed})",
+        **kwargs,
+    )
+
+
+def chain_loop(
+    n: int,
+    distance: int,
+    coeff: float = 0.5,
+    y0_value: float = 1.0,
+) -> IrregularLoop:
+    """A loop with exactly one uniform-distance recurrence:
+    ``y[i] = y[i] + coeff * y[i − d]`` for ``i ≥ d``.
+
+    Writes are the identity subscript (affine), iterations ``i < d`` have no
+    read terms, and every true dependence has distance ``d`` — the loop the
+    classic doacross was built for.
+    """
+    if n < 1:
+        raise InvalidLoopError(f"n must be >= 1, got {n}")
+    if distance < 1:
+        raise InvalidLoopError(f"distance must be >= 1, got {distance}")
+    per_iteration = [
+        [(i - distance, coeff)] if i >= distance else [] for i in range(n)
+    ]
+    reads = ReadTable.from_lists(per_iteration)
+    return IrregularLoop(
+        n=n,
+        y_size=n,
+        write_subscript=AffineSubscript(1, 0),
+        reads=reads,
+        init_kind=INIT_OLD_VALUE,
+        y0=np.full(n, y0_value, dtype=np.float64),
+        name=f"chain(n={n},d={distance})",
+    )

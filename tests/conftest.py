@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.doacross import PreprocessedDoacross
+from repro.machine.costs import CostModel
+from repro.machine.engine import Machine
+from repro.workloads.synthetic import random_irregular_loop
+from repro.workloads.testloop import make_test_loop
+
+
+@pytest.fixture
+def cost_model() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture
+def machine4(cost_model) -> Machine:
+    return Machine(4, cost_model=cost_model)
+
+
+@pytest.fixture
+def machine16(cost_model) -> Machine:
+    return Machine(16, cost_model=cost_model)
+
+
+@pytest.fixture
+def runner16() -> PreprocessedDoacross:
+    return PreprocessedDoacross(processors=16)
+
+
+@pytest.fixture
+def runner4() -> PreprocessedDoacross:
+    return PreprocessedDoacross(processors=4)
+
+
+@pytest.fixture
+def small_random_loop():
+    return random_irregular_loop(n=120, max_terms=3, seed=7)
+
+
+@pytest.fixture
+def small_test_loop():
+    return make_test_loop(n=200, m=2, l=6)
+
+
+def assert_matches_oracle(result_y: np.ndarray, loop) -> None:
+    """Every strategy must reproduce the sequential oracle exactly (up to
+    floating-point associativity, which the executor preserves by summing
+    terms in the same order — so we demand tight agreement)."""
+    reference = loop.run_sequential()
+    np.testing.assert_allclose(result_y, reference, rtol=1e-12, atol=1e-12)

@@ -1,0 +1,93 @@
+"""Tests for the CSR-style read-term tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidLoopError
+from repro.ir.accesses import ReadTable
+
+
+class TestConstruction:
+    def test_from_lists(self):
+        t = ReadTable.from_lists([[(3, 1.5)], [], [(0, -2.0), (1, 0.5)]])
+        assert t.n == 3
+        assert t.total_terms == 3
+        np.testing.assert_array_equal(t.ptr, [0, 1, 1, 3])
+        np.testing.assert_array_equal(t.index, [3, 0, 1])
+        np.testing.assert_allclose(t.coeff, [1.5, -2.0, 0.5])
+
+    def test_from_uniform(self):
+        idx = np.array([[0, 1], [2, 3], [4, 5]])
+        coeff = np.ones((3, 2))
+        t = ReadTable.from_uniform(idx, coeff)
+        assert t.n == 3
+        assert t.term_count(1) == 2
+        np.testing.assert_array_equal(t.index, [0, 1, 2, 3, 4, 5])
+
+    def test_from_uniform_shape_mismatch(self):
+        with pytest.raises(InvalidLoopError):
+            ReadTable.from_uniform(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_empty_loop(self):
+        t = ReadTable.from_lists([])
+        assert t.n == 0
+        assert t.total_terms == 0
+
+
+class TestValidation:
+    def test_ptr_must_start_at_zero(self):
+        with pytest.raises(InvalidLoopError, match=r"ptr\[0\]"):
+            ReadTable([1, 2], [0], [1.0])
+
+    def test_ptr_end_must_match_terms(self):
+        with pytest.raises(InvalidLoopError):
+            ReadTable([0, 2], [0], [1.0])
+
+    def test_ptr_monotone(self):
+        with pytest.raises(InvalidLoopError, match="non-decreasing"):
+            ReadTable([0, 2, 1, 3], [0, 1, 2], [1.0, 1.0, 1.0])
+
+    def test_index_coeff_length_mismatch(self):
+        with pytest.raises(InvalidLoopError):
+            ReadTable([0, 2], [0, 1], [1.0])
+
+    def test_empty_ptr_rejected(self):
+        with pytest.raises(InvalidLoopError):
+            ReadTable([], [], [])
+
+
+class TestQueries:
+    def _table(self):
+        return ReadTable.from_lists(
+            [[(0, 1.0), (5, 2.0)], [(3, -1.0)], [], [(2, 4.0)]]
+        )
+
+    def test_terms_of(self):
+        idx, coeff = self._table().terms_of(0)
+        np.testing.assert_array_equal(idx, [0, 5])
+        np.testing.assert_allclose(coeff, [1.0, 2.0])
+
+    def test_term_counts(self):
+        np.testing.assert_array_equal(
+            self._table().term_counts(), [2, 1, 0, 1]
+        )
+
+    def test_iteration_of_term(self):
+        np.testing.assert_array_equal(
+            self._table().iteration_of_term(), [0, 0, 1, 3]
+        )
+
+    def test_check_bounds_ok(self):
+        self._table().check_bounds(6)
+
+    def test_check_bounds_too_small(self):
+        with pytest.raises(InvalidLoopError, match="out of range"):
+            self._table().check_bounds(5)
+
+    def test_check_bounds_negative(self):
+        t = ReadTable.from_lists([[(-1, 1.0)]])
+        with pytest.raises(InvalidLoopError):
+            t.check_bounds(10)
+
+    def test_check_bounds_empty_ok(self):
+        ReadTable.from_lists([[], []]).check_bounds(0)

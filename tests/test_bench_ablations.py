@@ -1,0 +1,176 @@
+"""Tests for the ablation experiments: each knob moves the metric the way
+its design rationale predicts."""
+
+import pytest
+
+from repro.bench.ablations import (
+    ablation_amortization,
+    ablation_bus,
+    ablation_coherence,
+    ablation_linear,
+    ablation_processors,
+    ablation_processors_testloop,
+    ablation_scheduling,
+    ablation_stripmine,
+)
+
+
+class TestScheduling:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_scheduling(n=2000, m=1, l=4)
+
+    def test_covers_all_kinds(self, rows):
+        kinds = {r.params["kind"] for r in rows}
+        assert kinds == {"cyclic", "block", "dynamic", "guided"}
+
+    def test_chunk1_cyclic_beats_chunked_on_tight_chains(self, rows):
+        by = {r.label: r for r in rows}
+        assert (
+            by["cyclic/chunk=1"].result.total_cycles
+            < by["cyclic/chunk=64"].result.total_cycles
+        )
+
+    def test_block_schedule_worst_for_chains(self, rows):
+        """Contiguous blocks serialize distance-1 chains within a
+        processor: block must lose to cyclic chunk-1."""
+        by = {r.label: r for r in rows}
+        assert (
+            by["block/chunk=1"].result.total_cycles
+            > by["cyclic/chunk=1"].result.total_cycles
+        )
+
+
+class TestStripmine:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_stripmine(n=2000, blocks=(100, 500, 2000))
+
+    def test_smaller_blocks_use_less_scratch(self, rows):
+        blocked = [r for r in rows if r.params["block"]]
+        scratch = [r.metrics["scratch_elements"] for r in blocked]
+        assert scratch == sorted(scratch)
+
+    def test_unblocked_baseline_included(self, rows):
+        assert rows[0].label == "unblocked"
+
+
+class TestLinear:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_linear(n=2000)
+
+    def test_linear_has_no_inspector(self, rows):
+        for r in rows:
+            if r.params["linear"]:
+                assert r.metrics["inspector_cycles"] == 0
+            else:
+                assert r.metrics["inspector_cycles"] > 0
+
+    def test_linear_strictly_faster(self, rows):
+        by_m = {}
+        for r in rows:
+            by_m.setdefault(r.params["m"], {})[r.params["linear"]] = r
+        for m, pair in by_m.items():
+            assert (
+                pair[True].result.total_cycles
+                < pair[False].result.total_cycles
+            )
+
+
+class TestProcessors:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_processors(
+            problem="5-PT", processor_counts=(1, 4, 16), small=True
+        )
+
+    def test_speedup_grows_with_processors(self, rows):
+        speedups = [r.metrics["reordered_speedup"] for r in rows]
+        assert speedups == sorted(speedups)
+
+    def test_single_processor_near_unity_speedup(self, rows):
+        # One processor still pays inspector/checks/postprocessing: the
+        # "speedup" must be below 1 (pure overhead measurement).
+        assert rows[0].metrics["plain_speedup"] < 1.0
+
+    def test_efficiency_degrades_with_processors(self, rows):
+        effs = [r.metrics["reordered_efficiency"] for r in rows]
+        assert effs == sorted(effs, reverse=True)
+
+
+class TestBus:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_bus(n=1000, bus_costs=(0, 2, 4))
+
+    def test_contention_slows_execution_monotonically(self, rows):
+        totals = [r.result.total_cycles for r in rows]
+        assert totals == sorted(totals)
+        assert totals[0] < totals[-1]
+
+
+class TestProcessorSweepTestloop:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_processors_testloop(
+            n=1500, processor_counts=(1, 8, 16), ls=(3, 4)
+        )
+
+    def test_dependence_free_scales(self, rows):
+        free = {
+            r.params["processors"]: r.result.speedup
+            for r in rows
+            if r.params["l"] == 3
+        }
+        assert free[16] > 1.7 * free[8] > 3 * free[1]
+
+    def test_chain_saturates(self, rows):
+        """A distance-1 chain's speedup barely moves from 8 to 16
+        processors — the chain, not the machine, is the limit."""
+        chained = {
+            r.params["processors"]: r.result.speedup
+            for r in rows
+            if r.params["l"] == 4
+        }
+        assert chained[16] < chained[8] * 1.15
+
+
+class TestCoherence:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_coherence(n=800, miss_costs=(0, 10, 200))
+
+    def test_cyclic_pays_per_dependence(self, rows):
+        by = {r.label: r for r in rows}
+        assert by["cyclic/miss=10"].metrics["misses"] == 799
+
+    def test_block_pays_only_boundaries(self, rows):
+        by = {r.label: r for r in rows}
+        assert by["block/miss=10"].metrics["misses"] < 20
+
+    def test_crossover_with_miss_cost(self, rows):
+        by = {r.label: r for r in rows}
+        assert (
+            by["cyclic/miss=0"].result.total_cycles
+            < by["block/miss=0"].result.total_cycles
+        )
+        assert (
+            by["block/miss=200"].result.total_cycles
+            < by["cyclic/miss=200"].result.total_cycles
+        )
+
+
+class TestAmortization:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablation_amortization(n=800, instance_counts=(1, 4, 16))
+
+    def test_per_instance_cost_monotone_down(self, rows):
+        costs = [r.metrics["per_instance_cycles"] for r in rows]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_gain_exceeds_one_and_grows(self, rows):
+        gains = [r.metrics["gain_vs_full"] for r in rows]
+        assert gains == sorted(gains)
+        assert gains[-1] > 1.1

@@ -1,0 +1,56 @@
+"""Tests for block seven-point operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixFormatError
+from repro.sparse.block import block_seven_point
+
+
+class TestBlockSevenPoint:
+    def test_size(self):
+        A = block_seven_point(2, 3, 2, block=4)
+        assert A.shape == (48, 48)
+
+    def test_block_pattern(self):
+        """Entries appear only inside b×b blocks coupling grid neighbors."""
+        b = 3
+        A = block_seven_point(2, 2, 1, block=b, seed=1)
+        dense = A.to_dense()
+        # Grid (x fastest): points 0..3; point 0 couples to 1 (x+1) and
+        # 2 (y+1) but not 3 (diagonal neighbor).
+        assert np.any(dense[0:b, b : 2 * b] != 0)
+        assert np.any(dense[0:b, 2 * b : 3 * b] != 0)
+        assert np.all(dense[0:b, 3 * b : 4 * b] == 0)
+
+    def test_strictly_diagonally_dominant(self):
+        A = block_seven_point(3, 3, 2, block=3, seed=7).to_dense()
+        diag = np.abs(np.diag(A))
+        off = np.abs(A).sum(axis=1) - diag
+        assert np.all(diag > off)
+
+    def test_deterministic_per_seed(self):
+        a = block_seven_point(2, 2, 2, block=2, seed=5)
+        b = block_seven_point(2, 2, 2, block=2, seed=5)
+        np.testing.assert_allclose(a.to_dense(), b.to_dense())
+
+    def test_different_seeds_differ(self):
+        a = block_seven_point(2, 2, 2, block=2, seed=1)
+        b = block_seven_point(2, 2, 2, block=2, seed=2)
+        assert not np.allclose(a.to_dense(), b.to_dense())
+
+    def test_block1_matches_seven_point_pattern(self):
+        from repro.sparse.stencils import seven_point
+
+        A = block_seven_point(3, 3, 3, block=1, seed=0)
+        S = seven_point(3, 3, 3)
+        np.testing.assert_array_equal(A.indptr, S.indptr)
+        np.testing.assert_array_equal(A.indices, S.indices)
+
+    def test_invalid_block(self):
+        with pytest.raises(MatrixFormatError):
+            block_seven_point(2, 2, 2, block=0)
+
+    def test_invalid_grid(self):
+        with pytest.raises(MatrixFormatError):
+            block_seven_point(0, 2, 2, block=2)

@@ -1,0 +1,82 @@
+"""Tests for the write-invalidate coherence model."""
+
+import pytest
+
+from repro.core.doacross import PreprocessedDoacross
+from repro.machine.costs import CostModel
+from repro.machine.engine import Machine
+from repro.workloads.synthetic import chain_loop, random_irregular_loop
+from repro.workloads.testloop import make_test_loop
+from tests.conftest import assert_matches_oracle
+
+
+def coherent_runner(processors=8, miss=10, **kw):
+    return PreprocessedDoacross(
+        processors=processors,
+        cost_model=CostModel(coherence_miss=miss),
+        coherence=True,
+        **kw,
+    )
+
+
+class TestValidation:
+    def test_requires_positive_miss_cost(self):
+        with pytest.raises(ValueError, match="coherence_miss"):
+            Machine(4, coherence=True)
+
+    def test_disabled_by_default(self):
+        runner = PreprocessedDoacross(processors=4)
+        result = runner.run(make_test_loop(n=100, m=1, l=4))
+        executor = next(p for p in result.phases if p.name == "executor")
+        assert all(p.coherence_misses == 0 for p in executor.processors)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_values_unchanged_by_coherence_model(self, seed):
+        loop = random_irregular_loop(80, seed=seed)
+        assert_matches_oracle(coherent_runner().run(loop).y, loop)
+
+
+class TestCostEffects:
+    def test_cross_processor_chain_pays_misses(self):
+        """Cyclic chunk-1 on a distance-1 chain: every dependence crosses
+        processors, so every dependent iteration misses once."""
+        loop = chain_loop(200, 1)
+        result = coherent_runner(schedule="cyclic", chunk=1).run(loop)
+        executor = next(p for p in result.phases if p.name == "executor")
+        misses = sum(p.coherence_misses for p in executor.processors)
+        assert misses == 199  # every dependent iteration
+
+    def test_same_processor_chain_hits(self):
+        """Block scheduling keeps a chain mostly within one processor: the
+        only misses are at the block boundaries."""
+        loop = chain_loop(200, 1)
+        result = coherent_runner(processors=8, schedule="block").run(loop)
+        executor = next(p for p in result.phases if p.name == "executor")
+        misses = sum(p.coherence_misses for p in executor.processors)
+        assert misses == 7  # one per internal block boundary
+
+    def test_coherence_adds_cycles(self):
+        loop = chain_loop(300, 1)
+        base = PreprocessedDoacross(processors=8).run(loop)
+        coherent = coherent_runner(miss=20).run(loop)
+        assert coherent.total_cycles > base.total_cycles
+
+    def test_no_dependences_no_misses(self):
+        loop = make_test_loop(n=200, m=2, l=7)  # odd L
+        result = coherent_runner().run(loop)
+        executor = next(p for p in result.phases if p.name == "executor")
+        assert sum(p.coherence_misses for p in executor.processors) == 0
+
+    def test_locality_vs_pipelining_tradeoff_visible(self):
+        """With an extreme miss cost, block scheduling (local chains, no
+        transfers) can beat cyclic chunk-1 (pipelined but all-miss) — the
+        tension the coherence ablation explores."""
+        loop = chain_loop(400, 1)
+        expensive = dict(processors=8, miss=500)
+        cyclic = coherent_runner(schedule="cyclic", chunk=1, **expensive).run(
+            loop
+        )
+        block = coherent_runner(schedule="block", **expensive).run(loop)
+        assert block.total_cycles < cyclic.total_cycles

@@ -1,0 +1,88 @@
+"""Tests for greedy graph coloring."""
+
+import numpy as np
+import pytest
+
+from repro.graph.coloring import color_order, greedy_coloring, validate_coloring
+
+
+def csr_from_edges(n, edges):
+    """Symmetric CSR adjacency from an undirected edge list."""
+    nbrs = [set() for _ in range(n)]
+    for a, b in edges:
+        nbrs[a].add(b)
+        nbrs[b].add(a)
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    ptr[1:] = np.cumsum([len(s) for s in nbrs])
+    adj = np.array(
+        [u for s in nbrs for u in sorted(s)], dtype=np.int64
+    )
+    return ptr, adj
+
+
+class TestGreedyColoring:
+    def test_path_two_colors(self):
+        ptr, adj = csr_from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        colors = greedy_coloring(ptr, adj)
+        validate_coloring(ptr, adj, colors)
+        assert colors.max() == 1  # a path is 2-colorable and greedy finds it
+
+    def test_triangle_three_colors(self):
+        ptr, adj = csr_from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        colors = greedy_coloring(ptr, adj)
+        validate_coloring(ptr, adj, colors)
+        assert colors.max() == 2
+
+    def test_edgeless_graph_one_color(self):
+        ptr, adj = csr_from_edges(5, [])
+        colors = greedy_coloring(ptr, adj)
+        assert (colors == 0).all()
+
+    def test_star_two_colors(self):
+        ptr, adj = csr_from_edges(6, [(0, k) for k in range(1, 6)])
+        colors = greedy_coloring(ptr, adj)
+        validate_coloring(ptr, adj, colors)
+        assert colors.max() == 1
+
+    def test_bounded_by_max_degree_plus_one(self):
+        rng = np.random.default_rng(3)
+        n = 40
+        edges = {
+            (min(a, b), max(a, b))
+            for a, b in rng.integers(0, n, size=(120, 2))
+            if a != b
+        }
+        ptr, adj = csr_from_edges(n, edges)
+        colors = greedy_coloring(ptr, adj)
+        validate_coloring(ptr, adj, colors)
+        max_degree = int(np.diff(ptr).max())
+        assert colors.max() <= max_degree
+
+    def test_visit_order_affects_greedy(self):
+        # Crown-like graph where a bad order wastes colors.
+        ptr, adj = csr_from_edges(4, [(0, 1), (2, 3)])
+        natural = greedy_coloring(ptr, adj)
+        assert natural.max() == 1
+
+    def test_validate_catches_conflict(self):
+        ptr, adj = csr_from_edges(2, [(0, 1)])
+        with pytest.raises(AssertionError, match="connects color"):
+            validate_coloring(ptr, adj, np.array([0, 0]))
+
+    def test_validate_catches_uncolored(self):
+        ptr, adj = csr_from_edges(2, [(0, 1)])
+        with pytest.raises(AssertionError, match="uncolored"):
+            validate_coloring(ptr, adj, np.array([0, -1]))
+
+
+class TestColorOrder:
+    def test_groups_by_color_stable(self):
+        colors = np.array([1, 0, 1, 0, 2])
+        order = color_order(colors)
+        np.testing.assert_array_equal(order, [1, 3, 0, 2, 4])
+
+    def test_permutation(self):
+        rng = np.random.default_rng(0)
+        colors = rng.integers(0, 4, size=30)
+        order = color_order(colors)
+        assert sorted(order.tolist()) == list(range(30))

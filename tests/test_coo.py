@@ -1,0 +1,83 @@
+"""Tests for the COO builder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixFormatError
+from repro.sparse.coo import COOBuilder
+
+
+class TestCOOBuilder:
+    def test_single_entries(self):
+        b = COOBuilder(2, 3)
+        b.add(0, 1, 2.0)
+        b.add(1, 2, -1.0)
+        A = b.to_csr()
+        np.testing.assert_allclose(
+            A.to_dense(), [[0, 2, 0], [0, 0, -1]]
+        )
+
+    def test_duplicates_summed(self):
+        b = COOBuilder(1, 1)
+        b.add(0, 0, 1.0)
+        b.add(0, 0, 2.5)
+        A = b.to_csr()
+        assert A.nnz == 1
+        assert A.get(0, 0) == 3.5
+
+    def test_cancellation_keeps_pattern(self):
+        """Exact zeros from cancellation stay in the pattern (ILU(0) needs
+        pattern stability)."""
+        b = COOBuilder(1, 1)
+        b.add(0, 0, 1.0)
+        b.add(0, 0, -1.0)
+        A = b.to_csr()
+        assert A.nnz == 1
+        assert A.get(0, 0) == 0.0
+
+    def test_add_block(self):
+        b = COOBuilder(4, 4)
+        b.add_block(1, 2, np.array([[1.0, 2.0], [3.0, 4.0]]))
+        A = b.to_csr()
+        assert A.get(1, 2) == 1.0
+        assert A.get(2, 3) == 4.0
+        assert A.nnz == 4
+
+    def test_empty_builder(self):
+        A = COOBuilder(3, 3).to_csr()
+        assert A.nnz == 0
+        assert A.shape == (3, 3)
+
+    def test_square_default(self):
+        assert COOBuilder(5).n_cols == 5
+
+    def test_row_out_of_range(self):
+        b = COOBuilder(2, 2)
+        with pytest.raises(MatrixFormatError, match="row index"):
+            b.add(2, 0, 1.0)
+
+    def test_col_out_of_range(self):
+        b = COOBuilder(2, 2)
+        with pytest.raises(MatrixFormatError, match="col index"):
+            b.add(0, -1, 1.0)
+
+    def test_batch_length_mismatch(self):
+        b = COOBuilder(2, 2)
+        with pytest.raises(MatrixFormatError, match="batch length"):
+            b.add_batch([0, 1], [0], [1.0, 2.0])
+
+    def test_entry_count_before_summing(self):
+        b = COOBuilder(2, 2)
+        b.add(0, 0, 1.0)
+        b.add(0, 0, 1.0)
+        assert b.entry_count == 2
+        assert b.to_csr().nnz == 1
+
+    def test_rows_sorted_in_result(self):
+        b = COOBuilder(2, 4)
+        b.add(1, 3, 1.0)
+        b.add(1, 0, 2.0)
+        b.add(0, 2, 3.0)
+        A = b.to_csr()
+        cols, _ = A.row(1)
+        np.testing.assert_array_equal(cols, [0, 3])

@@ -1,0 +1,96 @@
+"""Tests for the cost model and work profiles."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.machine.costs import CostModel, WorkProfile
+
+
+class TestWorkProfile:
+    def test_defaults(self):
+        w = WorkProfile()
+        assert w.overhead == 4
+        assert w.term == w.term_setup + w.term_consume == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(CalibrationError):
+            WorkProfile(overhead=-1)
+        with pytest.raises(CalibrationError):
+            WorkProfile(term_setup=-2)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(CalibrationError):
+            WorkProfile(term_consume=1.5)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            WorkProfile().overhead = 3
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        CostModel()  # must not raise
+
+    def test_rejects_negative_field(self):
+        with pytest.raises(CalibrationError):
+            CostModel(dep_check=-1)
+
+    def test_rejects_float_field(self):
+        with pytest.raises(CalibrationError):
+            CostModel(pre_iter=2.5)
+
+    def test_rejects_zero_cycles_per_us(self):
+        with pytest.raises(CalibrationError):
+            CostModel(cycles_per_us=0)
+
+    def test_seq_iteration_formula(self):
+        cm = CostModel()
+        w = cm.work
+        assert cm.seq_iteration(3) == w.overhead + 3 * w.term
+
+    def test_seq_iteration_with_profile(self):
+        cm = CostModel()
+        p = WorkProfile(overhead=10, term_setup=7, term_consume=3)
+        assert cm.seq_iteration(2, p) == 10 + 2 * 10
+
+    def test_exec_iteration_base(self):
+        cm = CostModel()
+        w = cm.work
+        expected = cm.exec_iter_overhead + w.overhead + 2 * (
+            w.term + cm.dep_check
+        )
+        assert cm.exec_iteration_base(2) == expected
+
+    def test_barrier_scales_with_processors(self):
+        cm = CostModel()
+        assert cm.barrier(16) == cm.barrier_base + 16 * cm.barrier_per_proc
+        assert cm.barrier(1) < cm.barrier(32)
+
+    def test_calibrated_plateaus_match_paper(self):
+        """DESIGN.md §7: the defaults put the Figure-6 zero-dependence
+        plateaus at the paper's ≈0.33 (M=1) and ≈0.49 (M=5)."""
+        cm = CostModel()
+        assert cm.overhead_plateau(1) == pytest.approx(10 / 30)
+        assert cm.overhead_plateau(5) == pytest.approx(34 / 70)
+
+    def test_plateau_increases_with_terms(self):
+        cm = CostModel()
+        values = [cm.overhead_plateau(t) for t in range(1, 8)]
+        assert values == sorted(values)
+
+    def test_cycles_to_ms(self):
+        cm = CostModel(cycles_per_us=10)
+        assert cm.cycles_to_ms(10_000) == pytest.approx(1.0)
+
+    def test_scaled_returns_modified_copy(self):
+        cm = CostModel()
+        cm2 = cm.scaled(dep_check=9)
+        assert cm2.dep_check == 9
+        assert cm.dep_check == 4
+        assert cm2.pre_iter == cm.pre_iter
+
+    def test_effective_work_prefers_profile(self):
+        cm = CostModel()
+        p = WorkProfile(overhead=99)
+        assert cm.effective_work(p) is p
+        assert cm.effective_work(None) is cm.work

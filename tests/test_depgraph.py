@@ -1,0 +1,74 @@
+"""Tests for the dependence DAG (CSR adjacency)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.depgraph import DependenceGraph
+from repro.ir.analysis import dependence_pairs
+from repro.workloads.synthetic import chain_loop, random_irregular_loop
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        g = DependenceGraph(4, np.array([[0, 1], [0, 3], [1, 3]]))
+        np.testing.assert_array_equal(g.successors(0), [1, 3])
+        np.testing.assert_array_equal(g.successors(1), [3])
+        np.testing.assert_array_equal(g.successors(2), [])
+        np.testing.assert_array_equal(g.predecessors(3), [0, 1])
+        assert g.edge_count == 3
+
+    def test_rejects_backward_edges(self):
+        with pytest.raises(ValueError, match="writer < reader"):
+            DependenceGraph(3, np.array([[2, 1]]))
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError):
+            DependenceGraph(3, np.array([[1, 1]]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DependenceGraph(3, np.array([[0, 5]]))
+
+    def test_empty_graph(self):
+        g = DependenceGraph(5, np.empty((0, 2), dtype=np.int64))
+        assert g.edge_count == 0
+        np.testing.assert_array_equal(g.sources(), np.arange(5))
+
+    def test_from_loop_matches_analysis(self):
+        loop = random_irregular_loop(80, seed=4)
+        g = DependenceGraph.from_loop(loop)
+        pairs = dependence_pairs(loop)
+        rebuilt = sorted(
+            (int(w), int(r))
+            for w in range(g.n)
+            for r in g.successors(w)
+        )
+        assert rebuilt == sorted(map(tuple, pairs.tolist()))
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = DependenceGraph(4, np.array([[0, 1], [0, 2], [1, 2]]))
+        np.testing.assert_array_equal(g.in_degrees(), [0, 1, 2, 0])
+        np.testing.assert_array_equal(g.out_degrees(), [2, 1, 0, 0])
+
+    def test_sources(self):
+        g = DependenceGraph(4, np.array([[0, 1], [2, 3]]))
+        np.testing.assert_array_equal(g.sources(), [0, 2])
+
+    def test_chain_loop_graph(self):
+        g = DependenceGraph.from_loop(chain_loop(10, 3))
+        assert g.edge_count == 7
+        for r in range(3, 10):
+            np.testing.assert_array_equal(g.predecessors(r), [r - 3])
+
+    def test_brute_force_equivalence(self):
+        """CSR adjacency vs a plain dict-of-sets build."""
+        loop = random_irregular_loop(60, seed=12)
+        pairs = dependence_pairs(loop)
+        succ = {}
+        for w, r in pairs:
+            succ.setdefault(int(w), set()).add(int(r))
+        g = DependenceGraph.from_loop(loop)
+        for w in range(g.n):
+            assert set(g.successors(w).tolist()) == succ.get(w, set())

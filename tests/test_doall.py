@@ -1,0 +1,79 @@
+"""Tests for the doall baseline."""
+
+import pytest
+
+from repro.core.doacross import PreprocessedDoacross
+from repro.core.doall_runner import DoallRunner
+from repro.errors import InvalidLoopError
+from repro.ir.accesses import ReadTable
+from repro.ir.loop import IrregularLoop
+from repro.ir.subscript import AffineSubscript
+from repro.workloads.synthetic import random_irregular_loop
+from repro.workloads.testloop import make_test_loop
+from tests.conftest import assert_matches_oracle
+
+
+def independent_loop(n=100, seed=0):
+    """Reads only from a never-written region: strictly independent."""
+    loop = random_irregular_loop(n, max_terms=0, seed=seed)
+    return loop
+
+
+class TestValidation:
+    def test_true_dependence_rejected(self):
+        reads = ReadTable.from_lists([[], [(0, 1.0)]])
+        loop = IrregularLoop(
+            n=2, y_size=2, write_subscript=AffineSubscript(1, 0), reads=reads
+        )
+        with pytest.raises(InvalidLoopError, match="asserted independence"):
+            DoallRunner(processors=4).run(loop)
+
+    def test_antidependence_rejected(self):
+        reads = ReadTable.from_lists([[(1, 1.0)], []])
+        loop = IrregularLoop(
+            n=2, y_size=2, write_subscript=AffineSubscript(1, 0), reads=reads
+        )
+        with pytest.raises(InvalidLoopError):
+            DoallRunner(processors=4).run(loop)
+
+    def test_validation_can_be_disabled(self):
+        # validate=False models a trusted user directive; intra-only loops
+        # execute correctly regardless.
+        loop = independent_loop()
+        result = DoallRunner(processors=4).run(loop, validate=False)
+        assert_matches_oracle(result.y, loop)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_values_correct(self, seed):
+        loop = independent_loop(seed=seed)
+        result = DoallRunner(processors=8).run(loop)
+        assert_matches_oracle(result.y, loop)
+
+    def test_odd_l_test_loop_is_valid_doall(self):
+        """Odd-L Figure-4 loops read only never-written elements."""
+        loop = make_test_loop(n=200, m=2, l=5)
+        result = DoallRunner(processors=16).run(loop)
+        assert_matches_oracle(result.y, loop)
+
+    def test_doall_beats_preprocessed_on_independent_loops(self):
+        """The whole point of the odd-L Figure-6 plateau: the preprocessed
+        doacross pays inspector + checks + postprocessor that a doall
+        doesn't."""
+        loop = make_test_loop(n=2000, m=1, l=3)
+        doall = DoallRunner(processors=16).run(loop)
+        preprocessed = PreprocessedDoacross(processors=16).run(loop)
+        assert doall.total_cycles < preprocessed.total_cycles
+        assert doall.efficiency > 2 * preprocessed.efficiency
+
+    def test_near_linear_scaling(self):
+        loop = make_test_loop(n=4000, m=2, l=3)
+        t1 = DoallRunner(processors=1).run(loop).total_cycles
+        t16 = DoallRunner(processors=16).run(loop).total_cycles
+        assert t1 / t16 > 12  # barriers cost a little
+
+    def test_no_wait_cycles(self):
+        result = DoallRunner(processors=8).run(independent_loop())
+        assert result.wait_cycles == 0
+        assert result.strategy == "doall"

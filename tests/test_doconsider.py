@@ -1,0 +1,133 @@
+"""Tests for the doconsider (wavefront) reordering."""
+
+import numpy as np
+import pytest
+
+from repro.core.doacross import PreprocessedDoacross
+from repro.core.doconsider import Doconsider, level_order
+from repro.graph.depgraph import DependenceGraph
+from repro.workloads.synthetic import chain_loop, random_irregular_loop
+from repro.workloads.testloop import make_test_loop
+from tests.conftest import assert_matches_oracle
+
+
+class TestLevelOrder:
+    def test_chain_levels_are_iteration_index(self):
+        loop = chain_loop(20, 1)
+        order, schedule = level_order(loop)
+        np.testing.assert_array_equal(schedule.levels, np.arange(20))
+        np.testing.assert_array_equal(order, np.arange(20))
+
+    def test_distance_d_chain_has_d_wide_wavefronts(self):
+        loop = chain_loop(20, 4)
+        _, schedule = level_order(loop)
+        assert schedule.n_levels == 5
+        assert schedule.max_width() == 4
+
+    def test_independent_loop_single_level(self):
+        loop = make_test_loop(n=30, m=1, l=3)
+        _, schedule = level_order(loop)
+        assert schedule.n_levels == 1
+        assert schedule.max_width() == 30
+
+    def test_order_is_permutation_grouped_by_level(self):
+        loop = random_irregular_loop(120, seed=3)
+        order, schedule = level_order(loop)
+        assert sorted(order.tolist()) == list(range(120))
+        levels_in_order = schedule.levels[order]
+        assert all(
+            a <= b for a, b in zip(levels_in_order, levels_in_order[1:])
+        )
+
+
+class TestDoconsiderRuns:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_semantics_preserved(self, seed):
+        loop = random_irregular_loop(90, seed=seed)
+        result = Doconsider(processors=8).run(loop)
+        assert_matches_oracle(result.y, loop)
+
+    def test_strategy_and_extras(self):
+        loop = chain_loop(60, 3)
+        result = Doconsider(processors=8).run(loop)
+        assert result.strategy == "doconsider-doacross"
+        assert result.extras["n_levels"] == 20
+        assert result.extras["max_wavefront"] == 3
+        assert "doconsider" in result.order_label
+
+    def test_wraps_existing_runner(self):
+        runner = PreprocessedDoacross(processors=4)
+        result = Doconsider(doacross=runner).run(chain_loop(30, 2))
+        assert result.processors == 4
+
+    def test_reordering_never_hurts_chain_loops(self):
+        """For a distance-d chain, wavefront order groups independent
+        iterations; it must not be slower than natural order."""
+        loop = chain_loop(400, 8)
+        runner = PreprocessedDoacross(processors=16)
+        natural = runner.run(loop)
+        reordered = Doconsider(doacross=runner).run(loop)
+        assert reordered.total_cycles <= natural.total_cycles
+
+    def test_reorder_cost_reported_but_excluded_by_default(self):
+        loop = chain_loop(100, 4)
+        result = Doconsider(processors=8).run(loop)
+        assert result.extras["reorder_cycles_modeled"] > 0
+        assert "reorder_cost_included" not in result.extras
+
+    def test_reorder_cost_inclusion_raises_total(self):
+        loop = chain_loop(100, 4)
+        excluded = Doconsider(processors=8).run(loop)
+        included = Doconsider(processors=8, include_reorder_cost=True).run(
+            loop
+        )
+        assert included.extras["reorder_cost_included"]
+        assert (
+            included.total_cycles
+            == excluded.total_cycles
+            + excluded.extras["reorder_cycles_modeled"]
+        )
+
+    def test_simulated_reorder_cost(self):
+        """The simulated wavefront preprocessing agrees with the
+        closed-form estimate up to within-round load imbalance (it can
+        only be slower, and not wildly so on a balanced chain)."""
+        loop = chain_loop(200, 4)
+        modeled = Doconsider(processors=8).run(loop).extras[
+            "reorder_cycles_modeled"
+        ]
+        simulated = Doconsider(processors=8, simulate_reorder=True).run(
+            loop
+        ).extras["reorder_cycles_simulated"]
+        assert simulated >= modeled
+        assert simulated <= 2 * modeled
+
+    def test_simulated_reorder_deterministic(self):
+        loop = random_irregular_loop(120, seed=4)
+        a = Doconsider(processors=8, simulate_reorder=True).run(loop)
+        b = Doconsider(processors=8, simulate_reorder=True).run(loop)
+        assert (
+            a.extras["reorder_cycles_simulated"]
+            == b.extras["reorder_cycles_simulated"]
+        )
+
+    def test_simulated_reorder_values_unchanged(self):
+        loop = random_irregular_loop(90, seed=6)
+        result = Doconsider(
+            processors=8, simulate_reorder=True, include_reorder_cost=True
+        ).run(loop)
+        assert_matches_oracle(result.y, loop)
+
+
+class TestWavefrontValidity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_levels_ascend_along_every_edge(self, seed):
+        loop = random_irregular_loop(100, seed=seed)
+        graph = DependenceGraph.from_loop(loop)
+        _, schedule = level_order(loop)
+        schedule.validate(graph)  # raises on violation
+
+    def test_average_width(self):
+        loop = chain_loop(20, 4)
+        _, schedule = level_order(loop)
+        assert schedule.average_width() == pytest.approx(4.0)

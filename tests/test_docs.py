@@ -1,0 +1,107 @@
+"""Documentation-consistency tests: the docs must track the repository.
+
+Stale docs are bugs too: these tests fail when an example, benchmark
+target, or experiment command named in README/DESIGN/EXPERIMENTS stops
+existing (or a new example is added without being documented).
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def read(name: str) -> str:
+    return (ROOT / name).read_text()
+
+
+class TestExamplesDocumented:
+    def test_readme_lists_every_example(self):
+        readme = read("README.md")
+        examples = sorted(p.name for p in (ROOT / "examples").glob("*.py"))
+        assert examples, "no examples found"
+        for example in examples:
+            assert example in readme, f"README does not mention {example}"
+
+    def test_readme_mentions_no_phantom_examples(self):
+        readme = read("README.md")
+        mentioned = set(re.findall(r"examples/([a-z_]+\.py)", readme))
+        existing = {p.name for p in (ROOT / "examples").glob("*.py")}
+        assert mentioned <= existing, mentioned - existing
+
+
+class TestDesignTargetsExist:
+    def test_bench_targets_in_design_exist(self):
+        design = read("DESIGN.md")
+        for target in set(re.findall(r"benchmarks/([a-z_0-9]+\.py)", design)):
+            assert (ROOT / "benchmarks" / target).exists(), target
+
+    def test_module_paths_in_design_exist(self):
+        design = read("DESIGN.md")
+        for mod in set(re.findall(r"`src/repro/([a-z_]+)/`", design)):
+            assert (ROOT / "src" / "repro" / mod).is_dir(), mod
+
+    def test_named_module_files_exist(self):
+        design = read("DESIGN.md")
+        # `- `name.py` — ...` bullets under the inventory sections.
+        current_pkg = None
+        for line in design.splitlines():
+            pkg = re.search(r"`src/repro/([a-z_]+)/`", line)
+            if pkg:
+                current_pkg = pkg.group(1)
+                continue
+            m = re.match(r"\s+- `([a-z_]+\.py)`", line)
+            if m and current_pkg:
+                path = ROOT / "src" / "repro" / current_pkg / m.group(1)
+                assert path.exists(), f"{current_pkg}/{m.group(1)}"
+
+
+class TestExperimentCommandsRun:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.bench.figure6",
+            "repro.bench.table1",
+            "repro.bench.ablations",
+            "repro.bench.amortized_table",
+            "repro.bench.krylov_fraction",
+        ],
+    )
+    def test_documented_commands_importable(self, module):
+        """Every `python -m <module>` named in the docs must import and
+        expose main()."""
+        for doc in ("README.md", "EXPERIMENTS.md", "DESIGN.md"):
+            if module in read(doc):
+                break
+        else:
+            pytest.fail(f"{module} not mentioned in any doc")
+        __import__(module)
+        assert hasattr(sys.modules[module], "main")
+
+    def test_cli_help_lists_commands_that_exist(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            cwd=ROOT,
+        )
+        assert out.returncode == 0
+        for command in ("figure6", "table1", "ablations", "verify", "demo",
+                        "codegen", "table2", "krylov"):
+            assert command in out.stdout
+
+
+class TestExperimentsDocNumbers:
+    def test_paper_table1_numbers_match_source(self):
+        """EXPERIMENTS.md's 'Paper (ms)' table must agree with the
+        PAPER_TABLE1 constants the bench uses."""
+        from repro.bench.table1 import PAPER_TABLE1
+
+        text = read("EXPERIMENTS.md")
+        for name, (doacross, rearranged, seq) in PAPER_TABLE1.items():
+            pattern = rf"\| {re.escape(name)} \| {doacross} \| {rearranged} \| {seq} \|"
+            assert re.search(pattern, text), f"paper row for {name}"

@@ -1,0 +1,241 @@
+"""Tests for the discrete-event engine: busy-wait semantics, causal
+ordering, accounting, determinism, deadlock detection."""
+
+import pytest
+
+from repro.errors import SimulationDeadlockError
+from repro.machine.costs import CostModel
+from repro.machine.engine import Engine
+from repro.machine.flags import FlagStore
+from repro.machine.ops import Compute, SetFlag, UseResource, WaitFlag
+from repro.machine.resource import SerialResource
+
+
+def make_engine(flags=None, resources=None, **cost_overrides):
+    cm = CostModel(**cost_overrides) if cost_overrides else CostModel()
+    return Engine(cm, flags=flags, resources=resources or {})
+
+
+class TestCompute:
+    def test_single_task_accumulates_time(self):
+        eng = make_engine()
+
+        def task(st):
+            yield Compute(10)
+            yield Compute(5)
+
+        phase = eng.run("t", [task])
+        assert phase.span == 15
+        assert phase.processors[0].compute_cycles == 15
+        assert phase.processors[0].finish_time == 15
+
+    def test_empty_task(self):
+        eng = make_engine()
+
+        def task(st):
+            return
+            yield  # pragma: no cover
+
+        phase = eng.run("t", [task])
+        assert phase.span == 0
+
+    def test_parallel_tasks_independent_clocks(self):
+        eng = make_engine()
+
+        def make(cycles):
+            def task(st):
+                yield Compute(cycles)
+
+            return task
+
+        phase = eng.run("t", [make(10), make(30), make(20)])
+        assert [p.finish_time for p in phase.processors] == [10, 30, 20]
+        assert phase.span == 30
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+
+class TestFlags:
+    def test_wait_on_flag_set_earlier(self):
+        flags = FlagStore(1)
+        eng = make_engine(flags=flags)
+        cm = eng.cost_model
+
+        def setter(st):
+            yield Compute(5)
+            yield SetFlag(0)
+
+        def waiter(st):
+            yield Compute(100)
+            yield WaitFlag(0)  # set long before: only check cost
+
+        phase = eng.run("t", [setter, waiter])
+        w = phase.processors[1]
+        assert w.wait_cycles == 0
+        assert w.flag_checks == 1
+        assert w.finish_time == 100 + cm.flag_check
+
+    def test_wait_parks_until_set(self):
+        flags = FlagStore(1)
+        eng = make_engine(flags=flags)
+        cm = eng.cost_model
+
+        def setter(st):
+            yield Compute(50)
+            yield SetFlag(0)
+
+        def waiter(st):
+            yield Compute(10)
+            yield WaitFlag(0)
+
+        phase = eng.run("t", [setter, waiter])
+        set_time = 50 + cm.flag_set
+        w = phase.processors[1]
+        assert w.wait_cycles == set_time - 10
+        assert w.finish_time == set_time + cm.flag_check
+
+    def test_set_wakes_multiple_waiters(self):
+        flags = FlagStore(1)
+        eng = make_engine(flags=flags)
+
+        def setter(st):
+            yield Compute(40)
+            yield SetFlag(0)
+
+        def waiter(st):
+            yield WaitFlag(0)
+
+        phase = eng.run("t", [setter, waiter, waiter])
+        assert all(
+            p.wait_cycles > 0 for p in phase.processors[1:]
+        )
+        assert phase.processors[1].finish_time == phase.processors[2].finish_time
+
+    def test_flag_set_cost_charged(self):
+        flags = FlagStore(1)
+        eng = make_engine(flags=flags)
+        cm = eng.cost_model
+
+        def setter(st):
+            yield SetFlag(0)
+
+        phase = eng.run("t", [setter])
+        assert phase.span == cm.flag_set
+        assert phase.processors[0].flag_sets == 1
+
+    def test_wait_without_flag_store_raises(self):
+        eng = make_engine(flags=None)
+
+        def task(st):
+            yield WaitFlag(0)
+
+        with pytest.raises(RuntimeError, match="no flag store"):
+            eng.run("t", [task])
+
+
+class TestDeadlock:
+    def test_wait_on_never_set_flag_raises(self):
+        flags = FlagStore(2)
+        eng = make_engine(flags=flags)
+
+        def waiter(st):
+            yield WaitFlag(1)
+
+        with pytest.raises(SimulationDeadlockError) as exc:
+            eng.run("t", [waiter])
+        assert exc.value.waiters == {0: 1}
+
+    def test_mutual_wait_deadlock(self):
+        flags = FlagStore(2)
+        eng = make_engine(flags=flags)
+
+        def a(st):
+            yield WaitFlag(0)
+            yield SetFlag(1)
+
+        def b(st):
+            yield WaitFlag(1)
+            yield SetFlag(0)
+
+        with pytest.raises(SimulationDeadlockError) as exc:
+            eng.run("t", [a, b])
+        assert set(exc.value.waiters) == {0, 1}
+
+    def test_non_deadlocked_tasks_still_complete_before_error(self):
+        flags = FlagStore(1)
+        eng = make_engine(flags=flags)
+
+        def fine(st):
+            yield Compute(3)
+
+        def stuck(st):
+            yield WaitFlag(0)
+
+        with pytest.raises(SimulationDeadlockError):
+            eng.run("t", [fine, stuck])
+
+
+class TestResources:
+    def test_grants_in_arrival_time_order(self):
+        res = SerialResource()
+        eng = make_engine(resources={0: res})
+        order = []
+
+        def make(delay, tag):
+            def task(st):
+                yield Compute(delay)
+                yield UseResource(0, 10)
+                order.append(tag)
+
+            return task
+
+        # Later-listed task arrives earlier; grant order must follow time.
+        eng.run("t", [make(5, "slow"), make(0, "fast")])
+        assert order == ["fast", "slow"]
+
+    def test_queueing_accounted(self):
+        res = SerialResource()
+        eng = make_engine(resources={0: res})
+
+        def task(st):
+            yield UseResource(0, 10)
+
+        phase = eng.run("t", [task, task])
+        waits = sorted(p.resource_wait_cycles for p in phase.processors)
+        assert waits == [0, 10]
+        assert phase.span == 20
+
+
+class TestDeterminism:
+    def _workload(self):
+        flags = FlagStore(8)
+        eng = make_engine(flags=flags, resources={0: SerialResource()})
+
+        def make(pid):
+            def task(st):
+                for i in range(4):
+                    yield UseResource(0, 2)
+                    yield Compute(3 + (pid * 7 + i) % 5)
+                    yield SetFlag(pid * 4 + i)
+                    if pid > 0:
+                        yield WaitFlag((pid - 1) * 4 + i)
+                st.iterations += 4
+
+            return task
+
+        return eng.run("t", [make(p) for p in range(2)])
+
+    def test_repeated_runs_identical(self):
+        a = self._workload()
+        b = self._workload()
+        assert a.span == b.span
+        for pa, pb in zip(a.processors, b.processors):
+            assert pa.compute_cycles == pb.compute_cycles
+            assert pa.wait_cycles == pb.wait_cycles
+            assert pa.finish_time == pb.finish_time
+
+    def test_factory_can_update_iteration_stats(self):
+        phase = self._workload()
+        assert all(p.iterations == 4 for p in phase.processors)

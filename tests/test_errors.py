@@ -1,0 +1,69 @@
+"""Tests for the exception hierarchy and error payloads."""
+
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    InvalidLoopError,
+    MatrixFormatError,
+    OutputDependenceError,
+    ReproError,
+    ScheduleError,
+    SimulationDeadlockError,
+    SingularMatrixError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_cls",
+        [
+            SimulationDeadlockError,
+            InvalidLoopError,
+            OutputDependenceError,
+            ScheduleError,
+            MatrixFormatError,
+            SingularMatrixError,
+            CalibrationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc_cls):
+        assert issubclass(exc_cls, ReproError)
+
+    def test_output_dependence_is_invalid_loop(self):
+        assert issubclass(OutputDependenceError, InvalidLoopError)
+
+    def test_singular_is_matrix_format(self):
+        assert issubclass(SingularMatrixError, MatrixFormatError)
+
+
+class TestPayloads:
+    def test_deadlock_error_carries_waiters_and_time(self):
+        err = SimulationDeadlockError({0: 7, 3: 2}, time=99)
+        assert err.waiters == {0: 7, 3: 2}
+        assert err.time == 99
+        assert "p0→flag 7" in str(err)
+        assert "t=99" in str(err)
+
+    def test_deadlock_waiters_copied(self):
+        waiters = {1: 2}
+        err = SimulationDeadlockError(waiters, time=0)
+        waiters[1] = 99
+        assert err.waiters == {1: 2}
+
+    def test_output_dependence_names_participants(self):
+        err = OutputDependenceError(index=5, first_writer=2, second_writer=9)
+        assert err.index == 5
+        assert err.first_writer == 2
+        assert err.second_writer == 9
+        assert "element 5" in str(err)
+        assert "injective" in str(err)
+
+    def test_singular_matrix_names_row(self):
+        err = SingularMatrixError(17)
+        assert err.row == 17
+        assert "row 17" in str(err)
+
+    def test_catch_all_via_base(self):
+        with pytest.raises(ReproError):
+            raise ScheduleError("bad")

@@ -1,0 +1,62 @@
+"""Tests for the deterministic ready-queue."""
+
+import pytest
+
+from repro.machine.event_queue import ReadyQueue
+
+
+class TestReadyQueue:
+    def test_pops_in_time_order(self):
+        q = ReadyQueue()
+        q.push(30, 0)
+        q.push(10, 1)
+        q.push(20, 2)
+        assert q.pop() == (10, 1)
+        assert q.pop() == (20, 2)
+        assert q.pop() == (30, 0)
+
+    def test_ties_break_by_push_order(self):
+        q = ReadyQueue()
+        q.push(5, 3)
+        q.push(5, 1)
+        q.push(5, 2)
+        assert [q.pop()[1] for _ in range(3)] == [3, 1, 2]
+
+    def test_peek_time_matches_next_pop(self):
+        q = ReadyQueue()
+        q.push(7, 0)
+        q.push(3, 1)
+        assert q.peek_time() == 3
+        assert q.pop() == (3, 1)
+        assert q.peek_time() == 7
+
+    def test_len_and_truthiness(self):
+        q = ReadyQueue()
+        assert not q
+        assert len(q) == 0
+        q.push(1, 0)
+        assert q
+        assert len(q) == 1
+        q.pop()
+        assert not q
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            ReadyQueue().peek_time()
+
+    def test_interleaved_push_pop(self):
+        q = ReadyQueue()
+        q.push(10, 0)
+        q.push(5, 1)
+        assert q.pop() == (5, 1)
+        q.push(1, 2)
+        assert q.pop() == (1, 2)
+        assert q.pop() == (10, 0)
+
+    def test_many_entries_sorted(self):
+        q = ReadyQueue()
+        times = [97, 3, 41, 41, 0, 88, 12, 7, 55, 23]
+        for i, t in enumerate(times):
+            q.push(t, i)
+        popped = [q.pop()[0] for _ in range(len(times))]
+        assert popped == sorted(times)

@@ -1,0 +1,74 @@
+"""Tests for the simulated busy-wait flag store."""
+
+import pytest
+
+from repro.machine.flags import UNSET, FlagStore
+
+
+class TestFlagStore:
+    def test_initially_unset(self):
+        fs = FlagStore(4)
+        assert not any(fs.is_set(f) for f in range(4))
+        assert fs.set_time == [UNSET] * 4
+
+    def test_set_records_time(self):
+        fs = FlagStore(3)
+        fs.set(1, 42)
+        assert fs.is_set(1)
+        assert fs.set_time[1] == 42
+        assert not fs.is_set(0)
+
+    def test_double_set_rejected(self):
+        fs = FlagStore(2)
+        fs.set(0, 5)
+        with pytest.raises(ValueError, match="set twice"):
+            fs.set(0, 9)
+
+    def test_set_returns_parked_waiters_in_order(self):
+        fs = FlagStore(2)
+        fs.park(1, proc=3)
+        fs.park(1, proc=0)
+        woken = fs.set(1, 10)
+        assert woken == [3, 0]
+        assert fs.waiters == {}
+
+    def test_set_without_waiters_returns_empty(self):
+        fs = FlagStore(1)
+        assert fs.set(0, 1) == []
+
+    def test_parked_processors_mapping(self):
+        fs = FlagStore(5)
+        fs.park(2, proc=0)
+        fs.park(2, proc=1)
+        fs.park(4, proc=7)
+        assert fs.parked_processors() == {0: 2, 1: 2, 7: 4}
+
+    def test_reset_clears_all(self):
+        fs = FlagStore(3)
+        fs.set(0, 1)
+        fs.set(2, 5)
+        fs.reset()
+        assert fs.set_time == [UNSET] * 3
+
+    def test_reset_with_waiters_rejected(self):
+        fs = FlagStore(2)
+        fs.park(0, proc=1)
+        with pytest.raises(ValueError, match="parked waiters"):
+            fs.reset()
+
+    def test_total_sets_counter(self):
+        fs = FlagStore(4)
+        fs.set(0, 1)
+        fs.set(3, 2)
+        assert fs.total_sets == 2
+        fs.reset()
+        fs.set(0, 9)
+        assert fs.total_sets == 3  # counter survives reset (per workspace)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FlagStore(-1)
+
+    def test_zero_size_allowed(self):
+        fs = FlagStore(0)
+        assert fs.size == 0

@@ -1,0 +1,346 @@
+"""Tests for the loop-source front end."""
+
+import numpy as np
+import pytest
+
+from repro.core.doacross import PreprocessedDoacross, parallelize
+from repro.errors import InvalidLoopError
+from repro.ir.frontend import loop_from_source
+from repro.ir.subscript import AffineSubscript, IndirectSubscript
+from repro.sparse.ilu import ilu0
+from repro.sparse.stencils import five_point
+from repro.sparse.trisolve import lower_solve_loop
+from repro.workloads.testloop import make_test_loop
+
+
+class TestUniformTemplate:
+    def test_figure4_loop_matches_builder(self):
+        """The Figure-4 loop written as source must reproduce
+        make_test_loop exactly (structure and semantics)."""
+        n, m, l = 80, 3, 6
+        reference = make_test_loop(n=n, m=m, l=l)
+        shift = l + 2
+        # 0-based: index = 2(i0+1) + 2(j0+1) − L + shift = 2i + 2j + (4−L+shift).
+        source = f"""
+        for i in range({n}):
+            for j in range({m}):
+                y[2*i + {2 + shift}] += val[j] * y[2*i + 2*j + {4 - l + shift}]
+        """
+        loop = loop_from_source(
+            source,
+            arrays={"val": np.full(m, 0.5 / m)},
+            y0=reference.y0,
+            y_size=reference.y_size,
+        )
+        np.testing.assert_array_equal(loop.write, reference.write)
+        np.testing.assert_array_equal(loop.reads.index, reference.reads.index)
+        np.testing.assert_allclose(
+            loop.run_sequential(), reference.run_sequential()
+        )
+
+    def test_indirect_write_subscript(self):
+        a = np.array([3, 0, 2])
+        b = np.array([1, 1, 0])
+        source = """
+        for i in range(3):
+            for j in range(1):
+                y[a[i]] += 0.5 * y[b[i]]
+        """
+        loop = loop_from_source(source, arrays={"a": a, "b": b})
+        assert isinstance(loop.write_subscript, IndirectSubscript)
+        np.testing.assert_array_equal(loop.write, a)
+        np.testing.assert_array_equal(loop.reads.index, b)
+
+    def test_affine_write_detected(self):
+        source = """
+        for i in range(10):
+            for j in range(1):
+                y[2*i + 3] += 0.1 * y[j]
+        """
+        loop = loop_from_source(source, arrays={})
+        assert isinstance(loop.write_subscript, AffineSubscript)
+        assert (loop.write_subscript.c, loop.write_subscript.d) == (2, 3)
+
+    def test_affine_detection_enables_linear_plan(self):
+        source = """
+        for i in range(20):
+            for j in range(1):
+                y[i + 30] += 0.5 * y[i]
+        """
+        loop = loop_from_source(source, arrays={})
+        _, plan = parallelize(loop, processors=4)
+        assert plan.strategy == "linear"
+
+    def test_explicit_init_old_value(self):
+        source = """
+        for i in range(4):
+            y[i] = y[i]
+            for j in range(1):
+                y[i] += 1 * y[i + 4]
+        """
+        loop = loop_from_source(source, arrays={}, y0=np.arange(8.0))
+        assert loop.init_kind == "old_value"
+        np.testing.assert_allclose(
+            loop.run_sequential()[:4], np.arange(4.0) + np.arange(4.0, 8.0)
+        )
+
+    def test_external_init(self):
+        rhs = np.array([5.0, 6.0])
+        source = """
+        for i in range(2):
+            y[i] = rhs[i]
+            for j in range(1):
+                y[i] += 0 * y[i]
+        """
+        loop = loop_from_source(source, arrays={"rhs": rhs})
+        assert loop.init_kind == "external"
+        np.testing.assert_allclose(loop.run_sequential(), rhs)
+
+    def test_minus_equals_negates(self):
+        source = """
+        for i in range(2):
+            y[i] = rhs[i]
+            for j in range(1):
+                y[i] -= w[j] * y[i + 2]
+        """
+        loop = loop_from_source(
+            source,
+            arrays={"rhs": np.ones(2), "w": np.array([2.0])},
+            y0=np.array([0.0, 0.0, 3.0, 4.0]),
+        )
+        np.testing.assert_allclose(
+            loop.run_sequential()[:2], [1 - 6.0, 1 - 8.0]
+        )
+
+    def test_scalar_bound_binding(self):
+        source = """
+        for i in range(N):
+            for j in range(M):
+                y[i] += 0.25 * y[i + N]
+        """
+        loop = loop_from_source(source, arrays={"N": 6, "M": 2})
+        assert loop.n == 6
+        assert loop.reads.term_count(0) == 2
+
+
+class TestCsrTemplate:
+    def test_trisolve_matches_builder(self):
+        """The Figure-7 loop written as source must reproduce
+        lower_solve_loop's semantics."""
+        L, _ = ilu0(five_point(6, 6))
+        rhs = np.linspace(1.0, 2.0, L.n_rows)
+        reference = lower_solve_loop(L, rhs)
+        # Strict-lower CSR arrays (drop each row's trailing diagonal).
+        keep = np.ones(L.nnz, dtype=bool)
+        keep[L.indptr[1:] - 1] = False
+        counts = L.row_nnz() - 1
+        ptr = np.zeros(L.n_rows + 1, dtype=np.int64)
+        ptr[1:] = np.cumsum(counts)
+        source = f"""
+        for i in range({L.n_rows}):
+            y[i] = rhs[i]
+            for k in range(ptr[i], ptr[i + 1]):
+                y[i] -= coeff[k] * y[index[k]]
+        """
+        loop = loop_from_source(
+            source,
+            arrays={
+                "rhs": rhs,
+                "ptr": ptr,
+                "coeff": L.data[keep],
+                "index": L.indices[keep],
+            },
+        )
+        np.testing.assert_allclose(
+            loop.run_sequential(), reference.run_sequential()
+        )
+        # And it parallelizes like any other loop.
+        result = PreprocessedDoacross(processors=8).run(loop)
+        np.testing.assert_allclose(result.y, reference.run_sequential())
+
+    def test_empty_rows_allowed(self):
+        source = """
+        for i in range(3):
+            y[i] = rhs[i]
+            for k in range(lo[i], hi[i]):
+                y[i] += c[k] * y[idx[k]]
+        """
+        loop = loop_from_source(
+            source,
+            arrays={
+                "rhs": np.ones(3),
+                "lo": np.array([0, 0, 1]),
+                "hi": np.array([0, 1, 2]),
+                "c": np.array([2.0, 3.0]),
+                "idx": np.array([0, 1]),
+            },
+        )
+        np.testing.assert_array_equal(loop.reads.term_counts(), [0, 1, 1])
+
+    def test_inverted_bounds_rejected(self):
+        source = """
+        for i in range(2):
+            y[i] = rhs[i]
+            for k in range(lo[i], hi[i]):
+                y[i] += c[k] * y[idx[k]]
+        """
+        with pytest.raises(InvalidLoopError, match="hi < lo"):
+            loop_from_source(
+                source,
+                arrays={
+                    "rhs": np.ones(2),
+                    "lo": np.array([0, 1]),
+                    "hi": np.array([0, 0]),
+                    "c": np.array([1.0]),
+                    "idx": np.array([0]),
+                },
+            )
+
+
+class TestValidation:
+    def test_unbound_array(self):
+        source = """
+        for i in range(2):
+            for j in range(1):
+                y[i] += 1 * y[mystery[i]]
+        """
+        with pytest.raises(InvalidLoopError, match="mystery"):
+            loop_from_source(source, arrays={})
+
+    def test_out_of_range_binding(self):
+        source = """
+        for i in range(5):
+            for j in range(1):
+                y[a[i]] += 1 * y[i]
+        """
+        with pytest.raises(InvalidLoopError, match="out of range"):
+            loop_from_source(source, arrays={"a": np.array([0, 1])})
+
+    def test_not_a_for_loop(self):
+        with pytest.raises(InvalidLoopError, match="top-level"):
+            loop_from_source("x = 1", arrays={})
+
+    def test_while_inner_rejected(self):
+        source = """
+        for i in range(2):
+            while True:
+                pass
+        """
+        with pytest.raises(InvalidLoopError, match="inner 'for'"):
+            loop_from_source(source, arrays={})
+
+    def test_mismatched_write_targets(self):
+        source = """
+        for i in range(2):
+            y[i] = y[i]
+            for j in range(1):
+                y[i + 1] += 1 * y[i]
+        """
+        with pytest.raises(InvalidLoopError, match="different y elements"):
+            loop_from_source(source, arrays={})
+
+    def test_division_rejected(self):
+        source = """
+        for i in range(2):
+            for j in range(1):
+                y[i] += 1 * y[i // 2]
+        """
+        with pytest.raises(InvalidLoopError, match="unsupported operator"):
+            loop_from_source(source, arrays={})
+
+    def test_syntax_error_wrapped(self):
+        with pytest.raises(InvalidLoopError):
+            loop_from_source("for i in range(: pass", arrays={})
+
+    def test_same_loop_variable_rejected(self):
+        source = """
+        for i in range(2):
+            for i in range(1):
+                y[i] += 1 * y[i]
+        """
+        with pytest.raises(InvalidLoopError, match="differ"):
+            loop_from_source(source, arrays={})
+
+    def test_float_bound_rejected(self):
+        source = """
+        for i in range(2.5):
+            for j in range(1):
+                y[i] += 1 * y[i]
+        """
+        with pytest.raises(InvalidLoopError, match="integer literal"):
+            loop_from_source(source, arrays={})
+
+    def test_tuple_loop_target_rejected(self):
+        source = """
+        for a, b in range(3):
+            for j in range(1):
+                y[a] += 1 * y[a]
+        """
+        with pytest.raises(InvalidLoopError, match="simple name"):
+            loop_from_source(source, arrays={})
+
+    def test_range_with_step_rejected(self):
+        source = """
+        for i in range(2):
+            for j in range(0, 4, 2):
+                y[i] += 1 * y[i]
+        """
+        with pytest.raises(InvalidLoopError, match="range"):
+            loop_from_source(source, arrays={})
+
+    def test_multi_statement_inner_body_rejected(self):
+        source = """
+        for i in range(2):
+            for j in range(1):
+                y[i] += 1 * y[i]
+                y[i] += 1 * y[i]
+        """
+        with pytest.raises(InvalidLoopError, match="exactly"):
+            loop_from_source(source, arrays={})
+
+    def test_accumulation_without_product_rejected(self):
+        source = """
+        for i in range(2):
+            for j in range(1):
+                y[i] += y[i]
+        """
+        with pytest.raises(InvalidLoopError, match="coeff"):
+            loop_from_source(source, arrays={})
+
+    def test_write_to_non_y_array_rejected(self):
+        source = """
+        for i in range(2):
+            for j in range(1):
+                z[i] += 1 * y[i]
+        """
+        with pytest.raises(InvalidLoopError, match=r"y\[\.\.\.\]"):
+            loop_from_source(source, arrays={})
+
+    def test_times_equals_rejected(self):
+        source = """
+        for i in range(2):
+            for j in range(1):
+                y[i] *= 2 * y[i]
+        """
+        with pytest.raises(InvalidLoopError, match=r"\+= or -="):
+            loop_from_source(source, arrays={})
+
+    def test_negative_iteration_count_rejected(self):
+        source = """
+        for i in range(-3):
+            for j in range(1):
+                y[i] += 1 * y[i]
+        """
+        with pytest.raises(InvalidLoopError, match="negative"):
+            loop_from_source(source, arrays={})
+
+    def test_two_d_array_rejected(self):
+        import numpy as np
+
+        source = """
+        for i in range(2):
+            for j in range(1):
+                y[i] += 1 * y[a[i]]
+        """
+        with pytest.raises(InvalidLoopError, match="1-D"):
+            loop_from_source(source, arrays={"a": np.zeros((2, 2))})

@@ -1,0 +1,55 @@
+"""Golden-record regression tests.
+
+The simulator is deterministic, so fresh runs must match the committed
+golden records *exactly*.  A failure here means a code change altered
+simulated behavior; if intentional, regenerate with
+``python benchmarks/update_golden.py`` and commit the diff.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "golden"
+
+
+@pytest.fixture(scope="module")
+def golden_figure6():
+    return json.loads((GOLDEN_DIR / "figure6.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_table1():
+    return json.loads((GOLDEN_DIR / "table1.json").read_text())
+
+
+class TestGoldenFigure6:
+    def test_exact_match(self, golden_figure6):
+        from benchmarks.update_golden import figure6_record
+
+        assert figure6_record() == golden_figure6
+
+    def test_golden_covers_all_28_points(self, golden_figure6):
+        assert len(golden_figure6["points"]) == 28
+
+    def test_golden_plateau_values_sane(self, golden_figure6):
+        """Cross-check the stored numbers against the calibration: the
+        odd-L points' efficiency must be the documented plateau."""
+        point = golden_figure6["points"]["M=1,L=1"]
+        eff = point["sequential_cycles"] / (
+            golden_figure6["processors"] * point["total_cycles"]
+        )
+        assert abs(eff - 1 / 3) < 0.03
+
+
+class TestGoldenTable1:
+    def test_exact_match(self, golden_table1):
+        from benchmarks.update_golden import table1_record
+
+        assert table1_record() == golden_table1
+
+    def test_golden_orderings_hold(self, golden_table1):
+        for name, row in golden_table1["rows"].items():
+            assert row["reordered_cycles"] <= row["plain_cycles"], name
+            assert row["plain_cycles"] < row["sequential_cycles"], name

@@ -1,0 +1,86 @@
+"""Tests for experiment JSON export and the --json CLI flag."""
+
+import json
+
+import pytest
+
+from repro.bench.figure6 import main as figure6_main
+from repro.bench.harness import (
+    ExperimentRow,
+    parse_json_flag,
+    rows_to_json,
+)
+from repro.bench.table1 import main as table1_main
+from repro.core.doacross import PreprocessedDoacross
+from repro.workloads.testloop import make_test_loop
+
+
+class TestRowsToJson:
+    def test_serializes_label_params_metrics(self):
+        rows = [
+            ExperimentRow(
+                label="x", params={"m": 1}, metrics={"eff": 0.5}
+            )
+        ]
+        records = json.loads(rows_to_json(rows))
+        assert records[0]["label"] == "x"
+        assert records[0]["params"] == {"m": 1}
+        assert records[0]["metrics"] == {"eff": 0.5}
+        assert "run" not in records[0]
+
+    def test_includes_run_record_when_attached(self):
+        result = PreprocessedDoacross(processors=4).run(
+            make_test_loop(n=40, m=1, l=3)
+        )
+        rows = [ExperimentRow(label="r", result=result)]
+        records = json.loads(rows_to_json(rows))
+        assert records[0]["run"]["strategy"] == "preprocessed-doacross"
+
+    def test_non_scalar_entries_dropped(self):
+        rows = [
+            ExperimentRow(
+                label="x",
+                params={"arr": [1, 2], "ok": 3},
+                metrics={"obj": object(), "eff": 1.0},
+            )
+        ]
+        records = json.loads(rows_to_json(rows))
+        assert records[0]["params"] == {"ok": 3}
+        assert records[0]["metrics"] == {"eff": 1.0}
+
+
+class TestParseJsonFlag:
+    def test_absent(self):
+        assert parse_json_flag(["--small", "5"]) == (["--small", "5"], None)
+
+    def test_present(self):
+        args, path = parse_json_flag(["a", "--json", "out.json", "b"])
+        assert args == ["a", "b"]
+        assert path == "out.json"
+
+    def test_missing_path(self):
+        with pytest.raises(ValueError, match="file path"):
+            parse_json_flag(["--json"])
+
+
+class TestCliJsonExport:
+    def test_figure6_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "fig6.json"
+        assert figure6_main(["800", "--json", str(out)]) == 0
+        records = json.loads(out.read_text())
+        assert len(records) == 28
+        assert all("run" in r for r in records)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_table1_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "tab1.json"
+        assert table1_main(["--small", "--json", str(out)]) == 0
+        records = json.loads(out.read_text())
+        assert {r["label"] for r in records} == {
+            "SPE2",
+            "SPE5",
+            "5-PT",
+            "7-PT",
+            "9-PT",
+        }
+        assert all("reordered_cycles" in r["metrics"] for r in records)

@@ -1,0 +1,106 @@
+"""Tests for ILU(0), with dense LU (SciPy) as the oracle where exact."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.errors import MatrixFormatError, SingularMatrixError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ilu import ilu0
+from repro.sparse.spe import paper_problems
+from repro.sparse.stencils import five_point
+
+
+class TestFactorShapes:
+    def test_l_unit_lower(self):
+        L, _ = ilu0(five_point(4, 4))
+        dense = L.to_dense()
+        np.testing.assert_allclose(np.diag(dense), np.ones(16))
+        np.testing.assert_allclose(np.triu(dense, 1), 0.0)
+
+    def test_u_upper_with_pivots(self):
+        _, U = ilu0(five_point(4, 4))
+        dense = U.to_dense()
+        np.testing.assert_allclose(np.tril(dense, -1), 0.0)
+        assert (np.diag(dense) != 0).all()
+
+    def test_pattern_preserved(self):
+        """ILU(0) admits no fill: L/U patterns equal A's triangles."""
+        A = five_point(5, 5)
+        L, U = ilu0(A)
+        lower = A.lower_triangle()
+        upper = A.upper_triangle()
+        np.testing.assert_array_equal(L.indptr, lower.indptr)
+        np.testing.assert_array_equal(L.indices, lower.indices)
+        np.testing.assert_array_equal(U.indptr, upper.indptr)
+        np.testing.assert_array_equal(U.indices, upper.indices)
+
+
+class TestExactness:
+    def test_tridiagonal_is_exact(self):
+        """Tridiagonal patterns have no LU fill, so ILU(0) == LU."""
+        n = 12
+        dense = (
+            np.diag(np.full(n, 4.0))
+            + np.diag(np.full(n - 1, -1.0), 1)
+            + np.diag(np.full(n - 1, -1.5), -1)
+        )
+        L, U = ilu0(CSRMatrix.from_dense(dense))
+        np.testing.assert_allclose(
+            L.to_dense() @ U.to_dense(), dense, atol=1e-12
+        )
+
+    def test_dense_pattern_matches_scipy_lu(self):
+        rng = np.random.default_rng(3)
+        dense = rng.normal(size=(8, 8)) + 8 * np.eye(8)
+        L, U = ilu0(CSRMatrix.from_dense(dense))
+        # No pivoting in ILU(0); diagonally dominant A keeps plain LU stable.
+        _, l_ref, u_ref = scipy.linalg.lu(dense)
+        np.testing.assert_allclose(L.to_dense(), l_ref, atol=1e-10)
+        np.testing.assert_allclose(U.to_dense(), u_ref, atol=1e-10)
+
+    def test_residual_vanishes_on_pattern(self):
+        """The defining ILU(0) property: (LU − A) is zero at every position
+        inside A's sparsity pattern."""
+        A = five_point(6, 6)
+        L, U = ilu0(A)
+        residual = L.to_dense() @ U.to_dense() - A.to_dense()
+        mask = A.to_dense() != 0
+        mask[np.diag_indices_from(mask)] = True
+        assert np.abs(residual[mask]).max() < 1e-12
+
+    def test_reasonable_preconditioner_for_paper_problems(self):
+        """|LU − A| off-pattern stays bounded for all five test problems
+        (small versions) — the factors are usable preconditioners."""
+        for name, A in paper_problems(small=True).items():
+            L, U = ilu0(A)
+            residual = np.abs(
+                L.to_dense() @ U.to_dense() - A.to_dense()
+            ).max()
+            scale = np.abs(A.to_dense()).max()
+            assert residual < 0.5 * scale, name
+
+
+class TestErrors:
+    def test_non_square_rejected(self):
+        A = CSRMatrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(MatrixFormatError, match="square"):
+            ilu0(A)
+
+    def test_missing_diagonal_rejected(self):
+        dense = np.array([[1.0, 1.0], [1.0, 0.0]])  # (1,1) outside pattern
+        with pytest.raises(SingularMatrixError) as exc:
+            ilu0(CSRMatrix.from_dense(dense))
+        assert exc.value.row == 1
+
+    def test_zero_pivot_rejected(self):
+        # Elimination drives the (1,1) pivot to exactly zero.
+        dense = np.array([[2.0, 2.0], [2.0, 2.0]])
+        with pytest.raises(SingularMatrixError):
+            ilu0(CSRMatrix.from_dense(dense))
+
+    def test_input_not_modified(self):
+        A = five_point(4, 4)
+        before = A.data.copy()
+        ilu0(A)
+        np.testing.assert_allclose(A.data, before)

@@ -1,0 +1,75 @@
+"""Tests for level scheduling, with networkx as an independent oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.depgraph import DependenceGraph
+from repro.graph.levels import compute_levels
+from repro.ir.analysis import dependence_pairs
+from repro.workloads.synthetic import chain_loop, random_irregular_loop
+
+
+def nx_levels(loop):
+    """Oracle: longest-path level per node via networkx."""
+    g = nx.DiGraph()
+    g.add_nodes_from(range(loop.n))
+    g.add_edges_from(map(tuple, dependence_pairs(loop).tolist()))
+    levels = {}
+    for node in nx.topological_sort(g):
+        preds = list(g.predecessors(node))
+        levels[node] = 1 + max((levels[p] for p in preds), default=-1)
+    return np.array([levels[i] for i in range(loop.n)])
+
+
+class TestLevels:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx_oracle(self, seed):
+        loop = random_irregular_loop(70, seed=seed)
+        schedule = compute_levels(loop)
+        np.testing.assert_array_equal(schedule.levels, nx_levels(loop))
+
+    def test_chain(self):
+        schedule = compute_levels(chain_loop(12, 1))
+        np.testing.assert_array_equal(schedule.levels, np.arange(12))
+        assert schedule.n_levels == 12
+
+    def test_level_ptr_partitions_order(self):
+        loop = random_irregular_loop(50, seed=3)
+        s = compute_levels(loop)
+        assert s.level_ptr[0] == 0
+        assert s.level_ptr[-1] == 50
+        for k in range(s.n_levels):
+            segment = s.order[s.level_ptr[k] : s.level_ptr[k + 1]]
+            assert np.all(s.levels[segment] == k)
+
+    def test_level_sizes_sum_to_n(self):
+        loop = random_irregular_loop(64, seed=8)
+        s = compute_levels(loop)
+        assert int(s.level_sizes().sum()) == 64
+        assert s.max_width() == int(s.level_sizes().max())
+
+    def test_validate_passes_for_computed_levels(self):
+        loop = random_irregular_loop(60, seed=2)
+        g = DependenceGraph.from_loop(loop)
+        compute_levels(g).validate(g)
+
+    def test_validate_catches_bad_levels(self):
+        g = DependenceGraph(2, np.array([[0, 1]]))
+        s = compute_levels(g)
+        s.levels[:] = 0  # corrupt
+        with pytest.raises(AssertionError, match="ascend"):
+            s.validate(g)
+
+    def test_empty_loop(self):
+        s = compute_levels(random_irregular_loop(0, seed=0))
+        assert s.n_levels == 0
+        assert s.n == 0
+        assert s.max_width() == 0
+        assert s.average_width() == 0.0
+
+    def test_order_stable_within_level(self):
+        """Ties broken by original index (deterministic reports)."""
+        loop = random_irregular_loop(40, max_terms=0, seed=0)  # all level 0
+        s = compute_levels(loop)
+        np.testing.assert_array_equal(s.order, np.arange(40))

@@ -1,0 +1,107 @@
+"""Tests for the closed-form performance model against the simulator."""
+
+import pytest
+
+from repro.bench.model import (
+    ModelPrediction,
+    predict_chain_loop,
+    predict_dependence_free,
+    predict_figure4,
+    relative_error,
+)
+from repro.core.doacross import PreprocessedDoacross
+from repro.machine.costs import CostModel
+from repro.workloads.synthetic import chain_loop
+from repro.workloads.testloop import make_test_loop
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return PreprocessedDoacross(processors=16)
+
+
+class TestDependenceFree:
+    def test_exact_for_odd_l(self, runner):
+        """No stochastic effects anywhere: the throughput regime is exact."""
+        for m in (1, 3, 5):
+            loop = make_test_loop(n=3200, m=m, l=3)
+            sim = runner.run(loop)
+            pred = predict_dependence_free(3200, m, 16)
+            assert pred.total == sim.total_cycles
+            assert pred.regime == "throughput-bound"
+
+    def test_efficiency_matches_plateau(self):
+        pred = predict_dependence_free(100_000, 1, 16)
+        assert pred.efficiency == pytest.approx(
+            CostModel().overhead_plateau(1), abs=0.01
+        )
+
+
+class TestFigure4:
+    @pytest.mark.parametrize("m", [1, 2, 5])
+    @pytest.mark.parametrize("l", [4, 6, 8, 10, 12, 14])
+    def test_within_seven_percent(self, runner, m, l):
+        loop = make_test_loop(n=4000, m=m, l=l)
+        sim = runner.run(loop)
+        pred = predict_figure4(4000, m, l, 16)
+        assert relative_error(pred, sim) < 0.07
+
+    def test_regime_identification(self):
+        assert predict_figure4(4000, 1, 3, 16).regime == "throughput-bound"
+        assert predict_figure4(4000, 1, 4, 16).regime == "chain-bound"
+
+    def test_predicts_monotone_even_l_improvement(self):
+        totals = [
+            predict_figure4(4000, 1, l, 16).total for l in (4, 6, 8, 10, 12)
+        ]
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestChainLoop:
+    @pytest.mark.parametrize("d", [1, 2, 4, 8, 16])
+    def test_within_six_percent(self, runner, d):
+        sim = runner.run(chain_loop(3000, d))
+        pred = predict_chain_loop(3000, d, 16)
+        assert relative_error(pred, sim) < 0.06
+
+    def test_sequential_correction_for_leading_iterations(self):
+        pred = predict_chain_loop(100, 30, 4)
+        cm = CostModel()
+        assert pred.sequential == 100 * cm.work.overhead + 70 * cm.work.term
+
+
+class TestPredictionRecord:
+    def test_total_composition(self):
+        pred = ModelPrediction(
+            n=10,
+            processors=2,
+            inspector=5,
+            executor_throughput=50,
+            executor_chain=70,
+            postprocessor=10,
+            barriers=9,
+            sequential=100,
+        )
+        assert pred.executor == 70
+        assert pred.total == 94
+        assert pred.regime == "chain-bound"
+        assert pred.efficiency == pytest.approx(100 / (2 * 94))
+
+    def test_relative_error_zero_totals(self):
+        import numpy as np
+
+        from repro.core.results import RunResult
+
+        pred = predict_dependence_free(0, 1, 2)
+        result = RunResult(
+            loop_name="x",
+            strategy="s",
+            processors=2,
+            y=np.zeros(1),
+            total_cycles=0,
+            sequential_cycles=0,
+            cost_model=CostModel(),
+        )
+        # Prediction has barrier cycles even at n=0; that's "infinitely"
+        # wrong relative to a zero-cycle run.
+        assert relative_error(pred, result) == float("inf")

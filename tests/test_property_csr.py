@@ -1,0 +1,84 @@
+"""Property-based tests for the sparse substrate against dense NumPy."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ilu import ilu0
+
+
+def sparse_dense(draw_shape=(1, 12)):
+    """Strategy: small dense matrices with controlled sparsity."""
+    return st.integers(*draw_shape).flatmap(
+        lambda n: st.integers(*draw_shape).flatmap(
+            lambda m: arrays(
+                np.float64,
+                (n, m),
+                elements=st.sampled_from([0.0, 0.0, 1.0, -2.0, 0.5, 3.0]),
+            )
+        )
+    )
+
+
+@given(dense=sparse_dense())
+@settings(max_examples=80, deadline=None)
+def test_dense_roundtrip(dense):
+    A = CSRMatrix.from_dense(dense)
+    np.testing.assert_allclose(A.to_dense(), dense)
+    assert A.nnz == int(np.count_nonzero(dense))
+
+
+@given(dense=sparse_dense(), seed=st.integers(0, 100))
+@settings(max_examples=80, deadline=None)
+def test_matvec_matches_dense(dense, seed):
+    A = CSRMatrix.from_dense(dense)
+    x = np.random.default_rng(seed).normal(size=dense.shape[1])
+    np.testing.assert_allclose(A.matvec(x), dense @ x, rtol=1e-12, atol=1e-12)
+
+
+@given(dense=sparse_dense())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(dense):
+    A = CSRMatrix.from_dense(dense)
+    np.testing.assert_allclose(A.transpose().transpose().to_dense(), dense)
+
+
+@given(dense=sparse_dense())
+@settings(max_examples=60, deadline=None)
+def test_triangles_partition_the_matrix(dense):
+    A = CSRMatrix.from_dense(dense)
+    if A.n_rows != A.n_cols:
+        return
+    lower = A.strict_lower_triangle().to_dense()
+    upper = A.upper_triangle().to_dense()
+    np.testing.assert_allclose(lower + upper, dense)
+
+
+@given(n=st.integers(2, 10), seed=st.integers(0, 500))
+@settings(max_examples=60, deadline=None)
+def test_ilu0_exact_on_dense_patterns(n, seed):
+    """With a full pattern there is no dropped fill: L @ U == A."""
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(n, n)) + n * 2 * np.eye(n)
+    L, U = ilu0(CSRMatrix.from_dense(dense))
+    np.testing.assert_allclose(
+        L.to_dense() @ U.to_dense(), dense, rtol=1e-9, atol=1e-9
+    )
+
+
+@given(n=st.integers(2, 12), seed=st.integers(0, 500))
+@settings(max_examples=60, deadline=None)
+def test_ilu0_residual_zero_on_pattern(n, seed):
+    """The ILU(0) defining property on random sparse diagonally-dominant
+    matrices: the residual vanishes on A's pattern."""
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(n, n))
+    dense[rng.random((n, n)) > 0.4] = 0.0
+    dense += (np.abs(dense).sum(axis=1).max() + 1.0) * np.eye(n)
+    A = CSRMatrix.from_dense(dense)
+    L, U = ilu0(A)
+    residual = L.to_dense() @ U.to_dense() - dense
+    mask = dense != 0
+    assert np.abs(residual[mask]).max() < 1e-9

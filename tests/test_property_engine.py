@@ -1,0 +1,105 @@
+"""Property-based tests of the discrete-event engine itself."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.costs import CostModel
+from repro.machine.engine import Engine
+from repro.machine.flags import FlagStore
+from repro.machine.ops import Compute, SetFlag, UseResource, WaitFlag
+from repro.machine.resource import SerialResource
+
+
+def build_workload(n_procs, n_flags, script_seed):
+    """A random but causally-safe workload: processor p sets flags in block
+    p and may wait on flags of blocks < p (set by construction, eventually)."""
+    rng = np.random.default_rng(script_seed)
+    per_proc = []
+    for p in range(n_procs):
+        steps = []
+        for f in range(n_flags):
+            steps.append(("compute", int(rng.integers(1, 20))))
+            if p > 0 and rng.random() < 0.5:
+                steps.append(("wait", (p - 1) * n_flags + f))
+            steps.append(("set", p * n_flags + f))
+        per_proc.append(steps)
+    return per_proc
+
+
+def run_workload(per_proc, n_flags_total):
+    flags = FlagStore(n_flags_total)
+    engine = Engine(CostModel(), flags=flags, resources={0: SerialResource()})
+
+    def factory(steps):
+        def task(st):
+            for kind, arg in steps:
+                if kind == "compute":
+                    yield Compute(arg)
+                elif kind == "wait":
+                    yield WaitFlag(arg)
+                elif kind == "set":
+                    yield SetFlag(arg)
+                elif kind == "res":
+                    yield UseResource(0, arg)
+
+        return task
+
+    return engine.run("t", [factory(s) for s in per_proc])
+
+
+@given(
+    n_procs=st.integers(1, 6),
+    n_flags=st.integers(1, 8),
+    seed=st.integers(0, 5000),
+)
+@settings(max_examples=80, deadline=None)
+def test_engine_deterministic(n_procs, n_flags, seed):
+    per_proc = build_workload(n_procs, n_flags, seed)
+    a = run_workload(per_proc, n_procs * n_flags)
+    b = run_workload(per_proc, n_procs * n_flags)
+    assert a.span == b.span
+    for pa, pb in zip(a.processors, b.processors):
+        assert pa.finish_time == pb.finish_time
+        assert pa.compute_cycles == pb.compute_cycles
+        assert pa.wait_cycles == pb.wait_cycles
+
+
+@given(
+    n_procs=st.integers(1, 6),
+    n_flags=st.integers(1, 8),
+    seed=st.integers(0, 5000),
+)
+@settings(max_examples=80, deadline=None)
+def test_engine_time_conservation(n_procs, n_flags, seed):
+    """Each processor's finish time equals its accounted cycles: nothing is
+    lost or double-counted."""
+    per_proc = build_workload(n_procs, n_flags, seed)
+    phase = run_workload(per_proc, n_procs * n_flags)
+    for p in phase.processors:
+        assert p.finish_time == p.total_cycles
+
+
+@given(
+    n_procs=st.integers(2, 6),
+    holds=st.lists(st.integers(1, 10), min_size=2, max_size=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_serialization_conserves_busy_time(n_procs, holds):
+    """Total span of pure-resource workloads equals the sum of holds (a
+    single-server queue can't parallelize)."""
+    res = SerialResource()
+    engine = Engine(CostModel(), resources={0: res})
+
+    assignments = [holds[i::n_procs] for i in range(n_procs)]
+
+    def factory(my_holds):
+        def task(st):
+            for h in my_holds:
+                yield UseResource(0, h)
+
+        return task
+
+    phase = engine.run("t", [factory(a) for a in assignments])
+    assert phase.span == sum(holds)
+    assert res.busy_cycles == sum(holds)

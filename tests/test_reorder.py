@@ -1,0 +1,39 @@
+"""Tests for permutation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.reorder import (
+    identity_permutation,
+    invert_permutation,
+    permutation_is_valid,
+    random_symmetric_permutation,
+)
+
+
+class TestPermutations:
+    def test_identity(self):
+        np.testing.assert_array_equal(identity_permutation(4), [0, 1, 2, 3])
+
+    def test_random_is_valid_and_seeded(self):
+        a = random_symmetric_permutation(20, seed=3)
+        b = random_symmetric_permutation(20, seed=3)
+        assert permutation_is_valid(a)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validity_checks(self):
+        assert permutation_is_valid([2, 0, 1])
+        assert not permutation_is_valid([0, 0, 1])
+        assert not permutation_is_valid([0, 3])
+        assert not permutation_is_valid([[0, 1]])
+        assert not permutation_is_valid([-1, 0])
+
+    def test_invert(self):
+        perm = np.array([2, 0, 3, 1])
+        inv = invert_permutation(perm)
+        np.testing.assert_array_equal(perm[inv], np.arange(4))
+        np.testing.assert_array_equal(inv[perm], np.arange(4))
+
+    def test_invert_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            invert_permutation([0, 0])

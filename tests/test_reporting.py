@@ -1,0 +1,91 @@
+"""Tests for plain-text report rendering."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentRow,
+    check_monotone_nondecreasing,
+    check_within,
+    geometric_mean,
+)
+from repro.bench.reporting import ascii_chart, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_float_formatting(self):
+        text = format_table(
+            ["name", "value"],
+            [("a", 1.23456), ("bbbb", 10)],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.235" in text
+        assert "10" in text
+        # All data lines equal width.
+        assert len(set(len(l) for l in lines[1:])) == 1
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_no_title(self):
+        text = format_table(["x"], [(1,)])
+        assert text.splitlines()[0] == "x"
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            {"s1": [(1.0, 0.1), (2.0, 0.3)], "s2": [(1.0, 0.2)]},
+            x_label="L",
+            y_label="eff",
+        )
+        assert "o = s1" in chart
+        assert "* = s2" in chart
+        assert "(L)" in chart
+        assert "eff" in chart
+
+    def test_empty_series(self):
+        assert ascii_chart({}) == "(no data)"
+        assert ascii_chart({"a": []}) == "(no data)"
+
+    def test_single_point(self):
+        chart = ascii_chart({"a": [(1.0, 0.5)]})
+        assert "o" in chart
+
+    def test_y_max_sets_axis(self):
+        chart = ascii_chart({"a": [(0.0, 0.1), (1.0, 0.2)]}, y_max=0.6)
+        assert chart.splitlines()[0].strip().startswith("0.60")
+
+    def test_values_above_y_max_clipped_not_crashing(self):
+        chart = ascii_chart({"a": [(0.0, 5.0)]}, y_max=1.0)
+        assert "o" in chart
+
+
+class TestHarnessHelpers:
+    def test_monotone_check_passes(self):
+        check_monotone_nondecreasing([1.0, 1.0, 2.0])
+
+    def test_monotone_check_tolerance(self):
+        check_monotone_nondecreasing([1.0, 0.999], tolerance=0.01)
+        with pytest.raises(AssertionError):
+            check_monotone_nondecreasing([1.0, 0.9], tolerance=0.01)
+
+    def test_check_within(self):
+        check_within(0.5, 0.4, 0.6)
+        with pytest.raises(AssertionError, match="band"):
+            check_within(0.7, 0.4, 0.6, label="x")
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_experiment_row_metric_lookup(self):
+        row = ExperimentRow(label="x", metrics={"a": 1.0})
+        assert row.metric("a") == 1.0
+        with pytest.raises(KeyError):
+            row.metric("b")

@@ -1,0 +1,59 @@
+"""Tests for serially-reusable resources (FCFS queueing)."""
+
+from repro.machine.resource import SerialResource
+
+
+class TestSerialResource:
+    def test_idle_grant_is_immediate(self):
+        r = SerialResource()
+        release, queued = r.acquire(now=10, hold=5)
+        assert release == 15
+        assert queued == 0
+
+    def test_busy_grant_queues(self):
+        r = SerialResource()
+        r.acquire(now=0, hold=10)
+        release, queued = r.acquire(now=3, hold=10)
+        assert release == 20
+        assert queued == 7
+
+    def test_fcfs_chain(self):
+        r = SerialResource()
+        releases = [r.acquire(now=0, hold=4)[0] for _ in range(3)]
+        assert releases == [4, 8, 12]
+
+    def test_gap_resets_queue(self):
+        r = SerialResource()
+        r.acquire(now=0, hold=2)
+        release, queued = r.acquire(now=100, hold=2)
+        assert release == 102
+        assert queued == 0
+
+    def test_zero_hold(self):
+        r = SerialResource()
+        release, queued = r.acquire(now=5, hold=0)
+        assert release == 5
+        assert queued == 0
+
+    def test_accounting(self):
+        r = SerialResource()
+        r.acquire(0, 10)
+        r.acquire(0, 10)  # queued 10
+        assert r.busy_cycles == 20
+        assert r.queue_cycles == 10
+        assert r.grants == 2
+
+    def test_utilization(self):
+        r = SerialResource()
+        r.acquire(0, 25)
+        assert r.utilization(100) == 0.25
+        assert r.utilization(0) == 0.0
+
+    def test_reset(self):
+        r = SerialResource()
+        r.acquire(0, 10)
+        r.reset()
+        assert r.free_at == 0
+        assert r.busy_cycles == 0
+        assert r.queue_cycles == 0
+        assert r.grants == 0

@@ -1,0 +1,65 @@
+"""Tests for run-result records and the paper's efficiency definition."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import PhaseBreakdown, RunResult
+from repro.machine.costs import CostModel
+
+
+def make_result(total=1000, seq=8000, p=16, **kw):
+    return RunResult(
+        loop_name="test",
+        strategy="preprocessed-doacross",
+        processors=p,
+        y=np.zeros(4),
+        total_cycles=total,
+        sequential_cycles=seq,
+        cost_model=CostModel(),
+        **kw,
+    )
+
+
+class TestPhaseBreakdown:
+    def test_total(self):
+        b = PhaseBreakdown(inspector=10, executor=100, postprocessor=20, barriers=6)
+        assert b.total == 136
+
+    def test_as_dict(self):
+        b = PhaseBreakdown(inspector=1)
+        assert b.as_dict()["inspector"] == 1
+        assert set(b.as_dict()) == {
+            "inspector",
+            "executor",
+            "postprocessor",
+            "barriers",
+        }
+
+
+class TestRunResult:
+    def test_speedup_and_efficiency_definition(self):
+        """Efficiency is the paper's T_seq / (p * T_par)."""
+        r = make_result(total=1000, seq=8000, p=16)
+        assert r.speedup == pytest.approx(8.0)
+        assert r.efficiency == pytest.approx(8000 / (16 * 1000))
+
+    def test_zero_total_cycles(self):
+        r = make_result(total=0, seq=100)
+        assert r.speedup == float("inf")
+        r2 = make_result(total=0, seq=0)
+        assert r2.speedup == 1.0
+
+    def test_ms_rendering(self):
+        r = make_result(total=20_000, seq=40_000)
+        assert r.total_ms == pytest.approx(2.0)
+        assert r.sequential_ms == pytest.approx(4.0)
+
+    def test_summary_contains_key_facts(self):
+        r = make_result()
+        r.breakdown = PhaseBreakdown(inspector=5, executor=50)
+        r.extras["note"] = "hello"
+        s = r.summary()
+        assert "strategy=preprocessed-doacross" in s
+        assert "efficiency=" in s
+        assert "inspector=5" in s
+        assert "note=hello" in s

@@ -1,0 +1,52 @@
+"""Tests for the sequential oracle runner and its timing model."""
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import run_reference, sequential_time
+from repro.machine.costs import CostModel, WorkProfile
+from repro.workloads.synthetic import random_irregular_loop
+from repro.workloads.testloop import make_test_loop
+
+
+class TestSequentialTime:
+    def test_uniform_terms_formula(self):
+        cm = CostModel()
+        loop = make_test_loop(n=100, m=3, l=5)
+        expected = 100 * cm.seq_iteration(3)
+        assert sequential_time(loop, cm) == expected
+
+    def test_respects_loop_work_profile(self):
+        cm = CostModel()
+        loop = make_test_loop(n=10, m=1, l=3)
+        loop.work = WorkProfile(overhead=100, term_setup=10, term_consume=10)
+        assert sequential_time(loop, cm) == 10 * (100 + 20)
+
+    def test_varying_term_counts(self):
+        cm = CostModel()
+        loop = random_irregular_loop(50, max_terms=4, seed=3)
+        total_terms = int(loop.reads.term_counts().sum())
+        assert (
+            sequential_time(loop, cm)
+            == 50 * cm.work.overhead + total_terms * cm.work.term
+        )
+
+    def test_empty_loop_is_free(self):
+        loop = random_irregular_loop(0, seed=0)
+        assert sequential_time(loop, CostModel()) == 0
+
+
+class TestRunReference:
+    def test_matches_oracle_values(self):
+        loop = random_irregular_loop(60, seed=11)
+        result = run_reference(loop)
+        np.testing.assert_allclose(result.y, loop.run_sequential())
+
+    def test_is_its_own_baseline(self):
+        loop = make_test_loop(n=40, m=2, l=4)
+        result = run_reference(loop)
+        assert result.total_cycles == result.sequential_cycles
+        assert result.speedup == pytest.approx(1.0)
+        assert result.efficiency == pytest.approx(1.0)
+        assert result.processors == 1
+        assert result.strategy == "sequential"

@@ -1,0 +1,83 @@
+"""Tests for run-result serialization."""
+
+import json
+
+from repro.core.doacross import PreprocessedDoacross
+from repro.core.serialize import result_to_dict, result_to_json, results_to_csv
+from repro.workloads.testloop import make_test_loop
+
+
+def sample_results():
+    runner = PreprocessedDoacross(processors=4)
+    return [
+        runner.run(make_test_loop(n=60, m=1, l=3)),
+        runner.run(make_test_loop(n=60, m=2, l=4)),
+    ]
+
+
+class TestResultToDict:
+    def test_roundtrips_through_json(self):
+        result = sample_results()[0]
+        record = json.loads(result_to_json(result))
+        assert record["strategy"] == "preprocessed-doacross"
+        assert record["processors"] == 4
+        assert record["total_cycles"] == result.total_cycles
+        assert record["efficiency"] == result.efficiency
+
+    def test_phases_flattened(self):
+        record = result_to_dict(sample_results()[0])
+        assert set(record["phases"]) == {
+            "inspector",
+            "executor",
+            "postprocessor",
+        }
+        assert record["phases"]["executor"]["iterations"] == 60
+
+    def test_y_summarized_not_embedded(self):
+        record = result_to_dict(sample_results()[0])
+        assert record["y_len"] > 0
+        assert len(record["y_checksum"]) == 16
+        assert "y" not in record
+
+    def test_checksum_distinguishes_values(self):
+        a, b = sample_results()
+        assert (
+            result_to_dict(a)["y_checksum"] != result_to_dict(b)["y_checksum"]
+        )
+
+    def test_identical_runs_identical_records(self):
+        runner = PreprocessedDoacross(processors=4)
+        loop = make_test_loop(n=50, m=1, l=4)
+        r1 = result_to_json(runner.run(loop))
+        r2 = result_to_json(runner.run(loop))
+        assert r1 == r2
+
+    def test_non_scalar_extras_dropped(self):
+        result = sample_results()[0]
+        result.extras["array"] = [1, 2, 3]
+        result.extras["note"] = "fine"
+        record = result_to_dict(result)
+        assert "array" not in record["extras"]
+        assert record["extras"]["note"] == "fine"
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = results_to_csv(sample_results())
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("loop,strategy,processors")
+        assert "preprocessed-doacross" in lines[1]
+
+    def test_commas_in_fields_quoted(self):
+        results = sample_results()
+        results[0].loop_name = "a,b"
+        text = results_to_csv(results)
+        assert '"a,b"' in text
+
+    def test_empty_list(self):
+        text = results_to_csv([])
+        assert text.strip() == (
+            "loop,strategy,processors,schedule,order,total_cycles,"
+            "sequential_cycles,speedup,efficiency,wait_cycles,y_checksum"
+        )

@@ -1,0 +1,115 @@
+"""Direct tests of the simulated backend's edge cases and internals."""
+
+import numpy as np
+import pytest
+
+from repro.backends.simulated import SimulatedRunner
+from repro.core.workspace import DoacrossWorkspace
+from repro.errors import InvalidLoopError
+from repro.machine.engine import Machine
+from repro.machine.scheduler import DynamicSchedule, StaticCyclicSchedule
+from repro.workloads.synthetic import chain_loop, random_irregular_loop
+from repro.workloads.testloop import make_test_loop
+from tests.conftest import assert_matches_oracle
+
+
+@pytest.fixture
+def runner():
+    return SimulatedRunner(Machine(4))
+
+
+class TestScheduleResolution:
+    def test_accepts_schedule_instance(self, runner):
+        loop = make_test_loop(n=60, m=1, l=3)
+        schedule = StaticCyclicSchedule(60, 4, chunk=2)
+        result = runner.run_preprocessed(loop, schedule=schedule)
+        assert_matches_oracle(result.y, loop)
+
+    def test_rejects_mismatched_schedule_size(self, runner):
+        loop = make_test_loop(n=60, m=1, l=3)
+        with pytest.raises(InvalidLoopError, match="covers"):
+            runner.run_preprocessed(
+                loop, schedule=StaticCyclicSchedule(50, 4)
+            )
+
+    def test_dynamic_schedule_instance_reset_between_runs(self, runner):
+        loop = make_test_loop(n=40, m=1, l=3)
+        schedule = DynamicSchedule(40, 4, chunk=8)
+        first = runner.run_preprocessed(loop, schedule=schedule)
+        second = runner.run_preprocessed(loop, schedule=schedule)
+        assert first.total_cycles == second.total_cycles
+
+
+class TestEdgeCases:
+    def test_empty_loop_every_entry_point(self, runner):
+        loop = random_irregular_loop(0, seed=0)
+        for result in (
+            runner.run_preprocessed(loop),
+            runner.run_stripmined(loop, block=4),
+            runner.run_doall(loop),
+            runner.run_amortized(loop, 2),
+        ):
+            np.testing.assert_allclose(result.y, loop.y0)
+
+    def test_single_iteration_loop(self, runner):
+        loop = random_irregular_loop(1, seed=3)
+        result = runner.run_preprocessed(loop)
+        assert_matches_oracle(result.y, loop)
+
+    def test_more_processors_than_iterations(self):
+        runner = SimulatedRunner(Machine(32))
+        loop = random_irregular_loop(5, seed=2)
+        result = runner.run_preprocessed(loop)
+        assert_matches_oracle(result.y, loop)
+
+    def test_one_processor_machine(self):
+        runner = SimulatedRunner(Machine(1))
+        loop = chain_loop(50, 1)
+        result = runner.run_preprocessed(loop)
+        assert_matches_oracle(result.y, loop)
+        # Nothing to wait for on one processor: the chain is sequential.
+        assert result.wait_cycles == 0
+
+    def test_machine_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Machine(0)
+
+    def test_machine_repr(self):
+        assert "processors=4" in repr(Machine(4))
+
+
+class TestDispatchAccounting:
+    def test_dynamic_dispatch_counts_recorded(self, runner):
+        loop = make_test_loop(n=64, m=1, l=3)
+        result = runner.run_preprocessed(loop, schedule="dynamic", chunk=8)
+        executor = next(p for p in result.phases if p.name == "executor")
+        dispatches = sum(p.dispatches for p in executor.processors)
+        # 8 chunks of 8 plus one empty-claim probe per processor.
+        assert dispatches == 8 + 4
+
+    def test_static_schedules_have_no_dispatches(self, runner):
+        loop = make_test_loop(n=64, m=1, l=3)
+        result = runner.run_preprocessed(loop, schedule="cyclic")
+        executor = next(p for p in result.phases if p.name == "executor")
+        assert sum(p.dispatches for p in executor.processors) == 0
+
+    def test_dispatch_serializes_through_counter(self, runner):
+        """Dynamic chunk-1 on a trivial loop: 16+ grabs serialize on the
+        dispatch resource, visible as resource wait."""
+        loop = make_test_loop(n=64, m=1, l=3)
+        result = runner.run_preprocessed(loop, schedule="dynamic", chunk=1)
+        executor = next(p for p in result.phases if p.name == "executor")
+        assert sum(p.resource_wait_cycles for p in executor.processors) > 0
+
+
+class TestWorkspaceSharing:
+    def test_shared_workspace_between_runner_instances(self):
+        ws = DoacrossWorkspace()
+        machine = Machine(4)
+        a = SimulatedRunner(machine, ws)
+        b = SimulatedRunner(machine, ws)
+        loop = random_irregular_loop(40, seed=1)
+        a.run_preprocessed(loop)
+        b.run_preprocessed(loop)
+        assert ws.invocations == 2
+        assert ws.is_clean()

@@ -1,0 +1,58 @@
+"""Tests for the paper's five test problems (appendix sizes)."""
+
+from repro.sparse.spe import (
+    PAPER_PROBLEM_SIZES,
+    five_pt_problem,
+    nine_pt_problem,
+    paper_problems,
+    seven_pt_problem,
+    spe2,
+    spe5,
+)
+
+
+class TestPaperSizes:
+    """The appendix is explicit about each problem's equation count; these
+    assert our generators hit them exactly."""
+
+    def test_spe2_is_1080(self):
+        assert spe2().n_rows == 1080 == PAPER_PROBLEM_SIZES["SPE2"]
+
+    def test_spe5_is_3312(self):
+        assert spe5().n_rows == 3312 == PAPER_PROBLEM_SIZES["SPE5"]
+
+    def test_five_pt_is_3969(self):
+        assert five_pt_problem().n_rows == 3969
+
+    def test_seven_pt_is_8000(self):
+        assert seven_pt_problem().n_rows == 8000
+
+    def test_nine_pt_is_3969(self):
+        assert nine_pt_problem().n_rows == 3969
+
+
+class TestProblemSets:
+    def test_full_set_names_and_sizes(self):
+        probs = paper_problems()
+        assert list(probs) == ["SPE2", "SPE5", "5-PT", "7-PT", "9-PT"]
+        for name, A in probs.items():
+            assert A.n_rows == PAPER_PROBLEM_SIZES[name]
+            assert A.n_rows == A.n_cols
+
+    def test_small_set_same_names_smaller_sizes(self):
+        small = paper_problems(small=True)
+        full_sizes = PAPER_PROBLEM_SIZES
+        assert list(small) == list(full_sizes)
+        for name, A in small.items():
+            assert 0 < A.n_rows < full_sizes[name]
+
+    def test_problems_deterministic(self):
+        a = spe5()
+        b = spe5()
+        assert a.nnz == b.nnz
+        assert (a.data == b.data).all()
+
+    def test_all_have_full_diagonals(self):
+        for name, A in paper_problems(small=True).items():
+            diag = A.diagonal()
+            assert (diag != 0).all(), name

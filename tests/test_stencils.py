@@ -1,0 +1,99 @@
+"""Tests for stencil operator generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixFormatError
+from repro.sparse.stencils import (
+    five_point,
+    grid_index_2d,
+    grid_index_3d,
+    nine_point,
+    seven_point,
+)
+
+
+class TestGridIndexing:
+    def test_2d_x_fastest(self):
+        assert grid_index_2d(np.array(2), np.array(1), nx=5) == 7
+
+    def test_3d_ordering(self):
+        assert grid_index_3d(np.array(1), np.array(2), np.array(3), nx=4, ny=5) == (
+            (3 * 5 + 2) * 4 + 1
+        )
+
+
+class TestFivePoint:
+    def test_size_and_nnz(self):
+        A = five_point(4, 3)
+        assert A.shape == (12, 12)
+        # nnz = 5n - boundary-truncated neighbors.
+        interior_links = 2 * ((4 - 1) * 3 + 4 * (3 - 1))
+        assert A.nnz == 12 + interior_links
+
+    def test_symmetric(self):
+        A = five_point(5, 4)
+        np.testing.assert_allclose(A.to_dense(), A.to_dense().T)
+
+    def test_stencil_values(self):
+        A = five_point(3, 3)
+        center = 4  # grid point (1, 1)
+        assert A.get(center, center) == 4.0
+        for nbr in (center - 1, center + 1, center - 3, center + 3):
+            assert A.get(center, nbr) == -1.0
+
+    def test_interior_row_sums_zero(self):
+        A = five_point(5, 5)
+        dense = A.to_dense()
+        interior = 2 * 5 + 2  # point (2, 2)
+        assert dense[interior].sum() == 0.0
+
+    def test_diagonally_dominant(self):
+        A = five_point(6, 6).to_dense()
+        diag = np.diag(A)
+        off = np.abs(A).sum(axis=1) - np.abs(diag)
+        assert np.all(diag >= off)
+
+    def test_invalid_dims(self):
+        with pytest.raises(MatrixFormatError):
+            five_point(0, 3)
+
+
+class TestSevenPoint:
+    def test_size(self):
+        A = seven_point(3, 4, 5)
+        assert A.shape == (60, 60)
+
+    def test_symmetric(self):
+        A = seven_point(3, 3, 3)
+        np.testing.assert_allclose(A.to_dense(), A.to_dense().T)
+
+    def test_interior_row_has_seven_entries(self):
+        A = seven_point(3, 3, 3)
+        center = grid_index_3d(np.array(1), np.array(1), np.array(1), 3, 3)
+        assert A.row_nnz()[int(center)] == 7
+        assert A.get(int(center), int(center)) == 6.0
+
+    def test_corner_row_has_four_entries(self):
+        A = seven_point(3, 3, 3)
+        assert A.row_nnz()[0] == 4
+
+
+class TestNinePoint:
+    def test_size(self):
+        A = nine_point(4, 4)
+        assert A.shape == (16, 16)
+
+    def test_interior_row_has_nine_entries(self):
+        A = nine_point(4, 4)
+        center = 5  # point (1, 1)
+        assert A.row_nnz()[center] == 9
+        assert A.get(center, center) == 8.0
+        assert A.get(center, 0) == -1.0  # diagonal neighbor
+
+    def test_symmetric(self):
+        A = nine_point(5, 4)
+        np.testing.assert_allclose(A.to_dense(), A.to_dense().T)
+
+    def test_denser_than_five_point(self):
+        assert nine_point(6, 6).nnz > five_point(6, 6).nnz

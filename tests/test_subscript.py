@@ -1,0 +1,110 @@
+"""Tests for subscript functions and the closed-form writer inverse."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidLoopError
+from repro.ir.subscript import AffineSubscript, IndirectSubscript
+
+
+class TestAffineSubscript:
+    def test_call_and_materialize_agree(self):
+        sub = AffineSubscript(2, 3)
+        values = sub.materialize(5)
+        assert list(values) == [sub(i) for i in range(5)]
+        assert list(values) == [3, 5, 7, 9, 11]
+
+    def test_statically_known(self):
+        assert AffineSubscript(1, 0).statically_known
+        assert not IndirectSubscript([0, 1]).statically_known
+
+    def test_injective_unless_constant(self):
+        assert AffineSubscript(2, 0).is_injective(100)
+        assert AffineSubscript(-1, 5).is_injective(100)
+        assert not AffineSubscript(0, 5).is_injective(2)
+        assert AffineSubscript(0, 5).is_injective(1)
+
+    def test_writer_of_hits(self):
+        sub = AffineSubscript(2, 2)  # writes 2, 4, 6, ...
+        assert sub.writer_of(2, 10) == 0
+        assert sub.writer_of(8, 10) == 3
+
+    def test_writer_of_misses(self):
+        sub = AffineSubscript(2, 2)
+        assert sub.writer_of(3, 10) == -1  # odd: not divisible
+        assert sub.writer_of(22, 10) == -1  # beyond range
+        assert sub.writer_of(0, 10) == -1  # before range
+
+    def test_writer_of_negative_stride(self):
+        sub = AffineSubscript(-1, 9)  # 9, 8, 7, ...
+        assert sub.writer_of(9, 10) == 0
+        assert sub.writer_of(0, 10) == 9
+        assert sub.writer_of(10, 10) == -1
+
+    def test_writer_of_constant_subscript(self):
+        sub = AffineSubscript(0, 5)
+        assert sub.writer_of(5, 1) == 0
+        assert sub.writer_of(4, 1) == -1
+
+    def test_writer_of_many_matches_scalar(self):
+        sub = AffineSubscript(3, -1)
+        offs = np.arange(-5, 40)
+        many = sub.writer_of_many(offs, 12)
+        scalar = np.array([sub.writer_of(int(o), 12) for o in offs])
+        np.testing.assert_array_equal(many, scalar)
+
+    @given(
+        c=st.integers(-5, 5).filter(lambda v: v != 0),
+        d=st.integers(-20, 20),
+        n=st.integers(1, 60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_writer_of_inverts_materialize(self, c, d, n):
+        sub = AffineSubscript(c, d)
+        for i, off in enumerate(sub.materialize(n)):
+            assert sub.writer_of(int(off), n) == i
+
+    def test_shifted(self):
+        assert AffineSubscript(2, 1).shifted(4) == AffineSubscript(2, 5)
+
+    def test_composed(self):
+        outer = AffineSubscript(2, 1)
+        inner = AffineSubscript(3, 4)
+        comp = outer.composed(inner)
+        for i in range(10):
+            assert comp(i) == outer(inner(i))
+
+    def test_equality_and_hash(self):
+        assert AffineSubscript(2, 3) == AffineSubscript(2, 3)
+        assert AffineSubscript(2, 3) != AffineSubscript(3, 2)
+        assert hash(AffineSubscript(1, 1)) == hash(AffineSubscript(1, 1))
+
+
+class TestIndirectSubscript:
+    def test_materialize_prefix(self):
+        sub = IndirectSubscript([5, 3, 9, 1])
+        np.testing.assert_array_equal(sub.materialize(3), [5, 3, 9])
+
+    def test_materialize_too_long_raises(self):
+        with pytest.raises(InvalidLoopError, match="only"):
+            IndirectSubscript([1, 2]).materialize(3)
+
+    def test_call(self):
+        sub = IndirectSubscript([7, 8])
+        assert sub(1) == 8
+
+    def test_injectivity_from_values(self):
+        assert IndirectSubscript([3, 1, 2]).is_injective(3)
+        assert not IndirectSubscript([3, 1, 3]).is_injective(3)
+        assert IndirectSubscript([3, 1, 3]).is_injective(2)
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidLoopError):
+            IndirectSubscript([[1, 2], [3, 4]])
+
+    def test_repr_truncates(self):
+        r = repr(IndirectSubscript(list(range(100))))
+        assert "..." in r
+        assert "len=100" in r

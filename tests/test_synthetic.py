@@ -1,0 +1,77 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidLoopError
+from repro.ir.analysis import uniform_distance
+from repro.ir.loop import INIT_EXTERNAL, INIT_OLD_VALUE
+from repro.workloads.synthetic import chain_loop, random_irregular_loop
+
+
+class TestRandomIrregularLoop:
+    def test_write_subscript_injective(self):
+        for seed in range(5):
+            loop = random_irregular_loop(60, seed=seed)
+            assert len(np.unique(loop.write)) == 60
+
+    def test_seed_reproducible(self):
+        a = random_irregular_loop(40, seed=9)
+        b = random_irregular_loop(40, seed=9)
+        np.testing.assert_array_equal(a.write, b.write)
+        np.testing.assert_allclose(a.reads.coeff, b.reads.coeff)
+        np.testing.assert_allclose(a.y0, b.y0)
+
+    def test_seeds_differ(self):
+        a = random_irregular_loop(40, seed=1)
+        b = random_irregular_loop(40, seed=2)
+        assert not np.array_equal(a.write, b.write)
+
+    def test_term_count_bound(self):
+        loop = random_irregular_loop(100, max_terms=2, seed=0)
+        assert loop.reads.term_counts().max() <= 2
+
+    def test_external_init(self):
+        loop = random_irregular_loop(20, seed=0, external_init=True)
+        assert loop.init_kind == INIT_EXTERNAL
+        assert len(loop.init_values) == 20
+
+    def test_default_old_value_init(self):
+        assert random_irregular_loop(20, seed=0).init_kind == INIT_OLD_VALUE
+
+    def test_y_extra_leaves_unwritten_elements(self):
+        loop = random_irregular_loop(30, y_extra=10, seed=0)
+        assert loop.y_size == 40
+
+    def test_coeff_scale_respected(self):
+        loop = random_irregular_loop(50, seed=3, coeff_scale=0.1)
+        assert np.abs(loop.reads.coeff).max() <= 0.1
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(InvalidLoopError):
+            random_irregular_loop(-1)
+
+
+class TestChainLoop:
+    def test_uniform_distance(self):
+        assert uniform_distance(chain_loop(30, 4)) == 4
+
+    def test_leading_iterations_have_no_reads(self):
+        loop = chain_loop(10, 3)
+        counts = loop.reads.term_counts()
+        np.testing.assert_array_equal(counts[:3], 0)
+        np.testing.assert_array_equal(counts[3:], 1)
+
+    def test_identity_write(self):
+        loop = chain_loop(10, 2)
+        np.testing.assert_array_equal(loop.write, np.arange(10))
+
+    def test_known_values(self):
+        y = chain_loop(4, 1, coeff=0.5).run_sequential()
+        np.testing.assert_allclose(y, [1.0, 1.5, 1.75, 1.875])
+
+    def test_validation(self):
+        with pytest.raises(InvalidLoopError):
+            chain_loop(0, 1)
+        with pytest.raises(InvalidLoopError):
+            chain_loop(10, 0)

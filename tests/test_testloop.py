@@ -1,0 +1,85 @@
+"""Tests for the Figure-4 test-loop generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidLoopError
+from repro.ir.analysis import is_doall, summarize_dependences
+from repro.ir.subscript import AffineSubscript
+from repro.workloads.testloop import dependence_distances, make_test_loop
+
+
+class TestConstruction:
+    def test_shape(self):
+        loop = make_test_loop(n=50, m=3, l=5)
+        assert loop.n == 50
+        assert loop.reads.total_terms == 150
+        assert isinstance(loop.write_subscript, AffineSubscript)
+        assert loop.write_subscript.c == 2  # a(i) = 2i
+
+    def test_all_indices_in_range(self):
+        for l in (1, 14):
+            loop = make_test_loop(n=30, m=5, l=l)
+            assert loop.reads.index.min() >= 0
+            assert loop.reads.index.max() < loop.y_size
+            assert loop.write.min() >= 0
+
+    def test_default_coefficients_bounded(self):
+        loop = make_test_loop(n=20, m=4, l=6)
+        np.testing.assert_allclose(loop.reads.coeff, 0.125)
+
+    def test_custom_coefficients(self):
+        val = np.array([0.1, 0.2])
+        loop = make_test_loop(n=10, m=2, l=3, val=val)
+        np.testing.assert_allclose(loop.reads.terms_of(0)[1], val)
+
+    def test_custom_val_shape_checked(self):
+        with pytest.raises(InvalidLoopError):
+            make_test_loop(n=10, m=2, l=3, val=np.ones(3))
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidLoopError):
+            make_test_loop(n=0, m=1, l=1)
+        with pytest.raises(InvalidLoopError):
+            make_test_loop(n=1, m=0, l=1)
+        with pytest.raises(InvalidLoopError):
+            make_test_loop(n=1, m=1, l=0)
+
+    def test_name_encodes_parameters(self):
+        assert "N=10" in make_test_loop(n=10, m=1, l=1).name
+
+
+class TestDependenceStructure:
+    @pytest.mark.parametrize("l", [1, 3, 13])
+    def test_odd_l_is_doall(self, l):
+        assert is_doall(make_test_loop(n=40, m=4, l=l))
+
+    @pytest.mark.parametrize("m,l", [(1, 4), (2, 6), (5, 12)])
+    def test_even_l_with_small_j_is_not_doall(self, m, l):
+        assert not is_doall(make_test_loop(n=40, m=m, l=l))
+
+    def test_even_l2_m1_is_value_level_doall(self):
+        """L=2, M=1: the single term is intra-iteration (distance 0)."""
+        assert is_doall(make_test_loop(n=40, m=1, l=2))
+        assert dependence_distances(1, 2) == []
+
+    def test_distance_formula(self):
+        assert dependence_distances(5, 14) == [6, 5, 4, 3, 2]
+        assert dependence_distances(1, 4) == [1]
+        assert dependence_distances(1, 2) == []
+        assert dependence_distances(3, 7) == []
+
+    def test_bounded_values_on_long_chains(self):
+        """The default val keeps the recurrence bounded: no overflow on a
+        10k-iteration dependence chain."""
+        loop = make_test_loop(n=10000, m=1, l=4)
+        y = loop.run_sequential()
+        assert np.isfinite(y).all()
+        assert np.abs(y).max() < 10.0
+
+    def test_dependence_summary_counts(self):
+        # M=3, L=4: per interior iteration j=1 true, j=2 intra, j=3 anti.
+        s = summarize_dependences(make_test_loop(n=100, m=3, l=4))
+        assert s.intra_terms == 100
+        assert s.true_terms == 99  # iteration 0 reads an unwritten slot
+        assert s.anti_terms == 99

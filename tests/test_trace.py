@@ -1,0 +1,140 @@
+"""Tests for execution tracing: segment accounting and Gantt rendering."""
+
+import pytest
+
+from repro.core.doacross import PreprocessedDoacross
+from repro.machine.costs import CostModel
+from repro.machine.engine import Engine
+from repro.machine.flags import FlagStore
+from repro.machine.ops import Compute, SetFlag, UseResource, WaitFlag
+from repro.machine.resource import SerialResource
+from repro.machine.trace import SEG_COMPUTE, SEG_QUEUE, SEG_WAIT, Segment, Tracer
+from repro.workloads.testloop import make_test_loop
+
+
+class TestTracerBasics:
+    def test_zero_length_dropped(self):
+        t = Tracer()
+        t.record(0, 5, 5, SEG_COMPUTE)
+        assert t.segments == []
+
+    def test_adjacent_same_kind_merged(self):
+        t = Tracer()
+        t.record(0, 0, 5, SEG_COMPUTE)
+        t.record(0, 5, 9, SEG_COMPUTE)
+        assert t.segments == [Segment(0, 0, 9, SEG_COMPUTE)]
+
+    def test_different_kind_not_merged(self):
+        t = Tracer()
+        t.record(0, 0, 5, SEG_COMPUTE)
+        t.record(0, 5, 9, SEG_WAIT)
+        assert len(t.segments) == 2
+
+    def test_totals_and_span(self):
+        t = Tracer()
+        t.record(0, 0, 5, SEG_COMPUTE)
+        t.record(1, 2, 10, SEG_WAIT)
+        assert t.total(SEG_COMPUTE) == 5
+        assert t.total(SEG_WAIT) == 8
+        assert t.total(SEG_WAIT, proc=0) == 0
+        assert t.span() == 10
+
+    def test_overlap_validation(self):
+        t = Tracer()
+        t.record(0, 0, 5, SEG_COMPUTE)
+        t.record(0, 3, 7, SEG_WAIT)
+        with pytest.raises(AssertionError, match="overlaps"):
+            t.validate_non_overlapping()
+
+
+class TestEngineTracing:
+    def _run(self):
+        tracer = Tracer()
+        flags = FlagStore(1)
+        engine = Engine(
+            CostModel(),
+            flags=flags,
+            resources={0: SerialResource()},
+            tracer=tracer,
+        )
+
+        def setter(st):
+            yield Compute(30)
+            yield SetFlag(0)
+
+        def waiter(st):
+            yield Compute(5)
+            yield WaitFlag(0)
+            yield UseResource(0, 4)
+
+        phase = engine.run("t", [setter, waiter])
+        return tracer, phase
+
+    def test_segments_match_stats_exactly(self):
+        tracer, phase = self._run()
+        for p in phase.processors:
+            assert tracer.total(SEG_COMPUTE, proc=p.proc) == p.compute_cycles
+            assert tracer.total(SEG_WAIT, proc=p.proc) == p.wait_cycles
+            assert (
+                tracer.total(SEG_QUEUE, proc=p.proc)
+                == p.resource_wait_cycles
+            )
+
+    def test_segments_non_overlapping(self):
+        tracer, _ = self._run()
+        tracer.validate_non_overlapping()
+
+    def test_queue_segment_recorded(self):
+        tracer = Tracer()
+        res = SerialResource()
+        engine = Engine(CostModel(), resources={0: res}, tracer=tracer)
+
+        def task(st):
+            yield UseResource(0, 10)
+
+        engine.run("t", [task, task])
+        assert tracer.total(SEG_QUEUE) == 10
+
+
+class TestDoacrossTracing:
+    def test_trace_attached_on_request(self):
+        runner = PreprocessedDoacross(processors=8)
+        loop = make_test_loop(n=200, m=1, l=4)
+        result = runner.run(loop, trace=True)
+        tracer = result.extras["trace"]
+        executor = next(p for p in result.phases if p.name == "executor")
+        assert tracer.span() == executor.span
+        assert tracer.total(SEG_WAIT) == executor.total_wait
+        tracer.validate_non_overlapping()
+
+    def test_no_trace_by_default(self):
+        runner = PreprocessedDoacross(processors=4)
+        result = runner.run(make_test_loop(n=50, m=1, l=3))
+        assert "trace" not in result.extras
+
+    def test_gantt_renders(self):
+        runner = PreprocessedDoacross(processors=4)
+        result = runner.run(make_test_loop(n=100, m=1, l=4), trace=True)
+        chart = result.extras["trace"].gantt(width=60)
+        assert "p0" in chart
+        assert "#" in chart
+        assert "." in chart  # tight chain: waits visible
+
+    def test_empty_trace_gantt(self):
+        assert Tracer().gantt() == "(empty trace)"
+
+    def test_gantt_shows_queue_glyph(self):
+        t = Tracer()
+        t.record(0, 0, 50, SEG_QUEUE)
+        t.record(0, 50, 100, SEG_COMPUTE)
+        chart = t.gantt(width=20)
+        assert "~" in chart
+        assert "#" in chart
+
+    def test_gantt_compute_wins_shared_columns(self):
+        t = Tracer()
+        t.record(0, 0, 1, SEG_WAIT)
+        t.record(0, 1, 100, SEG_COMPUTE)
+        # At width 10 the first column holds both; compute must win.
+        row = t.gantt(width=10).splitlines()[1]
+        assert "." not in row

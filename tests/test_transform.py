@@ -1,0 +1,96 @@
+"""Tests for transformation-strategy selection (the "compiler")."""
+
+import numpy as np
+import pytest
+
+from repro.ir.accesses import ReadTable
+from repro.ir.loop import IrregularLoop
+from repro.ir.subscript import IndirectSubscript
+from repro.ir.transform import (
+    STRATEGY_CLASSIC_DOACROSS,
+    STRATEGY_DOALL,
+    STRATEGY_LINEAR,
+    STRATEGY_PREPROCESSED,
+    plan_transform,
+)
+from repro.workloads.synthetic import random_irregular_loop
+from repro.workloads.testloop import make_test_loop
+
+
+def indirect_loop():
+    return random_irregular_loop(20, seed=0)
+
+
+def affine_loop():
+    return make_test_loop(n=20, m=1, l=4)
+
+
+def no_reads_loop():
+    return IrregularLoop(
+        n=4,
+        y_size=4,
+        write_subscript=IndirectSubscript(np.array([2, 0, 3, 1])),
+        reads=ReadTable.from_lists([[], [], [], []]),
+    )
+
+
+class TestStrategySelection:
+    def test_no_reads_is_doall(self):
+        plan = plan_transform(no_reads_loop())
+        assert plan.strategy == STRATEGY_DOALL
+        assert not plan.needs_inspector
+        assert not plan.needs_postprocess
+
+    def test_asserted_independence_is_doall(self):
+        plan = plan_transform(indirect_loop(), assert_independent=True)
+        assert plan.strategy == STRATEGY_DOALL
+        assert "asserts" in plan.reason
+
+    def test_known_distance_is_classic(self):
+        plan = plan_transform(indirect_loop(), known_distance=3)
+        assert plan.strategy == STRATEGY_CLASSIC_DOACROSS
+        assert plan.uniform_distance == 3
+        assert not plan.needs_inspector
+
+    def test_affine_write_is_linear(self):
+        plan = plan_transform(affine_loop())
+        assert plan.strategy == STRATEGY_LINEAR
+        assert not plan.needs_inspector
+        assert plan.needs_postprocess
+        assert "§2.3" in plan.reason or "2.3" in plan.reason
+
+    def test_indirect_write_is_preprocessed(self):
+        plan = plan_transform(indirect_loop())
+        assert plan.strategy == STRATEGY_PREPROCESSED
+        assert plan.needs_inspector
+        assert plan.needs_postprocess
+
+
+class TestValidation:
+    def test_mutually_exclusive_hints(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            plan_transform(
+                indirect_loop(), assert_independent=True, known_distance=2
+            )
+
+    def test_distance_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            plan_transform(indirect_loop(), known_distance=0)
+
+
+class TestDescribe:
+    def test_describe_lists_phases(self):
+        d = plan_transform(indirect_loop()).describe()
+        assert "inspector" in d
+        assert "executor" in d
+        assert "postprocessor" in d
+
+    def test_linear_describe_omits_inspector(self):
+        d = plan_transform(affine_loop()).describe()
+        assert "inspector" not in d
+
+    def test_subscript_structure_not_values_drives_choice(self):
+        """Planning uses static structure only: an affine-write loop is
+        planned 'linear' even when its values would allow doall."""
+        loop = make_test_loop(n=20, m=1, l=3)  # odd L: value-level doall
+        assert plan_transform(loop).strategy == STRATEGY_LINEAR

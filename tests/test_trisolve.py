@@ -1,0 +1,109 @@
+"""Tests for triangular solves and the Figure-7 loop encodings."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.errors import MatrixFormatError
+from repro.machine.costs import WorkProfile
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ilu import ilu0
+from repro.sparse.stencils import five_point
+from repro.sparse.trisolve import (
+    TRISOLVE_WORK,
+    lower_solve_loop,
+    solve_lower_unit,
+    solve_upper,
+    upper_solve_loop,
+)
+
+
+@pytest.fixture
+def factors():
+    A = five_point(7, 7)
+    L, U = ilu0(A)
+    rhs = np.linspace(-1.0, 2.0, A.n_rows)
+    return L, U, rhs
+
+
+class TestSequentialSolves:
+    def test_lower_matches_scipy(self, factors):
+        L, _, rhs = factors
+        ours = solve_lower_unit(L, rhs)
+        ref = scipy.linalg.solve_triangular(
+            L.to_dense(), rhs, lower=True, unit_diagonal=True
+        )
+        np.testing.assert_allclose(ours, ref, rtol=1e-12)
+
+    def test_upper_matches_scipy(self, factors):
+        _, U, rhs = factors
+        ours = solve_upper(U, rhs)
+        ref = scipy.linalg.solve_triangular(U.to_dense(), rhs, lower=False)
+        np.testing.assert_allclose(ours, ref, rtol=1e-10)
+
+    def test_full_preconditioner_application(self, factors):
+        """L U x = rhs via the two solves matches a dense solve."""
+        L, U, rhs = factors
+        x = solve_upper(U, solve_lower_unit(L, rhs))
+        ref = np.linalg.solve(L.to_dense() @ U.to_dense(), rhs)
+        np.testing.assert_allclose(x, ref, rtol=1e-9)
+
+    def test_lower_requires_unit_diagonal(self, factors):
+        _, U, rhs = factors
+        with pytest.raises(MatrixFormatError, match="unit-lower"):
+            solve_lower_unit(U.transpose(), rhs)
+
+    def test_rhs_shape_checked(self, factors):
+        L, _, _ = factors
+        with pytest.raises(MatrixFormatError):
+            solve_lower_unit(L, np.ones(3))
+
+    def test_upper_zero_diagonal_rejected(self):
+        U = CSRMatrix.from_dense(np.array([[1.0, 2.0], [0.0, 1.0]]))
+        U.data[U.indptr[1]] = 0.0  # zero the (1,1) pivot in place
+        with pytest.raises(MatrixFormatError, match="zero diagonal"):
+            solve_upper(U, np.ones(2))
+
+
+class TestLoopEncodings:
+    def test_lower_loop_matches_direct_solve(self, factors):
+        L, _, rhs = factors
+        loop = lower_solve_loop(L, rhs)
+        np.testing.assert_allclose(
+            loop.run_sequential(), solve_lower_unit(L, rhs), rtol=1e-12
+        )
+
+    def test_lower_loop_shape(self, factors):
+        L, _, rhs = factors
+        loop = lower_solve_loop(L, rhs)
+        assert loop.n == L.n_rows
+        assert loop.reads.total_terms == L.nnz - L.n_rows  # strict lower
+        assert loop.work is TRISOLVE_WORK
+        assert isinstance(loop.work, WorkProfile)
+
+    def test_lower_loop_term_coefficients_negated(self, factors):
+        L, _, rhs = factors
+        loop = lower_solve_loop(L, rhs)
+        # Figure 7: y(i) = rhs(i) - a(j) * y(column(j)).
+        i = int(np.argmax(loop.reads.term_counts()))
+        idx, coeff = loop.reads.terms_of(i)
+        for j, c in zip(idx, coeff):
+            assert c == -L.get(i, int(j))
+
+    def test_upper_loop_matches_direct_solve(self, factors):
+        _, U, rhs = factors
+        loop = upper_solve_loop(U, rhs)
+        np.testing.assert_allclose(
+            loop.run_sequential(), solve_upper(U, rhs), rtol=1e-10
+        )
+
+    def test_upper_loop_reversed_iteration_space(self, factors):
+        _, U, rhs = factors
+        loop = upper_solve_loop(U, rhs)
+        # Iteration p writes row n-1-p.
+        assert loop.write[0] == U.n_rows - 1
+        assert loop.write[-1] == 0
+
+    def test_custom_name(self, factors):
+        L, _, rhs = factors
+        assert lower_solve_loop(L, rhs, name="X").name == "X"

@@ -1,0 +1,85 @@
+"""Tests for the simulated wavefront-preprocessing phases and the
+weighted parallel-do helper."""
+
+import numpy as np
+import pytest
+
+from repro.backends.simulated import SimulatedRunner
+from repro.graph.depgraph import DependenceGraph
+from repro.graph.levels import compute_levels
+from repro.machine.costs import CostModel
+from repro.machine.engine import Machine
+from repro.workloads.synthetic import chain_loop, random_irregular_loop
+
+
+@pytest.fixture
+def runner():
+    return SimulatedRunner(Machine(4))
+
+
+class TestWeightedPhase:
+    def test_uniform_costs_match_uniform_phase(self, runner):
+        n, cost = 40, 7
+        weighted = runner._weighted_phase("w", np.full(n, cost))
+        uniform = runner._uniform_phase("u", n, cost, 1)
+        assert weighted.span == uniform.span
+        assert weighted.total_compute == uniform.total_compute
+
+    def test_imbalance_shows_in_span(self, runner):
+        """One heavy chunk dominates the phase span (static block split)."""
+        costs = np.ones(40, dtype=np.int64)
+        costs[:10] = 100  # processor 0's block is heavy
+        phase = runner._weighted_phase("w", costs)
+        assert phase.span == 1000
+        assert phase.total_compute == int(costs.sum())
+
+    def test_empty(self, runner):
+        phase = runner._weighted_phase("w", np.empty(0, dtype=np.int64))
+        assert phase.span == 0
+
+
+class TestWavefrontPreprocessing:
+    def test_phase_count_is_levels_plus_init(self, runner):
+        loop = chain_loop(60, 4)  # 15 levels
+        graph = DependenceGraph.from_loop(loop)
+        schedule = compute_levels(graph)
+        total, phases = runner.run_wavefront_preprocessing(
+            loop, graph, schedule
+        )
+        assert len(phases) == schedule.n_levels + 1
+        assert phases[0].name == "wf-init"
+        assert total > 0
+
+    def test_total_includes_barrier_per_round(self, runner):
+        loop = chain_loop(20, 2)
+        graph = DependenceGraph.from_loop(loop)
+        schedule = compute_levels(graph)
+        total, phases = runner.run_wavefront_preprocessing(
+            loop, graph, schedule
+        )
+        barrier = CostModel().barrier(4)
+        spans = sum(p.span for p in phases)
+        assert total == spans + barrier * len(phases)
+
+    def test_deeper_dags_cost_more(self, runner):
+        """Same work volume, more levels → more rounds and barriers."""
+        shallow = chain_loop(120, 30)  # 4 levels
+        deep = chain_loop(120, 2)  # 60 levels
+
+        def cost(loop):
+            graph = DependenceGraph.from_loop(loop)
+            schedule = compute_levels(graph)
+            total, _ = runner.run_wavefront_preprocessing(
+                loop, graph, schedule
+            )
+            return total
+
+        assert cost(deep) > cost(shallow)
+
+    def test_all_iterations_touched_once_across_rounds(self, runner):
+        loop = random_irregular_loop(80, seed=5)
+        graph = DependenceGraph.from_loop(loop)
+        schedule = compute_levels(graph)
+        _, phases = runner.run_wavefront_preprocessing(loop, graph, schedule)
+        round_iterations = sum(p.total_iterations for p in phases[1:])
+        assert round_iterations == loop.n
