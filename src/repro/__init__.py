@@ -26,13 +26,23 @@ Subpackages
 - :mod:`repro.graph` — dependence DAG, wavefronts, critical paths.
 - :mod:`repro.sparse` — CSR matrices, stencil and SPE operators, ILU(0),
   triangular solves (the Table-1 substrate).
-- :mod:`repro.backends` — simulated and real-thread executors.
+- :mod:`repro.backends` — simulated, real-thread, and vectorized-wavefront
+  executors behind one :class:`Runner` protocol, plus the inspector cache.
 - :mod:`repro.workloads` — Figure-4 and synthetic loop generators.
 - :mod:`repro.bench` — the experiment harness regenerating Figure 6 and
   Table 1, plus ablations.
 """
 
 from repro._version import __version__
+from repro.backends import (
+    BACKENDS,
+    InspectorCache,
+    Runner,
+    SimulatedRunner,
+    ThreadedRunner,
+    VectorizedRunner,
+    make_runner,
+)
 from repro.core.amortized import AmortizedDoacross
 from repro.core.classic import ClassicDoacross
 from repro.core.doacross import PreprocessedDoacross, parallelize
@@ -74,6 +84,14 @@ __all__ = [
     "ClassicDoacross",
     "DoallRunner",
     "parallelize",
+    # Backends
+    "Runner",
+    "SimulatedRunner",
+    "ThreadedRunner",
+    "VectorizedRunner",
+    "InspectorCache",
+    "make_runner",
+    "BACKENDS",
     "run_reference",
     "sequential_time",
     "RunResult",

@@ -19,9 +19,13 @@ Commands
     Print the transformed pseudo-Fortran source the "compiler" emits for a
     sample loop; ``kind`` is ``irregular`` (default), ``affine``,
     ``chain``, or ``independent``.
-``demo``
+``bench-vectorized [--small] [--json] [n]``
+    Measured wall clock: sequential vs. threaded vs. vectorized backends
+    plus the inspector-cache amortization curve (default n=100000;
+    ``--small``: smoke size for CI).
+``demo [--backend=simulated|threaded|vectorized]``
     Two-minute tour: run a dependence-carrying Figure-4 loop, print the
-    result summary and an executor-phase Gantt chart.
+    result summary and (simulated backend) an executor-phase Gantt chart.
 ``version``
     Print the package version.
 """
@@ -35,8 +39,32 @@ from repro._version import __version__
 USAGE = __doc__
 
 
-def _demo() -> int:
+def _demo(args: list[str]) -> int:
     import repro
+
+    backend = "simulated"
+    for a in args:
+        if a.startswith("--backend="):
+            backend = a.split("=", 1)[1]
+        else:
+            print(f"unknown demo option {a!r}")
+            return 2
+    if backend not in repro.BACKENDS:
+        print(
+            f"unknown backend {backend!r}; "
+            f"expected one of {', '.join(repro.BACKENDS)}"
+        )
+        return 2
+    if backend != "simulated":
+        loop = repro.make_test_loop(n=600, m=2, l=8)
+        result, plan = repro.parallelize(loop, backend=backend)
+        print(f"plan: {plan.describe()}")
+        print(result.summary())
+        import numpy as np
+
+        assert np.array_equal(result.y, loop.run_sequential())
+        print("output equals the sequential oracle: yes")
+        return 0
 
     loop = repro.make_test_loop(n=600, m=2, l=8)
     runner = repro.PreprocessedDoacross(processors=8)
@@ -129,12 +157,16 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.krylov_fraction import main as krylov_main
 
         return krylov_main(rest)
+    if command == "bench-vectorized":
+        from repro.bench.bench_vectorized import main as bench_vec_main
+
+        return bench_vec_main(rest)
     if command == "verify":
         return _verify(rest)
     if command == "codegen":
         return _codegen(rest)
     if command == "demo":
-        return _demo()
+        return _demo(rest)
     print(f"unknown command {command!r}\n")
     print(USAGE)
     return 2

@@ -1,6 +1,11 @@
 """Execution backends for the transformed loops.
 
-- :mod:`repro.backends.simulated` — the primary backend: runs the
+All backends implement the :class:`repro.backends.base.Runner` protocol —
+``run(loop, *, order=None, schedule=None, chunk=None, trace=False)``
+returning a :class:`~repro.core.results.RunResult` — so strategy code and
+benchmarks select them interchangeably (``parallelize(..., backend=...)``).
+
+- :mod:`repro.backends.simulated` — the paper-experiment backend: runs the
   inspector/executor/postprocessor phases on the discrete-event machine
   (:mod:`repro.machine`), producing both correct values and simulated
   timings.  All paper experiments use this backend.
@@ -8,11 +13,67 @@
   per-element events; demonstrates the protocol is functionally correct on
   actual concurrent hardware (no timing claims — the GIL forbids them; see
   DESIGN.md §3).
-- :mod:`repro.backends.base` — shared helpers (order validation).
+- :mod:`repro.backends.vectorized` — batched wavefront execution: each
+  dependence level runs as NumPy array operations over all its iterations,
+  giving real wall-clock parallel throughput on CPython; preprocessing is
+  served by a content-addressed :class:`InspectorCache`.
+- :mod:`repro.backends.cache` — the inspector cache (Figure-3 amortization
+  with hit/miss counters).
+- :mod:`repro.backends.base` — the :class:`Runner` protocol and shared
+  helpers (order validation).
 """
 
-from repro.backends.base import validate_execution_order
+from repro.backends.base import Runner, validate_execution_order
+from repro.backends.cache import InspectorCache, InspectorRecord, loop_fingerprint
 from repro.backends.simulated import SimulatedRunner
 from repro.backends.threaded import ThreadedRunner
+from repro.backends.vectorized import VectorizedRunner
 
-__all__ = ["SimulatedRunner", "ThreadedRunner", "validate_execution_order"]
+__all__ = [
+    "Runner",
+    "SimulatedRunner",
+    "ThreadedRunner",
+    "VectorizedRunner",
+    "InspectorCache",
+    "InspectorRecord",
+    "loop_fingerprint",
+    "make_runner",
+    "BACKENDS",
+    "validate_execution_order",
+]
+
+#: Names accepted by ``make_runner`` / ``parallelize(backend=...)``.
+BACKENDS = ("simulated", "threaded", "vectorized")
+
+
+def make_runner(
+    backend: str = "simulated",
+    *,
+    processors: int = 16,
+    cost_model=None,
+    cache: InspectorCache | None = None,
+    bus: bool = False,
+    coherence: bool = False,
+) -> Runner:
+    """Build a :class:`Runner` by name.
+
+    ``processors`` means simulated processors for the simulated backend and
+    thread count for the threaded backend; the vectorized backend has no
+    processor knob (its parallelism is the wavefront width).  ``cache``
+    is only meaningful for the vectorized backend.
+    """
+    if backend == "simulated":
+        from repro.machine.engine import Machine
+
+        return SimulatedRunner(
+            Machine(
+                processors, cost_model=cost_model, bus=bus, coherence=coherence
+            )
+        )
+    if backend == "threaded":
+        return ThreadedRunner(threads=processors)
+    if backend == "vectorized":
+        return VectorizedRunner(cache=cache, cost_model=cost_model)
+    raise ValueError(
+        f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+    )

@@ -1,6 +1,25 @@
-"""Shared backend helpers."""
+"""Shared backend infrastructure: the :class:`Runner` protocol and order
+validation helpers.
+
+Every execution backend — simulated, threaded, vectorized — implements the
+same small surface::
+
+    runner.run(loop, *, order=None, schedule=None, chunk=None, trace=False)
+        -> RunResult
+
+so strategy-level code (:class:`~repro.core.doacross.PreprocessedDoacross`,
+:func:`~repro.core.doacross.parallelize`, the benchmarks) can swap backends
+without caring whether time is simulated cycles or measured wall clock.
+Options a backend cannot honor (e.g. ``schedule`` on the vectorized
+backend, which has no per-processor schedules) are documented as ignored by
+that backend rather than rejected, so callers can sweep backends with one
+option set.
+"""
 
 from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -8,7 +27,42 @@ from repro.errors import ScheduleError
 from repro.ir.analysis import dependence_pairs
 from repro.ir.loop import IrregularLoop
 
-__all__ = ["validate_execution_order", "inverse_permutation"]
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.results import RunResult
+
+__all__ = ["Runner", "validate_execution_order", "inverse_permutation"]
+
+
+class Runner(abc.ABC):
+    """Uniform execution interface over all backends.
+
+    Subclasses execute an :class:`~repro.ir.loop.IrregularLoop` with exact
+    sequential semantics (the library's central contract) and return a
+    :class:`~repro.core.results.RunResult`.  All options are keyword-only:
+
+    - ``order`` — optional doconsider execution order; must be validated
+      against the loop's true dependencies (illegal orders raise
+      :class:`~repro.errors.ScheduleError` before anything runs).
+    - ``schedule`` / ``chunk`` — executor iteration schedule, where the
+      backend has one (``None`` means the backend default).
+    - ``trace`` — request an execution timeline where supported.
+    """
+
+    #: Short identifier used by the ``backend=`` selector and in reports.
+    name: str = "runner"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        loop: IrregularLoop,
+        *,
+        order: np.ndarray | None = None,
+        schedule=None,
+        chunk: int | None = None,
+        trace: bool = False,
+    ) -> RunResult:
+        """Execute ``loop`` and return its :class:`RunResult`."""
+        raise NotImplementedError
 
 
 def inverse_permutation(order: np.ndarray) -> np.ndarray:

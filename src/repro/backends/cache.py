@@ -1,0 +1,296 @@
+"""Content-addressed inspector cache: the paper's amortization, concrete.
+
+The paper's central economic argument (§2.3, Figure 3) is that the
+inspector's output is *reusable*: preprocessing cost is paid once per
+dependence structure and amortized over every execution that shares it —
+the triangular solve inside a Krylov iteration being the canonical case
+(tens of solves per factorization, identical subscripts every time).
+
+:class:`InspectorCache` makes that claim operational.  A loop's dependence
+structure is fingerprinted by *content* — SHA-256 over the ``write`` index
+array, the read table's ``ptr``/``index`` arrays, and the static signature
+(:func:`repro.ir.transform.structural_signature`) — so:
+
+- two distinct loop objects with equal index arrays share one cache entry
+  (amortization across instances, Figure 3);
+- mutating any index array in place changes the digest and *misses*
+  (there is no way to consume a stale inspector result);
+- coefficients and values are deliberately excluded: they do not affect
+  who-writes-what, so a solver that rescales its matrix still hits.
+
+A cache entry (:class:`InspectorRecord`) holds everything the vectorized
+backend's preprocessing produces: the paper's ``iter`` array, the
+wavefront :class:`~repro.graph.levels.LevelSchedule`, the
+:class:`~repro.ir.transform.TransformPlan`, and the executor-ready term
+layout (terms permuted into wavefront order, read sources resolved to
+old-``y``/``ynew``, intra-iteration terms marked).  Everything in the
+record is structure-only; per-run values (coefficients, initial values)
+are gathered at execution time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.workspace import MAXINT
+from repro.errors import InvalidLoopError
+from repro.graph.depgraph import DependenceGraph
+from repro.graph.levels import LevelSchedule, compute_levels
+from repro.ir.loop import IrregularLoop
+from repro.ir.transform import TransformPlan, plan_transform, structural_signature
+
+__all__ = ["loop_fingerprint", "InspectorRecord", "InspectorCache"]
+
+
+def loop_fingerprint(loop: IrregularLoop) -> str:
+    """SHA-256 digest of the loop's dependence structure.
+
+    Covers the static signature plus the raw bytes of ``write``,
+    ``reads.ptr``, and ``reads.index``.  Excludes coefficients, ``y0``,
+    and ``init_values`` — they affect arithmetic, not dependence.
+    """
+    h = hashlib.sha256()
+    h.update(repr(structural_signature(loop)).encode())
+    for arr in (loop.write, loop.reads.ptr, loop.reads.index):
+        h.update(b"|")
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class InspectorRecord:
+    """One cached preprocessing result (structure-only; see module doc).
+
+    Attributes
+    ----------
+    fingerprint:
+        Content digest this record was built from.
+    iter_array:
+        The paper's ``iter``: writer iteration per ``y`` element,
+        ``MAXINT`` where unwritten.
+    schedule:
+        Wavefront decomposition of the true-dependence DAG.
+    plan:
+        The compiler's strategy decision for the loop's static structure.
+    exec_order:
+        Iterations permuted for batched execution: wavefront level major,
+        then per-iteration term count *descending* (so each term slot's
+        active set is a prefix — no masks in the executor's inner step).
+    exec_counts, exec_ptr:
+        Term counts / CSR boundaries per execution position.
+    exec_write:
+        Write index per execution position.
+    term_source:
+        Flat original-term positions in execution order; per-run data
+        (coefficients) is gathered through this permutation.
+    env_index:
+        Per execution-ordered term: the gather index into the doubled
+        value environment ``[y_old | y_new]`` — ``index`` for
+        antidependent/unwritten reads (old value), ``index + y_size`` for
+        true-dependence reads (renamed new value).
+    intra:
+        Per execution-ordered term: reads the live accumulator of its own
+        iteration (the paper's ``check == 0`` case).
+    slot_active, slot_ptr:
+        For level ``k`` and term slot ``j``: ``slot_active[slot_ptr[k]+j]``
+        iterations (a prefix of the level) still have a ``j``-th term.
+    """
+
+    fingerprint: str
+    iter_array: np.ndarray
+    schedule: LevelSchedule
+    plan: TransformPlan
+    exec_order: np.ndarray
+    exec_counts: np.ndarray
+    exec_ptr: np.ndarray
+    exec_write: np.ndarray
+    term_source: np.ndarray
+    env_index: np.ndarray
+    intra: np.ndarray
+    slot_active: np.ndarray
+    slot_ptr: np.ndarray
+
+    @property
+    def n_levels(self) -> int:
+        return self.schedule.n_levels
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the cached arrays."""
+        arrays = (
+            self.iter_array,
+            self.schedule.levels,
+            self.schedule.order,
+            self.schedule.level_ptr,
+            self.exec_order,
+            self.exec_counts,
+            self.exec_ptr,
+            self.exec_write,
+            self.term_source,
+            self.env_index,
+            self.intra,
+            self.slot_active,
+            self.slot_ptr,
+        )
+        return int(sum(a.nbytes for a in arrays))
+
+
+def build_inspector_record(loop: IrregularLoop) -> InspectorRecord:
+    """Run the (vectorized) inspector and wavefront preprocessing for
+    ``loop`` and package the result for caching.
+
+    This is the whole run-time preprocessing pipeline of the paper —
+    Figure 3's ``iter`` construction plus the §3.2 wavefront computation —
+    executed as NumPy array operations rather than simulated phases.
+    """
+    n, y_size = loop.n, loop.y_size
+    write = loop.write
+    ptr, index = loop.reads.ptr, loop.reads.index
+
+    # Inspector: iter(a(i)) = i, everything else MAXINT (Figure 3, left).
+    iter_array = np.full(y_size, MAXINT, dtype=np.int64)
+    iter_array[write] = np.arange(n, dtype=np.int64)
+
+    # Classify every flat term against iter (the executor's check).
+    readers = loop.reads.iteration_of_term()
+    writers = iter_array[index]  # MAXINT where unwritten
+    intra_flat = writers == readers
+    true_flat = writers < readers  # MAXINT compares greater: never true dep
+
+    # True-dependence DAG -> wavefront levels.
+    if bool(true_flat.any()):
+        pairs = np.unique(
+            np.stack([writers[true_flat], readers[true_flat]], axis=1), axis=0
+        )
+    else:
+        pairs = np.empty((0, 2), dtype=np.int64)
+    schedule = compute_levels(DependenceGraph(n, pairs))
+
+    # Execution order: level-major, term count descending inside a level
+    # so slot j's active iterations are always a leading prefix.
+    counts = np.diff(ptr)
+    exec_order = np.lexsort(
+        (np.arange(n, dtype=np.int64), -counts, schedule.levels)
+    ).astype(np.int64)
+
+    exec_counts = counts[exec_order]
+    exec_ptr = np.zeros(n + 1, dtype=np.int64)
+    exec_ptr[1:] = np.cumsum(exec_counts)
+    total = int(ptr[-1])
+
+    # Flat original-term position feeding each execution-ordered term.
+    term_source = (
+        np.repeat(ptr[exec_order] - exec_ptr[:-1], exec_counts)
+        + np.arange(total, dtype=np.int64)
+    )
+
+    env_index = index[term_source] + y_size * true_flat[term_source]
+    intra = intra_flat[term_source]
+
+    # Per-level, per-slot active prefix lengths.
+    level_ptr = schedule.level_ptr
+    n_levels = schedule.n_levels
+    slot_counts = np.zeros(n_levels, dtype=np.int64)
+    actives: list[np.ndarray] = []
+    for k in range(n_levels):
+        lo, hi = int(level_ptr[k]), int(level_ptr[k + 1])
+        cnt = exec_counts[lo:hi]  # non-increasing by construction
+        maxc = int(cnt[0]) if hi > lo else 0
+        slot_counts[k] = maxc
+        if maxc:
+            # active[j] = #iterations in the level with count > j.
+            ascending = cnt[::-1]
+            active = (hi - lo) - np.searchsorted(
+                ascending, np.arange(maxc, dtype=np.int64), side="right"
+            )
+            actives.append(active.astype(np.int64))
+    slot_ptr = np.zeros(n_levels + 1, dtype=np.int64)
+    slot_ptr[1:] = np.cumsum(slot_counts)
+    slot_active = (
+        np.concatenate(actives) if actives else np.empty(0, dtype=np.int64)
+    )
+
+    return InspectorRecord(
+        fingerprint=loop_fingerprint(loop),
+        iter_array=iter_array,
+        schedule=schedule,
+        plan=plan_transform(loop),
+        exec_order=exec_order,
+        exec_counts=exec_counts,
+        exec_ptr=exec_ptr,
+        exec_write=write[exec_order],
+        term_source=term_source,
+        env_index=env_index,
+        intra=intra,
+        slot_active=slot_active,
+        slot_ptr=slot_ptr,
+    )
+
+
+class InspectorCache:
+    """LRU cache of :class:`InspectorRecord` keyed by loop content.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of dependence structures retained; least recently
+        used entries are evicted first.
+
+    Attributes
+    ----------
+    hits, misses:
+        Lookup counters — the measurable form of the paper's Figure-3
+        amortization claim (asserted in tests and reported by
+        ``repro.bench.bench_vectorized``).
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise InvalidLoopError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[str, InspectorRecord] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, loop: IrregularLoop) -> bool:
+        return loop_fingerprint(loop) in self._entries
+
+    def get_or_build(self, loop: IrregularLoop) -> tuple[InspectorRecord, bool]:
+        """Return ``(record, hit)`` for ``loop``, building on a miss."""
+        fp = loop_fingerprint(loop)
+        record = self._entries.get(fp)
+        if record is not None:
+            self.hits += 1
+            self._entries.move_to_end(fp)
+            return record, True
+        self.misses += 1
+        record = build_inspector_record(loop)
+        self._entries[fp] = record
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return record, False
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counters plus footprint, JSON-safe."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes": int(
+                sum(r.nbytes for r in self._entries.values())
+            ),
+        }

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.backends.base import validate_execution_order
+from repro.backends.base import Runner, validate_execution_order
 from repro.core.results import PhaseBreakdown, RunResult
 from repro.core.sequential import sequential_time
 from repro.core.workspace import MAXINT, DoacrossWorkspace
@@ -47,7 +47,7 @@ from repro.machine.stats import PhaseStats
 __all__ = ["SimulatedRunner"]
 
 
-class SimulatedRunner:
+class SimulatedRunner(Runner):
     """Runs transformed loops on a :class:`~repro.machine.engine.Machine`.
 
     Parameters
@@ -60,11 +60,41 @@ class SimulatedRunner:
         it pristine — tested).
     """
 
+    name = "simulated"
+
     def __init__(
         self, machine: Machine, workspace: DoacrossWorkspace | None = None
     ):
         self.machine = machine
         self.workspace = workspace if workspace is not None else DoacrossWorkspace()
+
+    # ------------------------------------------------------------------
+    # The uniform Runner entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        loop: IrregularLoop,
+        *,
+        order: np.ndarray | None = None,
+        schedule=None,
+        chunk: int | None = None,
+        trace: bool = False,
+        linear: bool = False,
+        order_label: str = "natural",
+    ) -> RunResult:
+        """The :class:`~repro.backends.base.Runner` interface: the full
+        preprocessed pipeline (or the §2.3 ``linear`` variant) on the
+        simulated machine.  Equivalent to :meth:`run_preprocessed` with
+        backend-default schedule/chunk where ``None``."""
+        return self.run_preprocessed(
+            loop,
+            schedule=schedule,
+            chunk=1 if chunk is None else chunk,
+            order=order,
+            linear=linear,
+            order_label=order_label,
+            trace=trace,
+        )
 
     # ------------------------------------------------------------------
     # Helpers

@@ -17,29 +17,78 @@ the simulated backend instead (DESIGN.md §3).
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
-from repro.backends.base import validate_execution_order
+from repro.backends.base import Runner, validate_execution_order
+from repro.core.results import RunResult
+from repro.core.sequential import sequential_time
 from repro.core.workspace import MAXINT
 from repro.ir.loop import INIT_EXTERNAL, IrregularLoop
+from repro.machine.costs import CostModel
 
 __all__ = ["ThreadedRunner"]
 
 
-class ThreadedRunner:
+class ThreadedRunner(Runner):
     """Runs the preprocessed doacross on real Python threads."""
+
+    name = "threaded"
 
     def __init__(self, threads: int = 4):
         if threads < 1:
             raise ValueError(f"need at least one thread, got {threads}")
         self.threads = threads
 
+    def run(
+        self,
+        loop: IrregularLoop,
+        *,
+        order: np.ndarray | None = None,
+        schedule=None,
+        chunk: int | None = None,
+        trace: bool = False,
+    ) -> RunResult:
+        """Execute ``loop`` on real threads and return a
+        :class:`RunResult` (measured wall clock; no cycle model — the GIL
+        forbids timing claims, DESIGN.md §3).
+
+        Iterations are always distributed cyclically (the deadlock-freedom
+        precondition), so ``schedule``/``chunk`` are ignored; ``trace`` has
+        no simulated timeline to record and is ignored too.
+        """
+        t0 = time.perf_counter()
+        y = self._execute(loop, order=order)
+        wall = time.perf_counter() - t0
+        cm = CostModel()
+        return RunResult(
+            loop_name=loop.name,
+            strategy="threaded-doacross",
+            processors=self.threads,
+            y=y,
+            total_cycles=0,
+            sequential_cycles=sequential_time(loop, cm),
+            cost_model=cm,
+            schedule=f"cyclic({self.threads} threads)",
+            wall_seconds=wall,
+        )
+
     def run_preprocessed(
         self, loop: IrregularLoop, order: np.ndarray | None = None
+    ) -> RunResult:
+        """Execute ``loop`` with ``self.threads`` threads.
+
+        Returns a :class:`RunResult` like every other runner (the final
+        values are in ``.y``, semantically equal to the sequential oracle —
+        tested).  Prior releases returned the bare ``y`` array.
+        """
+        return self.run(loop, order=order)
+
+    def _execute(
+        self, loop: IrregularLoop, order: np.ndarray | None = None
     ) -> np.ndarray:
-        """Execute ``loop`` with ``self.threads`` threads; returns final
-        ``y`` (semantically equal to the sequential oracle — tested)."""
+        """The three-phase protocol on real threads; returns final ``y``."""
         if order is not None:
             order = np.asarray(order, dtype=np.int64)
             validate_execution_order(loop, order)

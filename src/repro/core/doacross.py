@@ -11,16 +11,25 @@ benchmarks use::
 
 :func:`parallelize` is the fully automatic entry point: it asks the
 "compiler" (:func:`repro.ir.transform.plan_transform`) which strategy is
-sound for the loop's static structure and dispatches accordingly.
+sound for the loop's static structure and dispatches accordingly — onto
+any execution backend (``backend="simulated"|"threaded"|"vectorized"``, or
+a :class:`~repro.backends.base.Runner` instance).
+
+Both entry points take their options keyword-only; the old positional
+forms still work behind a :class:`DeprecationWarning` shim.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
+from repro.backends.base import Runner
 from repro.backends.simulated import SimulatedRunner
 from repro.core.results import RunResult
 from repro.core.workspace import DoacrossWorkspace
+from repro.errors import ScheduleError
 from repro.ir.loop import IrregularLoop
 from repro.ir.transform import (
     STRATEGY_CLASSIC_DOACROSS,
@@ -31,8 +40,49 @@ from repro.ir.transform import (
 )
 from repro.machine.costs import CostModel
 from repro.machine.engine import Machine
+from repro.machine.scheduler import SCHEDULE_KINDS, IterationSchedule
 
 __all__ = ["PreprocessedDoacross", "parallelize"]
+
+
+def _validate_schedule_options(schedule, chunk) -> None:
+    """Fail fast on malformed schedule options (satisfying the contract
+    that bad configuration raises :class:`ScheduleError` at construction,
+    not deep inside the scheduler mid-run)."""
+    if chunk is not None and chunk < 1:
+        raise ScheduleError(f"chunk must be >= 1, got {chunk}")
+    if (
+        schedule is not None
+        and not isinstance(schedule, IterationSchedule)
+        and schedule not in SCHEDULE_KINDS
+    ):
+        raise ScheduleError(
+            f"unknown schedule kind {schedule!r}; expected one of "
+            f"{'/'.join(SCHEDULE_KINDS)} or an IterationSchedule"
+        )
+
+
+def _shim_positional(args: tuple, names: tuple, given: dict, what: str) -> dict:
+    """Map legacy positional options onto keyword names, warning once."""
+    if len(args) > len(names):
+        raise TypeError(
+            f"{what} takes at most {len(names)} positional options "
+            f"({', '.join(names)}); got {len(args)}"
+        )
+    warnings.warn(
+        f"positional options to {what} are deprecated; "
+        f"pass {', '.join(names[: len(args)])} as keyword arguments",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    for name, value in zip(names, args):
+        if given.get(name) is not _UNSET:
+            raise TypeError(f"{what} got multiple values for {name!r}")
+        given[name] = value
+    return given
+
+
+_UNSET = object()
 
 
 class PreprocessedDoacross:
@@ -54,6 +104,8 @@ class PreprocessedDoacross:
     schedule, chunk:
         Default executor schedule (kind string or
         :class:`~repro.machine.scheduler.IterationSchedule`) and chunk size.
+        Validated here — an unknown kind or ``chunk < 1`` raises
+        :class:`~repro.errors.ScheduleError` immediately.
     bus:
         Enable the shared-bus contention model.
     coherence:
@@ -72,6 +124,7 @@ class PreprocessedDoacross:
         bus: bool = False,
         coherence: bool = False,
     ):
+        _validate_schedule_options(schedule, chunk)
         if machine is None:
             machine = Machine(
                 processors, cost_model=cost_model, bus=bus, coherence=coherence
@@ -86,26 +139,59 @@ class PreprocessedDoacross:
     def run(
         self,
         loop: IrregularLoop,
-        order: np.ndarray | None = None,
-        order_label: str = "natural",
-        linear: bool = False,
-        schedule=None,
-        chunk: int | None = None,
-        trace: bool = False,
+        *args,
+        order: np.ndarray | None = _UNSET,
+        order_label: str = _UNSET,
+        linear: bool = _UNSET,
+        schedule=_UNSET,
+        chunk: int | None = _UNSET,
+        trace: bool = _UNSET,
     ) -> RunResult:
         """Run the full preprocessed doacross (or the §2.3 linear variant
         with ``linear=True``); optionally in a caller-supplied execution
         ``order`` (see :class:`~repro.core.doconsider.Doconsider`).  With
         ``trace=True`` the executor-phase timeline lands in
-        ``result.extras["trace"]``."""
-        return self._runner.run_preprocessed(
+        ``result.extras["trace"]``.
+
+        Options are keyword-only; the pre-Runner positional form
+        ``run(loop, order, order_label, linear, schedule, chunk, trace)``
+        still works but emits a :class:`DeprecationWarning`.
+        """
+        given = {
+            "order": order,
+            "order_label": order_label,
+            "linear": linear,
+            "schedule": schedule,
+            "chunk": chunk,
+            "trace": trace,
+        }
+        if args:
+            given = _shim_positional(
+                args,
+                ("order", "order_label", "linear", "schedule", "chunk", "trace"),
+                given,
+                "PreprocessedDoacross.run",
+            )
+        defaults = {
+            "order": None,
+            "order_label": "natural",
+            "linear": False,
+            "schedule": None,
+            "chunk": None,
+            "trace": False,
+        }
+        opt = {
+            k: (defaults[k] if v is _UNSET else v) for k, v in given.items()
+        }
+        _validate_schedule_options(opt["schedule"], opt["chunk"])
+        return self._runner.run(
             loop,
-            schedule=self.schedule if schedule is None else schedule,
-            chunk=self.chunk if chunk is None else chunk,
-            order=order,
-            order_label=order_label,
-            linear=linear,
-            trace=trace,
+            schedule=self.schedule if opt["schedule"] is None else opt["schedule"],
+            chunk=self.chunk if opt["chunk"] is None else opt["chunk"],
+            order=opt["order"],
+            order_label=opt["order_label"],
+            linear=opt["linear"],
+            trace=opt["trace"],
         )
 
     def run_stripmined(
@@ -128,12 +214,15 @@ class PreprocessedDoacross:
 
 def parallelize(
     loop: IrregularLoop,
-    processors: int = 16,
-    cost_model: CostModel | None = None,
-    assert_independent: bool = False,
-    known_distance: int | None = None,
-    schedule="cyclic",
-    chunk: int = 1,
+    *args,
+    processors: int = _UNSET,
+    cost_model: CostModel | None = _UNSET,
+    assert_independent: bool = _UNSET,
+    known_distance: int | None = _UNSET,
+    schedule=_UNSET,
+    chunk: int = _UNSET,
+    backend: str | Runner = "simulated",
+    cache=None,
 ) -> tuple[RunResult, TransformPlan]:
     """Automatically select and run the cheapest sound strategy.
 
@@ -141,24 +230,100 @@ def parallelize(
     (plus optional user assertions) picks among doall, classic doacross,
     linear-subscript doacross, and the full preprocessed doacross.  Returns
     the run result together with the plan that justified it.
+
+    Parameters
+    ----------
+    backend:
+        Where to execute: ``"simulated"`` (default — simulated cycles, all
+        strategy specializations), ``"threaded"`` (real threads,
+        ``processors`` becomes the thread count), ``"vectorized"`` (batched
+        wavefronts, measured wall clock, inspector-cache amortization), or
+        any :class:`~repro.backends.base.Runner` instance.  Non-simulated
+        backends execute every strategy through the same generalized
+        protocol; the plan still records what a specializing compiler
+        would have done.
+    cache:
+        Optional :class:`~repro.backends.cache.InspectorCache` shared
+        across calls (vectorized backend only).
+
+    Options are keyword-only; the pre-Runner positional form
+    ``parallelize(loop, processors, cost_model, assert_independent,
+    known_distance, schedule, chunk)`` still works but emits a
+    :class:`DeprecationWarning`.
     """
+    given = {
+        "processors": processors,
+        "cost_model": cost_model,
+        "assert_independent": assert_independent,
+        "known_distance": known_distance,
+        "schedule": schedule,
+        "chunk": chunk,
+    }
+    if args:
+        given = _shim_positional(
+            args,
+            (
+                "processors",
+                "cost_model",
+                "assert_independent",
+                "known_distance",
+                "schedule",
+                "chunk",
+            ),
+            given,
+            "parallelize",
+        )
+    defaults = {
+        "processors": 16,
+        "cost_model": None,
+        "assert_independent": False,
+        "known_distance": None,
+        "schedule": "cyclic",
+        "chunk": 1,
+    }
+    opt = {k: (defaults[k] if v is _UNSET else v) for k, v in given.items()}
+
     plan = plan_transform(
         loop,
-        assert_independent=assert_independent,
-        known_distance=known_distance,
+        assert_independent=opt["assert_independent"],
+        known_distance=opt["known_distance"],
     )
+
+    if isinstance(backend, Runner) or backend != "simulated":
+        if isinstance(backend, Runner):
+            runner = backend
+        else:
+            from repro.backends import make_runner
+
+            runner = make_runner(
+                backend,
+                processors=opt["processors"],
+                cost_model=opt["cost_model"],
+                cache=cache,
+            )
+        result = runner.run(
+            loop, schedule=opt["schedule"], chunk=opt["chunk"]
+        )
+        result.extras.setdefault("plan", plan.describe())
+        return result, plan
+
     pd = PreprocessedDoacross(
-        processors=processors,
-        cost_model=cost_model,
-        schedule=schedule,
-        chunk=chunk,
+        processors=opt["processors"],
+        cost_model=opt["cost_model"],
+        schedule=opt["schedule"],
+        chunk=opt["chunk"],
     )
     runner = pd.runner()
     if plan.strategy == STRATEGY_DOALL:
-        result = runner.run_doall(loop, schedule=schedule, chunk=chunk)
+        result = runner.run_doall(
+            loop, schedule=opt["schedule"], chunk=opt["chunk"]
+        )
     elif plan.strategy == STRATEGY_CLASSIC_DOACROSS:
         result = runner.run_classic(
-            loop, plan.uniform_distance, schedule=schedule, chunk=chunk
+            loop,
+            plan.uniform_distance,
+            schedule=opt["schedule"],
+            chunk=opt["chunk"],
         )
     elif plan.strategy == STRATEGY_LINEAR:
         result = pd.run(loop, linear=True)

@@ -67,6 +67,10 @@ class RunResult:
         Human-readable schedule description.
     order_label:
         ``"natural"`` or a description of the doconsider reordering.
+    wall_seconds:
+        Measured wall-clock duration for backends that execute for real
+        (threaded, vectorized); ``None`` for simulated/sequential runs,
+        whose time axis is cycles.
     extras:
         Free-form strategy-specific details (block size, level count, ...).
     """
@@ -83,6 +87,7 @@ class RunResult:
     wait_cycles: int = 0
     schedule: str = ""
     order_label: str = "natural"
+    wall_seconds: float | None = None
     extras: dict = field(default_factory=dict)
 
     @property
@@ -112,12 +117,20 @@ class RunResult:
             f"loop={self.loop_name} strategy={self.strategy} "
             f"P={self.processors} schedule={self.schedule} "
             f"order={self.order_label}",
-            f"  T_par={self.total_cycles} cycles ({self.total_ms:.3f} ms)  "
-            f"T_seq={self.sequential_cycles} cycles "
-            f"({self.sequential_ms:.3f} ms)",
-            f"  speedup={self.speedup:.2f}  efficiency={self.efficiency:.3f}  "
-            f"busy-wait={self.wait_cycles} cycles",
         ]
+        if self.wall_seconds is not None:
+            lines.append(f"  wall={self.wall_seconds * 1e3:.3f} ms (measured)")
+        if self.total_cycles:
+            lines.append(
+                f"  T_par={self.total_cycles} cycles ({self.total_ms:.3f} ms)"
+                f"  T_seq={self.sequential_cycles} cycles "
+                f"({self.sequential_ms:.3f} ms)"
+            )
+            lines.append(
+                f"  speedup={self.speedup:.2f}  "
+                f"efficiency={self.efficiency:.3f}  "
+                f"busy-wait={self.wait_cycles} cycles"
+            )
         if self.breakdown.total:
             b = self.breakdown
             lines.append(

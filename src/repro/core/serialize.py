@@ -54,6 +54,9 @@ def result_to_dict(result: RunResult) -> dict:
         "speedup": float(result.speedup),
         "efficiency": float(result.efficiency),
         "wait_cycles": int(result.wait_cycles),
+        "wall_seconds": (
+            None if result.wall_seconds is None else float(result.wall_seconds)
+        ),
         "breakdown": result.breakdown.as_dict(),
         "phases": phases,
         "y_len": int(len(result.y)),

@@ -157,10 +157,16 @@ def verify_loop(
     else:
         skip("doall", "loop carries cross-iteration dependencies")
 
+    # Imported here: backends.vectorized pulls in backends.cache, which
+    # would cycle back into repro.core at module-import time.
+    from repro.backends.vectorized import VectorizedRunner
+
+    check("vectorized-wavefront", VectorizedRunner().run(loop).y)
+
     if include_threaded:
         check(
             f"threaded({threads})",
-            ThreadedRunner(threads=threads).run_preprocessed(loop),
+            ThreadedRunner(threads=threads).run_preprocessed(loop).y,
         )
 
     return report

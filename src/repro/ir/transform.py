@@ -35,6 +35,7 @@ __all__ = [
     "STRATEGY_PREPROCESSED",
     "TransformPlan",
     "plan_transform",
+    "structural_signature",
 ]
 
 STRATEGY_DOALL = "doall"
@@ -76,6 +77,29 @@ class TransformPlan:
         if self.needs_postprocess:
             phases.append("postprocessor")
         return f"{self.strategy} ({' + '.join(phases)}): {self.reason}"
+
+
+def structural_signature(loop: IrregularLoop) -> tuple:
+    """The *static* identity of a loop: everything :func:`plan_transform`
+    (and therefore a cached :class:`TransformPlan`) depends on, minus the
+    runtime array contents.
+
+    Two loops with equal signatures and equal ``write``/read-index arrays
+    have identical dependence structure — the same inspector output, the
+    same wavefront decomposition, the same plan — regardless of their
+    coefficients or values.  This is the non-content half of the
+    :class:`~repro.backends.cache.InspectorCache` fingerprint.
+    """
+    sub = loop.write_subscript
+    sub_sig: tuple = (type(sub).__name__,)
+    if isinstance(sub, AffineSubscript):
+        sub_sig = sub_sig + (int(sub.c), int(sub.d))
+    return (
+        int(loop.n),
+        int(loop.y_size),
+        str(loop.init_kind),
+        sub_sig,
+    )
 
 
 def plan_transform(

@@ -23,6 +23,7 @@ from __future__ import annotations
 from repro.errors import ScheduleError
 
 __all__ = [
+    "SCHEDULE_KINDS",
     "IterationSchedule",
     "StaticBlockSchedule",
     "StaticCyclicSchedule",
@@ -30,6 +31,9 @@ __all__ = [
     "GuidedSchedule",
     "make_schedule",
 ]
+
+#: Kind strings accepted by :func:`make_schedule`.
+SCHEDULE_KINDS = ("block", "cyclic", "dynamic", "guided")
 
 
 class IterationSchedule:

@@ -73,3 +73,38 @@ class TestLevels:
         loop = random_irregular_loop(40, max_terms=0, seed=0)  # all level 0
         s = compute_levels(loop)
         np.testing.assert_array_equal(s.order, np.arange(40))
+
+
+class TestLevelMethods:
+    """The vectorized frontier method must agree with the per-node sweep."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_frontier_matches_sweep(self, seed):
+        loop = random_irregular_loop(100, seed=seed)
+        sweep = compute_levels(loop, method="sweep")
+        frontier = compute_levels(loop, method="frontier")
+        np.testing.assert_array_equal(sweep.levels, frontier.levels)
+        np.testing.assert_array_equal(sweep.order, frontier.order)
+        np.testing.assert_array_equal(sweep.level_ptr, frontier.level_ptr)
+
+    def test_frontier_on_chain(self):
+        loop = chain_loop(50, 1)
+        frontier = compute_levels(loop, method="frontier")
+        np.testing.assert_array_equal(
+            frontier.levels, compute_levels(loop, method="sweep").levels
+        )
+
+    def test_frontier_empty(self):
+        s = compute_levels(random_irregular_loop(0, seed=0), method="frontier")
+        assert s.n_levels == 0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown level method"):
+            compute_levels(random_irregular_loop(10, seed=0), method="magic")
+
+    def test_slices_iterates_levels(self):
+        loop = chain_loop(20, 1)
+        s = compute_levels(loop)
+        slices = list(s.slices())
+        assert len(slices) == s.n_levels
+        assert slices[0][0] == 0 and slices[-1][1] == s.n

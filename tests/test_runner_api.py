@@ -1,0 +1,168 @@
+"""Tests for the unified Runner API: protocol conformance, the backend
+selector, option validation, and the deprecation shims for the old
+positional signatures."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backends import BACKENDS, make_runner
+from repro.backends.base import Runner
+from repro.backends.simulated import SimulatedRunner
+from repro.backends.threaded import ThreadedRunner
+from repro.backends.vectorized import VectorizedRunner
+from repro.core.doacross import PreprocessedDoacross, parallelize
+from repro.core.results import RunResult
+from repro.errors import ScheduleError
+from repro.machine.engine import Machine
+from repro.workloads.testloop import make_test_loop
+
+
+@pytest.fixture
+def loop():
+    return make_test_loop(n=120, m=2, l=8)
+
+
+class TestProtocolConformance:
+    def test_all_backends_are_runners(self):
+        assert issubclass(SimulatedRunner, Runner)
+        assert issubclass(ThreadedRunner, Runner)
+        assert issubclass(VectorizedRunner, Runner)
+
+    def test_runner_is_abstract(self):
+        with pytest.raises(TypeError):
+            Runner()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_returns_runresult(self, loop, backend):
+        runner = make_runner(backend, processors=4)
+        result = runner.run(loop)
+        assert isinstance(result, RunResult)
+        np.testing.assert_allclose(result.y, loop.run_sequential())
+
+    def test_names(self):
+        assert SimulatedRunner(Machine(2)).name == "simulated"
+        assert ThreadedRunner().name == "threaded"
+        assert VectorizedRunner().name == "vectorized"
+
+    def test_make_runner_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_runner("cuda")
+
+    def test_exported_from_package_root(self):
+        for name in (
+            "Runner",
+            "SimulatedRunner",
+            "ThreadedRunner",
+            "VectorizedRunner",
+            "InspectorCache",
+            "make_runner",
+            "BACKENDS",
+        ):
+            assert hasattr(repro, name)
+
+
+class TestThreadedRunResult:
+    def test_run_preprocessed_returns_runresult(self, loop):
+        result = ThreadedRunner(threads=2).run_preprocessed(loop)
+        assert isinstance(result, RunResult)
+        assert result.strategy == "threaded-doacross"
+        assert result.wall_seconds is not None and result.wall_seconds > 0
+        assert result.total_cycles == 0
+        np.testing.assert_allclose(result.y, loop.run_sequential())
+
+    def test_no_infinite_speedup_in_summary(self, loop):
+        summary = ThreadedRunner(threads=2).run(loop).summary()
+        assert "speedup=inf" not in summary
+        assert "(measured)" in summary
+
+
+class TestOptionValidation:
+    def test_chunk_zero_rejected_at_init(self):
+        with pytest.raises(ScheduleError, match="chunk must be >= 1"):
+            PreprocessedDoacross(chunk=0)
+
+    def test_negative_chunk_rejected_at_run(self, loop):
+        with pytest.raises(ScheduleError, match="chunk must be >= 1"):
+            PreprocessedDoacross().run(loop, chunk=-3)
+
+    def test_unknown_schedule_rejected_at_init(self):
+        with pytest.raises(ScheduleError, match="unknown schedule kind"):
+            PreprocessedDoacross(schedule="bogus")
+
+    def test_unknown_schedule_rejected_at_run(self, loop):
+        with pytest.raises(ScheduleError, match="unknown schedule kind"):
+            PreprocessedDoacross().run(loop, schedule="bogus")
+
+    def test_schedule_instance_accepted(self, loop):
+        from repro.machine.scheduler import StaticCyclicSchedule
+
+        schedule = StaticCyclicSchedule(loop.n, 4)
+        result = PreprocessedDoacross(processors=4).run(
+            loop, schedule=schedule
+        )
+        np.testing.assert_allclose(result.y, loop.run_sequential())
+
+
+class TestDeprecationShims:
+    def test_run_positional_warns_and_matches(self, loop):
+        pd = PreprocessedDoacross(processors=4)
+        keyword = pd.run(loop, order=None, order_label="natural")
+        with pytest.warns(DeprecationWarning, match="positional options"):
+            positional = pd.run(loop, None, "natural")
+        assert np.array_equal(positional.y, keyword.y)
+        assert positional.total_cycles == keyword.total_cycles
+
+    def test_parallelize_positional_warns_and_matches(self, loop):
+        keyword, _ = parallelize(loop, processors=8)
+        with pytest.warns(DeprecationWarning, match="positional options"):
+            positional, _ = parallelize(loop, 8)
+        assert np.array_equal(positional.y, keyword.y)
+        assert positional.processors == 8
+
+    def test_duplicate_option_rejected(self, loop):
+        pd = PreprocessedDoacross()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="multiple values"):
+                pd.run(loop, None, order=None)
+
+    def test_too_many_positionals_rejected(self, loop):
+        pd = PreprocessedDoacross()
+        with pytest.raises(TypeError, match="at most"):
+            pd.run(loop, None, "natural", False, None, 1, False, "extra")
+
+    def test_keyword_form_does_not_warn(self, loop):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            parallelize(loop, processors=4, schedule="cyclic", chunk=2)
+
+
+class TestParallelizeDispatch:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_all_backends_agree(self, loop, backend):
+        result, plan = parallelize(loop, processors=4, backend=backend)
+        np.testing.assert_allclose(result.y, loop.run_sequential())
+        assert result.extras["plan"] == plan.describe()
+
+    def test_unknown_backend_rejected(self, loop):
+        with pytest.raises(ValueError, match="unknown backend"):
+            parallelize(loop, backend="quantum")
+
+    def test_custom_runner_dispatch(self, loop):
+        class Recording(Runner):
+            name = "recording"
+
+            def __init__(self):
+                self.calls = 0
+
+            def run(self, loop, *, order=None, schedule=None, chunk=None,
+                    trace=False):
+                self.calls += 1
+                return VectorizedRunner().run(loop)
+
+        runner = Recording()
+        result, _ = parallelize(loop, backend=runner)
+        assert runner.calls == 1
+        np.testing.assert_allclose(result.y, loop.run_sequential())
