@@ -66,5 +66,13 @@ def main() -> None:
     print("auto-parallelized values verified")
 
 
+def build_loops() -> dict:
+    """Expose this example's loops to ``python -m repro lint``."""
+    return {
+        "quickstart-figure4": repro.make_test_loop(n=4000, m=2, l=8),
+        "quickstart-independent": repro.make_test_loop(n=4000, m=2, l=7),
+    }
+
+
 if __name__ == "__main__":
     main()

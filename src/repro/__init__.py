@@ -40,6 +40,7 @@ from repro.backends import (
     Runner,
     SimulatedRunner,
     ThreadedRunner,
+    ValidatingRunner,
     VectorizedRunner,
     make_runner,
 )
@@ -58,6 +59,7 @@ from repro.core.workspace import MAXINT, DoacrossWorkspace
 from repro.errors import (
     InvalidLoopError,
     OutputDependenceError,
+    RaceConditionError,
     ReproError,
     ScheduleError,
     SimulationDeadlockError,
@@ -67,6 +69,13 @@ from repro.ir.frontend import loop_from_source
 from repro.ir.loop import INIT_EXTERNAL, INIT_OLD_VALUE, IrregularLoop
 from repro.ir.subscript import AffineSubscript, IndirectSubscript
 from repro.ir.transform import TransformPlan, plan_transform
+from repro.lint import (
+    Diagnostic,
+    RaceReport,
+    check_backend_schedule,
+    format_diagnostics,
+    run_lints,
+)
 from repro.machine.costs import CostModel, WorkProfile
 from repro.machine.engine import Machine
 from repro.workloads.synthetic import chain_loop, random_irregular_loop
@@ -90,6 +99,7 @@ __all__ = [
     "ThreadedRunner",
     "VectorizedRunner",
     "InspectorCache",
+    "ValidatingRunner",
     "make_runner",
     "BACKENDS",
     "run_reference",
@@ -120,10 +130,17 @@ __all__ = [
     "make_test_loop",
     "random_irregular_loop",
     "chain_loop",
+    # Static analysis
+    "run_lints",
+    "Diagnostic",
+    "format_diagnostics",
+    "RaceReport",
+    "check_backend_schedule",
     # Errors
     "ReproError",
     "InvalidLoopError",
     "OutputDependenceError",
+    "RaceConditionError",
     "ScheduleError",
     "SimulationDeadlockError",
 ]

@@ -26,6 +26,13 @@ Commands
 ``demo [--backend=simulated|threaded|vectorized]``
     Two-minute tour: run a dependence-carrying Figure-4 loop, print the
     result summary and (simulated backend) an executor-phase Gantt chart.
+``lint <target>... [--json] [--schedule=KIND] [--chunk=K]
+      [--processors=P] [--strip-block=B] [--backend=NAME]
+      [--rules=A,B] [--strict]``
+    Static analysis: run the paper-grounded lint rules (and, with
+    ``--backend``, the happens-before race checker) over loops from a
+    ``.py`` file, a directory of examples, or a builtin spec
+    (``figure4:n=200,l=8``, ``chain:n=100,d=1``, ``random:seed=3``).
 ``version``
     Print the package version.
 """
@@ -161,6 +168,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.bench_vectorized import main as bench_vec_main
 
         return bench_vec_main(rest)
+    if command == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(rest)
     if command == "verify":
         return _verify(rest)
     if command == "codegen":

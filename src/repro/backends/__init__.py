@@ -27,6 +27,7 @@ from repro.backends.base import Runner, validate_execution_order
 from repro.backends.cache import InspectorCache, InspectorRecord, loop_fingerprint
 from repro.backends.simulated import SimulatedRunner
 from repro.backends.threaded import ThreadedRunner
+from repro.backends.validating import ValidatingRunner
 from repro.backends.vectorized import VectorizedRunner
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "SimulatedRunner",
     "ThreadedRunner",
     "VectorizedRunner",
+    "ValidatingRunner",
     "InspectorCache",
     "InspectorRecord",
     "loop_fingerprint",
@@ -54,6 +56,7 @@ def make_runner(
     cache: InspectorCache | None = None,
     bus: bool = False,
     coherence: bool = False,
+    validate: str | None = None,
 ) -> Runner:
     """Build a :class:`Runner` by name.
 
@@ -61,19 +64,34 @@ def make_runner(
     thread count for the threaded backend; the vectorized backend has no
     processor knob (its parallelism is the wavefront width).  ``cache``
     is only meaningful for the vectorized backend.
+
+    ``validate="static"`` wraps the runner in a
+    :class:`~repro.backends.validating.ValidatingRunner`: every ``run``
+    first lint-checks the loop and race-checks the backend's schedule,
+    raising :class:`~repro.errors.RaceConditionError` before execution if
+    a true dependence is unordered.
     """
     if backend == "simulated":
         from repro.machine.engine import Machine
 
-        return SimulatedRunner(
+        runner: Runner = SimulatedRunner(
             Machine(
                 processors, cost_model=cost_model, bus=bus, coherence=coherence
             )
         )
-    if backend == "threaded":
-        return ThreadedRunner(threads=processors)
-    if backend == "vectorized":
-        return VectorizedRunner(cache=cache, cost_model=cost_model)
-    raise ValueError(
-        f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
-    )
+    elif backend == "threaded":
+        runner = ThreadedRunner(threads=processors)
+    elif backend == "vectorized":
+        runner = VectorizedRunner(cache=cache, cost_model=cost_model)
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{', '.join(BACKENDS)}"
+        )
+    if validate is None:
+        return runner
+    if validate != "static":
+        raise ValueError(
+            f"unknown validate mode {validate!r}; expected 'static' or None"
+        )
+    return ValidatingRunner(runner)

@@ -19,7 +19,10 @@ The headline shape assertion (``check``): warm vectorized execution beats
 the threaded backend by at least ``min_speedup``× (5× at the default
 100k-iteration size), and the warm run actually hits the cache.
 
-Run: ``python -m repro.bench.bench_vectorized [--small] [--json] [n]``.
+Run: ``python -m repro.bench.bench_vectorized [--small] [--json]
+[--out=PATH] [n]``.  Every run also writes the machine-readable artifact
+``BENCH_vectorized.json`` (override with ``--out=``) so the perf
+trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ import json
 import sys
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -36,7 +40,16 @@ from repro.backends.vectorized import VectorizedRunner
 from repro.bench.reporting import format_table
 from repro.workloads.testloop import make_test_loop
 
-__all__ = ["VectorizedBenchResult", "run_bench_vectorized", "main"]
+__all__ = [
+    "VectorizedBenchResult",
+    "run_bench_vectorized",
+    "bench_records",
+    "write_bench_json",
+    "main",
+]
+
+#: Default artifact path (repo root in CI) tracking the perf trajectory.
+BENCH_JSON = "BENCH_vectorized.json"
 
 
 @dataclass
@@ -145,6 +158,46 @@ class VectorizedBenchResult:
         }
 
 
+def bench_records(result: VectorizedBenchResult) -> list[dict]:
+    """Flat per-backend rows for cross-PR tracking: each row carries the
+    loop size, the backend label, its wall time, and its speedup over the
+    sequential oracle."""
+    rows = [
+        ("sequential", result.sequential_seconds),
+        ("threaded", result.threaded_seconds),
+        ("vectorized-cold", result.vectorized_cold_seconds),
+        ("vectorized-warm", result.vectorized_warm_seconds),
+    ]
+    return [
+        {
+            "n": result.n,
+            "backend": backend,
+            "wall_seconds": seconds,
+            "speedup": result.sequential_seconds / seconds,
+        }
+        for backend, seconds in rows
+    ]
+
+
+def write_bench_json(
+    result: VectorizedBenchResult, path: str | Path = BENCH_JSON
+) -> Path:
+    """Write the machine-readable benchmark artifact.
+
+    The file holds both the flat ``records`` rows (the stable cross-PR
+    schema) and the full ``detail`` dict (cache stats, amortization
+    curve) for deeper digging.
+    """
+    path = Path(path)
+    payload = {
+        "benchmark": "bench-vectorized",
+        "records": bench_records(result),
+        "detail": result.as_dict(),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
 def _best_of(repeats: int, fn):
     """Smallest wall time over ``repeats`` calls; returns (seconds, last)."""
     best, last = float("inf"), None
@@ -222,6 +275,10 @@ def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     small = "--small" in args
     as_json = "--json" in args
+    out = BENCH_JSON
+    for a in args:
+        if a.startswith("--out="):
+            out = a.split("=", 1)[1]
     numeric = [a for a in args if a.isdigit()]
     n = int(numeric[0]) if numeric else (20_000 if small else 100_000)
     result = run_bench_vectorized(
@@ -231,6 +288,9 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps(result.as_dict(), indent=2))
     else:
         print(result.report())
+    written = write_bench_json(result, out)
+    if not as_json:
+        print(f"\nwrote {written}")
     # The 5x acceptance bar is calibrated for the 100k-iteration size;
     # smoke-size runs keep a softer bar so CI noise can't flake them.
     result.check(min_speedup=2.0 if small else 5.0)

@@ -62,8 +62,22 @@ def _validate_schedule_options(schedule, chunk) -> None:
         )
 
 
-def _shim_positional(args: tuple, names: tuple, given: dict, what: str) -> dict:
-    """Map legacy positional options onto keyword names, warning once."""
+def _shim_positional(
+    args: tuple,
+    names: tuple,
+    given: dict,
+    what: str,
+    stacklevel: int = 3,
+) -> dict:
+    """Map legacy positional options onto keyword names, warning once.
+
+    ``stacklevel`` counts from :func:`warnings.warn`: one frame for this
+    helper, one for the deprecated public entry point, so the default of 3
+    attributes the warning to *its caller's* source line — the line that
+    actually needs editing.  Entry points that add intermediate frames
+    must pass a correspondingly larger value (asserted by the
+    ``pytest.warns`` source-location tests).
+    """
     if len(args) > len(names):
         raise TypeError(
             f"{what} takes at most {len(names)} positional options "
@@ -73,7 +87,7 @@ def _shim_positional(args: tuple, names: tuple, given: dict, what: str) -> dict:
         f"positional options to {what} are deprecated; "
         f"pass {', '.join(names[: len(args)])} as keyword arguments",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=stacklevel,
     )
     for name, value in zip(names, args):
         if given.get(name) is not _UNSET:
@@ -223,6 +237,7 @@ def parallelize(
     chunk: int = _UNSET,
     backend: str | Runner = "simulated",
     cache=None,
+    validate: str | None = None,
 ) -> tuple[RunResult, TransformPlan]:
     """Automatically select and run the cheapest sound strategy.
 
@@ -245,6 +260,14 @@ def parallelize(
     cache:
         Optional :class:`~repro.backends.cache.InspectorCache` shared
         across calls (vectorized backend only).
+    validate:
+        ``"static"`` runs the lint rules and the happens-before race
+        checker (:mod:`repro.lint`) against the chosen backend's schedule
+        *before* executing; an uncovered true dependence raises
+        :class:`~repro.errors.RaceConditionError`, and the findings are
+        attached as ``result.extras["lint"]`` /
+        ``result.extras["race_check"]``.  ``None`` (default) skips
+        validation.
 
     Options are keyword-only; the pre-Runner positional form
     ``parallelize(loop, processors, cost_model, assert_independent,
@@ -289,9 +312,18 @@ def parallelize(
         known_distance=opt["known_distance"],
     )
 
+    if validate not in (None, "static"):
+        raise ValueError(
+            f"unknown validate mode {validate!r}; expected 'static' or None"
+        )
+
     if isinstance(backend, Runner) or backend != "simulated":
         if isinstance(backend, Runner):
             runner = backend
+            if validate == "static":
+                from repro.backends.validating import ValidatingRunner
+
+                runner = ValidatingRunner(runner)
         else:
             from repro.backends import make_runner
 
@@ -300,12 +332,36 @@ def parallelize(
                 processors=opt["processors"],
                 cost_model=opt["cost_model"],
                 cache=cache,
+                validate=validate,
             )
         result = runner.run(
             loop, schedule=opt["schedule"], chunk=opt["chunk"]
         )
         result.extras.setdefault("plan", plan.describe())
         return result, plan
+
+    if validate == "static":
+        from repro.errors import RaceConditionError
+        from repro.lint.driver import run_lints
+        from repro.lint.hb import check_backend_schedule
+
+        kind = opt["schedule"] if isinstance(opt["schedule"], str) else None
+        lint_findings = run_lints(
+            loop,
+            plan=plan,
+            schedule=kind,
+            chunk=opt["chunk"],
+            processors=opt["processors"],
+        )
+        race_report = check_backend_schedule(
+            loop,
+            "simulated",
+            processors=opt["processors"],
+            schedule=opt["schedule"],
+            chunk=opt["chunk"],
+        )
+        if not race_report.passed:
+            raise RaceConditionError(race_report)
 
     pd = PreprocessedDoacross(
         processors=opt["processors"],
@@ -329,5 +385,8 @@ def parallelize(
         result = pd.run(loop, linear=True)
     else:
         result = pd.run(loop)
+    if validate == "static":
+        result.extras["lint"] = [d.as_dict() for d in lint_findings]
+        result.extras["race_check"] = race_report.as_dict()
     result.extras.setdefault("plan", plan.describe())
     return result, plan

@@ -13,6 +13,7 @@ __all__ = [
     "InvalidLoopError",
     "OutputDependenceError",
     "ScheduleError",
+    "RaceConditionError",
     "MatrixFormatError",
     "SingularMatrixError",
     "CalibrationError",
@@ -70,6 +71,22 @@ class OutputDependenceError(InvalidLoopError):
 
 class ScheduleError(ReproError):
     """An iteration schedule is inconsistent (bad chunking, empty claim)."""
+
+
+class RaceConditionError(ScheduleError):
+    """Static validation found a true dependence the schedule fails to
+    order (``validate="static"`` on :func:`~repro.core.doacross.parallelize`
+    or :func:`~repro.backends.make_runner`).
+
+    Attributes
+    ----------
+    report:
+        The :class:`~repro.lint.hb.RaceReport` listing uncovered edges.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        super().__init__(report.summary())
 
 
 class MatrixFormatError(ReproError):

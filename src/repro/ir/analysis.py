@@ -159,13 +159,13 @@ def summarize_dependences(loop: IrregularLoop) -> DependenceSummary:
         if true_mask.any()
         else np.empty((0, 2), dtype=np.int64)
     )
+    min_d: int | None = None
+    max_d: int | None = None
+    dependent = 0
     if len(pairs):
         distances = pairs[:, 1] - pairs[:, 0]
         min_d, max_d = int(distances.min()), int(distances.max())
         dependent = len(np.unique(pairs[:, 1]))
-    else:
-        min_d = max_d = None
-        dependent = 0
     return DependenceSummary(
         n=loop.n,
         total_terms=len(categories),

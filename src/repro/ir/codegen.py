@@ -189,6 +189,8 @@ def generate_source(
     if plan.strategy == STRATEGY_DOALL:
         sections.append(_doall_source(loop))
     elif plan.strategy == STRATEGY_CLASSIC_DOACROSS:
+        if plan.uniform_distance is None:
+            raise ValueError("classic plan carries no uniform distance")
         sections.append(_classic_source(loop, plan.uniform_distance))
     elif plan.strategy == STRATEGY_LINEAR:
         sections.append(_executor_source(loop, linear=True))

@@ -238,8 +238,8 @@ def loop_from_source(
     # Optional init statement: y[W] = <expr>
     # ------------------------------------------------------------------
     init_kind = INIT_OLD_VALUE
-    init_values = None
-    init_write_dump = None
+    init_values: np.ndarray | None = None
+    init_write_dump: str | None = None
     inner = body[-1]
     if len(body) == 2:
         stmt = body[0]

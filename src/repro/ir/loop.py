@@ -117,6 +117,7 @@ class IrregularLoop:
                 )
         reads.check_bounds(y_size)
 
+        self.init_values: np.ndarray | None
         if init_kind == INIT_EXTERNAL:
             if init_values is None:
                 raise InvalidLoopError(
@@ -194,7 +195,7 @@ class IrregularLoop:
     # ------------------------------------------------------------------
     def initial_accumulator(self, i: int, y: np.ndarray) -> float:
         """The value the accumulator of iteration ``i`` starts from."""
-        if self.init_kind == INIT_OLD_VALUE:
+        if self.init_kind == INIT_OLD_VALUE or self.init_values is None:
             return float(y[self.write[i]])
         return float(self.init_values[i])
 
@@ -209,6 +210,9 @@ class IrregularLoop:
         ptr, index, coeff = self.reads.ptr, self.reads.index, self.reads.coeff
         external = self.init_kind == INIT_EXTERNAL
         init_values = self.init_values
+        if init_values is None:
+            external = False
+            init_values = y  # unused placeholder; keeps the loop branch-free
         for i in range(self.n):
             w = write[i]
             acc = init_values[i] if external else y[w]

@@ -1,0 +1,243 @@
+"""``python -m repro lint`` — run the static analyzer from the shell.
+
+Targets
+-------
+A target is any mix of:
+
+- a ``.py`` file exposing loops through one of three hooks, checked in
+  order: ``build_loops() -> dict[str, IrregularLoop]``, a module-level
+  ``LOOPS`` dict, or ``build_loop() -> IrregularLoop``;
+- a directory — every ``*.py`` under it that defines one of those hooks
+  is linted (files without a hook are skipped silently, so pointing the
+  CI gate at ``examples/`` is safe);
+- a builtin spec: ``figure4[:n=..,m=..,l=..]``, ``chain[:n=..,d=..]``,
+  ``random[:n=..,seed=..,max_terms=..]``.
+
+Options
+-------
+``--json``               machine-readable output instead of text
+``--schedule=KIND``      lint against an executor schedule
+                         (block/cyclic/dynamic/guided)
+``--chunk=K``            chunk size for cyclic/dynamic/guided
+``--processors=P``       processor count (default 16)
+``--strip-block=B``      lint a §2.3 strip-mined variant with block B
+``--backend=NAME``       also race-check NAME's schedule
+                         (vectorized/threaded/simulated)
+``--rules=A,B``          run only these rule IDs
+``--strict``             exit 1 on warnings, not just errors
+
+Exit status: 0 clean (or info/warning findings only), 1 if any
+error-severity finding (always includes races), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+from repro.ir.loop import IrregularLoop
+from repro.lint.diagnostics import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Diagnostic,
+    format_diagnostics,
+)
+from repro.lint.driver import run_lints
+from repro.lint.rules import rule_ids
+
+__all__ = ["main", "collect_loops", "loops_from_file", "builtin_loops"]
+
+#: Hook names probed on target modules, in priority order.
+_HOOKS = ("build_loops", "LOOPS", "build_loop")
+
+
+def builtin_loops(spec: str) -> dict[str, IrregularLoop]:
+    """Instantiate a builtin loop spec like ``figure4:n=200,l=8``."""
+    from repro.workloads.synthetic import chain_loop, random_irregular_loop
+    from repro.workloads.testloop import make_test_loop
+
+    kind, _, argstr = spec.partition(":")
+    kwargs: dict[str, int] = {}
+    if argstr:
+        for item in argstr.split(","):
+            key, _, value = item.partition("=")
+            if not value:
+                raise ValueError(f"malformed spec argument {item!r} in {spec!r}")
+            kwargs[key.strip()] = int(value)
+    if kind == "figure4":
+        loop = make_test_loop(
+            n=kwargs.pop("n", 200),
+            m=kwargs.pop("m", 2),
+            l=kwargs.pop("l", 8),
+        )
+    elif kind == "chain":
+        loop = chain_loop(kwargs.pop("n", 200), kwargs.pop("d", 1))
+    elif kind == "random":
+        loop = random_irregular_loop(
+            kwargs.pop("n", 200),
+            max_terms=kwargs.pop("max_terms", 4),
+            seed=kwargs.pop("seed", 0),
+        )
+    else:
+        raise ValueError(f"unknown builtin loop spec {kind!r}")
+    if kwargs:
+        raise ValueError(
+            f"unknown spec argument(s) {sorted(kwargs)} for {kind!r}"
+        )
+    return {loop.name: loop}
+
+
+def loops_from_file(path: Path) -> dict[str, IrregularLoop]:
+    """Import ``path`` and harvest its loops via the first hook found."""
+    spec = importlib.util.spec_from_file_location(
+        f"_repro_lint_target_{path.stem}", path
+    )
+    if spec is None or spec.loader is None:
+        raise ValueError(f"cannot import {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    for hook in _HOOKS:
+        obj = getattr(module, hook, None)
+        if obj is None:
+            continue
+        harvest = obj() if callable(obj) else obj
+        if isinstance(harvest, IrregularLoop):
+            return {harvest.name: harvest}
+        return dict(harvest)
+    raise ValueError(
+        f"{path} defines none of the lint hooks {', '.join(_HOOKS)}"
+    )
+
+
+def _file_has_hook(path: Path) -> bool:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return False
+    return any(hook in text for hook in _HOOKS)
+
+
+def collect_loops(
+    targets: list[str],
+) -> list[tuple[str, str, IrregularLoop]]:
+    """Resolve targets to ``(source, name, loop)`` triples."""
+    collected: list[tuple[str, str, IrregularLoop]] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            hits = 0
+            for file in sorted(path.rglob("*.py")):
+                if not _file_has_hook(file):
+                    continue
+                for name, loop in loops_from_file(file).items():
+                    collected.append((str(file), name, loop))
+                    hits += 1
+            if hits == 0:
+                raise ValueError(
+                    f"no *.py file under {path} defines a lint hook "
+                    f"({', '.join(_HOOKS)})"
+                )
+        elif path.is_file():
+            for name, loop in loops_from_file(path).items():
+                collected.append((str(path), name, loop))
+        else:
+            for name, loop in builtin_loops(target).items():
+                collected.append((f"builtin:{target}", name, loop))
+    return collected
+
+
+def main(argv: list[str]) -> int:
+    as_json = False
+    strict = False
+    schedule: str | None = None
+    chunk = 1
+    processors = 16
+    strip_block: int | None = None
+    backend: str | None = None
+    only: list[str] | None = None
+    targets: list[str] = []
+    try:
+        for arg in argv:
+            if arg == "--json":
+                as_json = True
+            elif arg == "--strict":
+                strict = True
+            elif arg.startswith("--schedule="):
+                schedule = arg.split("=", 1)[1]
+            elif arg.startswith("--chunk="):
+                chunk = int(arg.split("=", 1)[1])
+            elif arg.startswith("--processors="):
+                processors = int(arg.split("=", 1)[1])
+            elif arg.startswith("--strip-block="):
+                strip_block = int(arg.split("=", 1)[1])
+            elif arg.startswith("--backend="):
+                backend = arg.split("=", 1)[1]
+            elif arg.startswith("--rules="):
+                only = [r.strip() for r in arg.split("=", 1)[1].split(",")]
+                unknown = sorted(set(only) - set(rule_ids()))
+                if unknown:
+                    raise ValueError(
+                        f"unknown rule ID(s) {', '.join(unknown)}; "
+                        f"registered: {', '.join(rule_ids())}"
+                    )
+            elif arg.startswith("-"):
+                raise ValueError(f"unknown lint option {arg!r}")
+            else:
+                targets.append(arg)
+        if not targets:
+            raise ValueError(
+                "no targets; give a .py file, a directory, or a builtin "
+                "spec (figure4/chain/random)"
+            )
+        loops = collect_loops(targets)
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+    records: list[dict] = []
+    worst = ""
+    for source, name, loop in loops:
+        diagnostics = run_lints(
+            loop,
+            schedule=schedule,
+            chunk=chunk,
+            processors=processors,
+            strip_block=strip_block,
+            only=only,
+            backend=backend,
+        )
+        records.append(
+            {
+                "source": source,
+                "loop": name,
+                "diagnostics": [d.as_dict() for d in diagnostics],
+            }
+        )
+        worst = _worse(worst, diagnostics)
+        if not as_json:
+            print(f"== {name} ({source}) ==")
+            print(format_diagnostics(diagnostics))
+            print()
+    if as_json:
+        print(
+            json.dumps(
+                {"targets": records, "worst_severity": worst}, indent=2
+            )
+        )
+    else:
+        print(f"linted {len(loops)} loop(s) from {len(targets)} target(s)")
+    if worst == SEVERITY_ERROR:
+        return 1
+    if strict and worst == SEVERITY_WARNING:
+        return 1
+    return 0
+
+
+def _worse(worst: str, diagnostics: list[Diagnostic]) -> str:
+    order = {"": 0, "info": 1, "warning": 2, "error": 3}
+    for d in diagnostics:
+        if order[d.severity] > order[worst]:
+            worst = d.severity
+    return worst

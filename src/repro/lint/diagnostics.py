@@ -1,0 +1,113 @@
+"""Structured lint diagnostics.
+
+A :class:`Diagnostic` is one finding of one rule about one loop: rule ID,
+severity, where in the loop it applies (a term slot, an iteration range, a
+schedule parameter), what is wrong, and what to do about it.  Diagnostics
+are plain data — renderable as aligned text for terminals and as dicts for
+the ``--json`` output and for ``result.extras["lint"]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "SEVERITY_INFO",
+    "SEVERITIES",
+    "Diagnostic",
+    "format_diagnostics",
+]
+
+#: A soundness violation: running this configuration can produce wrong
+#: values (e.g. an uncovered true dependence).
+SEVERITY_ERROR = "error"
+#: Sound but wasteful or self-defeating (dead waits, serialized wavefronts,
+#: an inspector the compiler could have eliminated).
+SEVERITY_WARNING = "warning"
+#: Structural observations that justify a cheaper strategy.
+SEVERITY_INFO = "info"
+
+#: Severities ordered most-severe first (the report ordering).
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING, SEVERITY_INFO)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint rule.
+
+    Attributes
+    ----------
+    rule:
+        The rule ID (e.g. ``"DOALL-ABLE"``).
+    severity:
+        One of :data:`SEVERITY_ERROR` / :data:`SEVERITY_WARNING` /
+        :data:`SEVERITY_INFO`.
+    loop:
+        Name of the loop the finding is about.
+    message:
+        What was found, in one sentence.
+    suggestion:
+        The concrete fix (API call or parameter change), empty if none.
+    location:
+        Where inside the loop/plan/schedule the finding sits (term slot,
+        iteration pair, schedule parameter); empty for whole-loop findings.
+    paper_ref:
+        The paper section grounding the rule (e.g. ``"§2.3"``).
+    """
+
+    rule: str
+    severity: str
+    loop: str
+    message: str
+    suggestion: str = ""
+    location: str = ""
+    paper_ref: str = ""
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; expected one of "
+                f"{'/'.join(SEVERITIES)}"
+            )
+
+    def format(self) -> str:
+        """One- or two-line terminal rendering."""
+        where = f" at {self.location}" if self.location else ""
+        ref = f" [{self.paper_ref}]" if self.paper_ref else ""
+        lines = [
+            f"{self.rule:<18} {self.severity:<8} {self.message}{where}{ref}"
+        ]
+        if self.suggestion:
+            lines.append(f"{'':<18} {'':<8} fix: {self.suggestion}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "loop": self.loop,
+            "message": self.message,
+            "suggestion": self.suggestion,
+            "location": self.location,
+            "paper_ref": self.paper_ref,
+        }
+
+
+def format_diagnostics(diagnostics: list[Diagnostic]) -> str:
+    """Render a diagnostic list, most severe first, with a count footer."""
+    if not diagnostics:
+        return "no findings"
+    rank = {s: k for k, s in enumerate(SEVERITIES)}
+    ordered = sorted(
+        diagnostics, key=lambda d: (rank[d.severity], d.rule, d.location)
+    )
+    counts: dict[str, int] = {}
+    for d in diagnostics:
+        counts[d.severity] = counts.get(d.severity, 0) + 1
+    footer = ", ".join(
+        f"{counts[s]} {s}(s)" for s in SEVERITIES if s in counts
+    )
+    return "\n".join([d.format() for d in ordered] + [footer])

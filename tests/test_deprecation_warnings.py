@@ -1,0 +1,64 @@
+"""The positional-argument deprecation shims must blame the caller.
+
+A ``DeprecationWarning`` whose reported source location is inside the
+library is useless — the caller cannot find the line to fix.  These tests
+pin the contract: the warning's ``filename``/``lineno`` point at the line
+*in this file* that passed the positional arguments.
+"""
+
+import inspect
+import warnings
+
+import pytest
+
+import repro
+
+
+def _sole_deprecation(record):
+    ws = [w for w in record if issubclass(w.category, DeprecationWarning)]
+    assert len(ws) == 1
+    return ws[0]
+
+
+def test_run_shim_emits_deprecation_warning():
+    loop = repro.make_test_loop(32, 2, 8)
+    runner = repro.PreprocessedDoacross(processors=4)
+    with pytest.warns(DeprecationWarning, match="positional options"):
+        runner.run(loop, None)  # positional `order`
+
+
+def test_run_shim_warning_points_at_caller():
+    loop = repro.make_test_loop(32, 2, 8)
+    runner = repro.PreprocessedDoacross(processors=4)
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        lineno = inspect.currentframe().f_lineno + 1
+        runner.run(loop, None)  # positional `order`
+    w = _sole_deprecation(record)
+    assert "positional options" in str(w.message)
+    assert w.filename == __file__
+    assert w.lineno == lineno
+
+
+def test_parallelize_shim_warning_points_at_caller():
+    loop = repro.make_test_loop(32, 2, 8)
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        lineno = inspect.currentframe().f_lineno + 1
+        repro.parallelize(loop, 4)  # positional `processors`
+    w = _sole_deprecation(record)
+    assert "positional options" in str(w.message)
+    assert w.filename == __file__
+    assert w.lineno == lineno
+
+
+def test_keyword_forms_stay_silent():
+    loop = repro.make_test_loop(32, 2, 8)
+    runner = repro.PreprocessedDoacross(processors=4)
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        runner.run(loop, schedule="cyclic", chunk=1)
+        repro.parallelize(loop, processors=4)
+    assert not [
+        w for w in record if issubclass(w.category, DeprecationWarning)
+    ]

@@ -2,10 +2,14 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.backends.base import inverse_permutation
 from repro.core.doacross import PreprocessedDoacross
 from repro.core.doconsider import Doconsider, level_order
 from repro.graph.depgraph import DependenceGraph
+from repro.ir.analysis import dependence_pairs
 from repro.workloads.synthetic import chain_loop, random_irregular_loop
 from repro.workloads.testloop import make_test_loop
 from tests.conftest import assert_matches_oracle
@@ -131,3 +135,37 @@ class TestWavefrontValidity:
         loop = chain_loop(20, 4)
         _, schedule = level_order(loop)
         assert schedule.average_width() == pytest.approx(4.0)
+
+
+class TestReorderRespectsDependenceDag:
+    """Property: over random ``IndirectSubscript`` loops, the doconsider
+    order places every writer of a true dependence before its reader
+    (the DAG from ``ir/analysis.dependence_pairs``), and the wavefront
+    levels strictly ascend along every such edge."""
+
+    @given(
+        n=st.integers(0, 80),
+        seed=st.integers(0, 5000),
+        max_terms=st.integers(0, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_level_order_respects_true_dependence_dag(
+        self, n, seed, max_terms
+    ):
+        loop = random_irregular_loop(n, seed=seed, max_terms=max_terms)
+        order, schedule = level_order(loop)
+        assert sorted(order.tolist()) == list(range(n))
+        pos = inverse_permutation(order)
+        pairs = dependence_pairs(loop)
+        if len(pairs):
+            assert (pos[pairs[:, 0]] < pos[pairs[:, 1]]).all()
+            assert (
+                schedule.levels[pairs[:, 0]] < schedule.levels[pairs[:, 1]]
+            ).all()
+
+    @given(n=st.integers(1, 60), seed=st.integers(0, 3000))
+    @settings(max_examples=25, deadline=None)
+    def test_doconsider_run_output_matches_oracle(self, n, seed):
+        loop = random_irregular_loop(n, seed=seed)
+        result = Doconsider(processors=8).run(loop)
+        assert_matches_oracle(result.y, loop)

@@ -1,0 +1,159 @@
+"""The ``python -m repro lint`` command and the ``validate="static"``
+execution path."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.__main__ import main as repro_main
+from repro.backends import ValidatingRunner, make_runner
+from repro.lint.cli import builtin_loops, collect_loops
+
+
+def run_cli(capsys, *argv):
+    code = repro_main(["lint", *argv])
+    return code, capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Acceptance criteria: AFFINE-WRITE + DOALL-ABLE over examples/, both
+# renderings
+# ----------------------------------------------------------------------
+def test_lint_examples_text_output(capsys):
+    code, out = run_cli(capsys, "examples/")
+    assert code == 0  # warnings don't fail the gate
+    assert "AFFINE-WRITE" in out
+    assert "DOALL-ABLE" in out
+    assert "linted" in out
+
+
+def test_lint_examples_json_output(capsys):
+    code, out = run_cli(capsys, "examples/", "--json")
+    assert code == 0
+    payload = json.loads(out)
+    rules = {
+        d["rule"]
+        for target in payload["targets"]
+        for d in target["diagnostics"]
+    }
+    assert "AFFINE-WRITE" in rules
+    assert "DOALL-ABLE" in rules
+    sources = {t["source"] for t in payload["targets"]}
+    assert any("static_analysis" in s for s in sources)
+
+
+# ----------------------------------------------------------------------
+# Targets
+# ----------------------------------------------------------------------
+def test_builtin_specs():
+    assert len(builtin_loops("figure4:n=50,m=2,l=8")) == 1
+    (loop,) = builtin_loops("chain:n=30,d=2").values()
+    assert loop.n == 30
+    (loop,) = builtin_loops("random:n=40,seed=5").values()
+    assert loop.n == 40
+    with pytest.raises(ValueError, match="unknown builtin"):
+        builtin_loops("mystery")
+    with pytest.raises(ValueError, match="unknown spec argument"):
+        builtin_loops("figure4:n=50,bogus=1")
+    with pytest.raises(ValueError, match="malformed"):
+        builtin_loops("figure4:n")
+
+
+def test_collect_loops_from_file_and_spec():
+    triples = collect_loops(["examples/quickstart.py", "chain:n=20,d=1"])
+    names = [name for _, name, _ in triples]
+    assert "quickstart-figure4" in names
+    assert len(triples) == 3
+
+
+def test_cli_usage_errors(capsys):
+    assert repro_main(["lint"]) == 2
+    assert repro_main(["lint", "--bogus", "figure4"]) == 2
+    assert repro_main(["lint", "figure4", "--rules=NOPE"]) == 2
+    assert repro_main(["lint", "/nonexistent/dir.py"]) == 2
+    err = capsys.readouterr().err
+    assert "lint:" in err
+
+
+def test_cli_rules_filter_and_schedule_options(capsys):
+    code, out = run_cli(
+        capsys,
+        "chain:n=64,d=1",
+        "--schedule=block",
+        "--processors=4",
+        "--rules=CHUNK-CYCLE",
+        "--json",
+    )
+    assert code == 0
+    payload = json.loads(out)
+    rules = [
+        d["rule"]
+        for target in payload["targets"]
+        for d in target["diagnostics"]
+    ]
+    assert rules and set(rules) == {"CHUNK-CYCLE"}
+    assert payload["worst_severity"] == "warning"
+
+
+def test_cli_strict_fails_on_warnings(capsys):
+    code, _ = run_cli(
+        capsys, "chain:n=64,d=1", "--schedule=block", "--strict"
+    )
+    assert code == 1
+
+
+def test_cli_backend_race_check_is_clean(capsys):
+    code, out = run_cli(
+        capsys, "figure4:n=60,l=8", "--backend=threaded", "--json"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert all(
+        d["rule"] != "HB-RACE"
+        for t in payload["targets"]
+        for d in t["diagnostics"]
+    )
+
+
+# ----------------------------------------------------------------------
+# validate="static"
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["simulated", "threaded", "vectorized"])
+def test_parallelize_validate_static(backend):
+    loop = repro.random_irregular_loop(120, seed=4)
+    result, plan = repro.parallelize(
+        loop, backend=backend, processors=4, validate="static"
+    )
+    assert np.array_equal(result.y, loop.run_sequential())
+    assert result.extras["race_check"]["passed"] is True
+    assert isinstance(result.extras["lint"], list)
+
+
+def test_parallelize_rejects_unknown_validate_mode():
+    loop = repro.make_test_loop(16, 2, 8)
+    with pytest.raises(ValueError, match="unknown validate mode"):
+        repro.parallelize(loop, validate="dynamic")
+
+
+def test_make_runner_validate_wraps_runner():
+    runner = make_runner("threaded", processors=4, validate="static")
+    assert isinstance(runner, ValidatingRunner)
+    assert runner.name == "validating(threaded)"
+    loop = repro.make_test_loop(80, 2, 8)
+    result = runner.run(loop)
+    assert np.array_equal(result.y, loop.run_sequential())
+    assert result.extras["race_check"]["checked_edges"] > 0
+    with pytest.raises(ValueError, match="unknown validate mode"):
+        make_runner("threaded", validate="always")
+
+
+def test_validating_runner_wraps_arbitrary_runner_instance():
+    loop = repro.random_irregular_loop(90, seed=6)
+    inner = make_runner("simulated", processors=4)
+    result, _plan = repro.parallelize(
+        loop, backend=inner, validate="static", processors=4
+    )
+    assert np.array_equal(result.y, loop.run_sequential())
+    assert result.extras["race_check"]["passed"] is True

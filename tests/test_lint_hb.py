@@ -1,0 +1,153 @@
+"""Happens-before race checker: clean on real schedules, loud on
+corrupted ones."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.graph.levels import compute_levels
+from repro.ir.analysis import dependence_pairs, writer_map
+from repro.lint.hb import (
+    LevelHappensBefore,
+    check_backend_schedule,
+    check_dependence_coverage,
+    level_happens_before,
+    simulated_happens_before,
+    threaded_happens_before,
+    waits_from_iter,
+)
+
+
+@pytest.fixture
+def fig4():
+    return repro.make_test_loop(n=120, m=2, l=8)
+
+
+@pytest.fixture
+def irregular():
+    return repro.random_irregular_loop(150, seed=3)
+
+
+# ----------------------------------------------------------------------
+# Clean schedules are certified clean — all three backends
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["vectorized", "threaded", "simulated"])
+def test_backend_schedules_clean_on_figure4(fig4, backend):
+    report = check_backend_schedule(fig4, backend, processors=8)
+    assert report.passed
+    assert report.checked_edges == len(dependence_pairs(fig4))
+    assert report.checked_edges > 0
+    assert "all covered" in report.summary()
+
+
+@pytest.mark.parametrize("backend", ["vectorized", "threaded", "simulated"])
+def test_backend_schedules_clean_on_irregular(irregular, backend):
+    assert check_backend_schedule(irregular, backend, processors=8).passed
+
+
+@pytest.mark.parametrize("kind", ["block", "cyclic", "dynamic", "guided"])
+def test_simulated_clean_under_every_schedule_kind(fig4, kind):
+    report = check_backend_schedule(
+        fig4, "simulated", processors=8, schedule=kind, chunk=2
+    )
+    assert report.passed
+
+
+def test_doconsider_order_is_clean_too(irregular):
+    order, _ = repro.level_order(irregular)
+    hb = threaded_happens_before(irregular, threads=8, order=order)
+    assert check_dependence_coverage(irregular, hb).passed
+
+
+def test_independent_loop_has_nothing_to_check():
+    loop = repro.make_test_loop(n=64, m=2, l=7)
+    report = check_backend_schedule(loop, "vectorized")
+    assert report.passed and report.checked_edges == 0
+
+
+def test_unknown_backend_rejected(fig4):
+    with pytest.raises(ValueError, match="unknown backend"):
+        check_backend_schedule(fig4, "quantum")
+
+
+# ----------------------------------------------------------------------
+# Corrupted schedules are flagged as races
+# ----------------------------------------------------------------------
+def test_swapped_level_pair_is_a_race(irregular):
+    """The acceptance-criteria injection: swap one TRUE dependence pair
+    across wavefront levels — the checker must report a race."""
+    pairs = dependence_pairs(irregular)
+    writer, reader = int(pairs[0, 0]), int(pairs[0, 1])
+    levels = compute_levels(irregular).levels.copy()
+    assert levels[writer] < levels[reader]
+    levels[writer], levels[reader] = levels[reader], levels[writer]
+    report = check_dependence_coverage(
+        irregular, LevelHappensBefore(levels, label="corrupted")
+    )
+    assert not report.passed
+    flagged = {(r.writer, r.reader) for r in report.races}
+    assert (writer, reader) in flagged
+    assert "RACE" in report.summary()
+    assert report.as_dict()["passed"] is False
+
+
+def test_corrupted_iter_entry_is_a_race_on_threaded(irregular):
+    """A stale inspector entry (iter pretends the element is unwritten)
+    silently drops the executor's wait — the checker catches it."""
+    pairs = dependence_pairs(irregular)
+    # Pick a cross-worker edge so program order cannot cover it.
+    threads = 8
+    k = next(
+        int(i)
+        for i in range(len(pairs))
+        if pairs[i, 0] % threads != pairs[i, 1] % threads
+    )
+    writer, reader = int(pairs[k, 0]), int(pairs[k, 1])
+    bad_iter = writer_map(irregular).copy()
+    bad_iter[irregular.write[writer]] = -1  # "never written"
+    hb = threaded_happens_before(irregular, threads, iter_array=bad_iter)
+    report = check_dependence_coverage(irregular, hb)
+    assert not report.passed
+    assert any(r.writer == writer and r.reader == reader for r in report.races)
+
+
+def test_corrupted_iter_entry_is_a_race_on_simulated(irregular):
+    pairs = dependence_pairs(irregular)
+    writer = int(pairs[0, 0])
+    bad_iter = writer_map(irregular).copy()
+    bad_iter[irregular.write[writer]] = -1
+    hb = simulated_happens_before(
+        irregular, processors=8, schedule="dynamic", iter_array=bad_iter
+    )
+    assert not check_dependence_coverage(irregular, hb).passed
+
+
+def test_race_count_survives_truncation(irregular):
+    # Destroy *every* level: far more races than max_races.
+    levels = np.zeros(irregular.n, dtype=np.int64)
+    report = check_dependence_coverage(
+        irregular, LevelHappensBefore(levels, label="flat"), max_races=5
+    )
+    assert not report.passed
+    assert len(report.races) == 5
+    assert "more races" in report.schedule_label
+
+
+# ----------------------------------------------------------------------
+# Model internals
+# ----------------------------------------------------------------------
+def test_waits_from_iter_matches_true_dependences(fig4):
+    keys = waits_from_iter(fig4)
+    pairs = dependence_pairs(fig4)
+    expected = np.unique(
+        pairs[:, 1] * np.int64(fig4.y_size) + fig4.write[pairs[:, 0]]
+    )
+    assert np.array_equal(keys, expected)
+
+
+def test_level_happens_before_reads_executed_slices(fig4):
+    hb = level_happens_before(fig4)
+    assert np.array_equal(hb.levels, compute_levels(fig4).levels)
+    # Also accepts a prebuilt LevelSchedule.
+    hb2 = level_happens_before(compute_levels(fig4))
+    assert np.array_equal(hb.levels, hb2.levels)

@@ -1,0 +1,208 @@
+"""Lint rule framework and the built-in rules."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.ir.accesses import ReadTable
+from repro.ir.loop import IrregularLoop
+from repro.ir.transform import plan_transform
+from repro.lint import (
+    Diagnostic,
+    LintContext,
+    format_diagnostics,
+    run_lints,
+)
+from repro.lint.rules import LintRule, all_rules, get_rule, register, rule_ids
+
+
+def rules_fired(loop, **kwargs):
+    return {d.rule for d in run_lints(loop, **kwargs)}
+
+
+def dead_wait_loop(n=8):
+    """Identity indirect write; term slot 0 is a distance-1 true
+    dependence, slot 1 only ever anti/intra — slot 1's wait is dead."""
+    terms = [[(1, 1.0), (2, 1.0)]]
+    for i in range(1, n):
+        terms.append([(i - 1, 1.0), (min(i + 1, n - 1), 1.0)])
+    return IrregularLoop.from_arrays(
+        np.arange(n), ReadTable.from_lists(terms), name="dead-wait"
+    )
+
+
+def anti_only_loop(n=8):
+    """Identity indirect write; every read looks *forward* (anti)."""
+    terms = [[(min(i + 1, n - 1), 1.0)] for i in range(n)]
+    return IrregularLoop.from_arrays(
+        np.arange(n), ReadTable.from_lists(terms), name="anti-only"
+    )
+
+
+# ----------------------------------------------------------------------
+# Diagnostics
+# ----------------------------------------------------------------------
+def test_diagnostic_rejects_unknown_severity():
+    with pytest.raises(ValueError, match="unknown severity"):
+        Diagnostic(rule="X", severity="fatal", loop="l", message="m")
+
+
+def test_diagnostic_format_and_dict_round_trip():
+    d = Diagnostic(
+        rule="DOALL-ABLE",
+        severity="warning",
+        loop="l",
+        message="msg",
+        suggestion="do this",
+        location="term 3",
+        paper_ref="§2.3",
+    )
+    text = d.format()
+    assert "DOALL-ABLE" in text and "fix: do this" in text
+    assert "at term 3" in text and "[§2.3]" in text
+    assert d.as_dict()["severity"] == "warning"
+
+
+def test_format_diagnostics_orders_by_severity_and_counts():
+    ds = [
+        Diagnostic(rule="B", severity="info", loop="l", message="later"),
+        Diagnostic(rule="A", severity="error", loop="l", message="first"),
+    ]
+    text = format_diagnostics(ds)
+    assert text.index("first") < text.index("later")
+    assert "1 error(s), 1 info(s)" in text
+    assert format_diagnostics([]) == "no findings"
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_knows_the_built_in_rules():
+    assert set(rule_ids()) == {
+        "DOALL-ABLE",
+        "AFFINE-WRITE",
+        "SELF-ANTI-ONLY",
+        "DEAD-WAIT",
+        "CHUNK-CYCLE",
+        "UNREACHED-ELEMENT",
+    }
+    assert all(isinstance(r, LintRule) for r in all_rules())
+
+
+def test_registry_rejects_duplicates_and_unknowns():
+    class Dup(LintRule):
+        rule_id = "DOALL-ABLE"
+
+    with pytest.raises(ValueError, match="duplicate"):
+        register(Dup)
+
+    class NoId(LintRule):
+        pass
+
+    with pytest.raises(ValueError, match="no rule_id"):
+        register(NoId)
+    with pytest.raises(KeyError, match="unknown lint rule"):
+        get_rule("NOPE")
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+def test_doall_able_fires_on_independent_loop_only():
+    independent = repro.make_test_loop(n=64, m=2, l=7)  # odd L: no deps
+    dependent = repro.make_test_loop(n=64, m=2, l=8)
+    assert "DOALL-ABLE" in rules_fired(independent)
+    assert "DOALL-ABLE" not in rules_fired(dependent)
+    # Once the plan *is* doall the rule stays quiet.
+    plan = plan_transform(independent, assert_independent=True)
+    assert "DOALL-ABLE" not in {
+        d.rule for d in run_lints(independent, plan=plan)
+    }
+
+
+def test_affine_write_suggests_linear_variant():
+    loop = repro.make_test_loop(n=64, m=2, l=8)
+    found = {d.rule: d for d in run_lints(loop)}
+    assert "AFFINE-WRITE" in found
+    # The default plan already picks linear: informational.
+    assert found["AFFINE-WRITE"].severity == "info"
+    # Against a plan that schedules an inspector, it is a warning.
+    forced = plan_transform(repro.random_irregular_loop(64, seed=1))
+    warned = {
+        d.rule: d for d in run_lints(loop, plan=forced)
+    }
+    assert warned["AFFINE-WRITE"].severity == "warning"
+    assert "inspector" in warned["AFFINE-WRITE"].message
+
+
+def test_affine_write_silent_on_indirect_writes():
+    loop = repro.random_irregular_loop(64, seed=0)
+    assert "AFFINE-WRITE" not in rules_fired(loop)
+
+
+def test_self_anti_only_fires_with_doall_able():
+    fired = rules_fired(anti_only_loop())
+    assert "SELF-ANTI-ONLY" in fired
+    assert "DOALL-ABLE" in fired  # anti-only implies doall-able
+
+
+def test_dead_wait_flags_the_never_true_slot():
+    loop = dead_wait_loop()
+    found = {d.rule: d for d in run_lints(loop)}
+    assert "DEAD-WAIT" in found
+    assert "slot" in found["DEAD-WAIT"].location
+    assert "1" in found["DEAD-WAIT"].location  # slot 1 is the dead one
+    # Both slots of the Figure-4 loop carry true dependences: quiet even
+    # under a forced inspector plan.
+    fig4 = repro.make_test_loop(n=64, m=2, l=8)
+    forced = plan_transform(repro.random_irregular_loop(64, seed=1))
+    assert "DEAD-WAIT" not in {d.rule for d in run_lints(fig4, plan=forced)}
+
+
+def test_dead_wait_quiet_without_inspector_or_true_deps():
+    # Linear plan: no inspector, no planned waits.
+    assert "DEAD-WAIT" not in rules_fired(repro.make_test_loop(64, 2, 8))
+    # No true deps at all: DOALL-ABLE owns the finding.
+    assert "DEAD-WAIT" not in rules_fired(anti_only_loop())
+
+
+def test_chunk_cycle_fires_on_block_schedule_over_short_distance():
+    chain = repro.chain_loop(64, 1)
+    found = {
+        d.rule: d
+        for d in run_lints(chain, schedule="block", processors=4)
+    }
+    assert "CHUNK-CYCLE" in found
+    assert "run=16" in found["CHUNK-CYCLE"].location
+    # Cyclic chunk-1 pipelines the same chain: quiet.
+    assert "CHUNK-CYCLE" not in rules_fired(
+        chain, schedule="cyclic", chunk=1, processors=4
+    )
+    # No schedule given: schedule-shape checks are disabled.
+    assert "CHUNK-CYCLE" not in rules_fired(chain)
+
+
+def test_chunk_cycle_flags_narrow_strip_block():
+    loop = repro.random_irregular_loop(96, seed=2)
+    ctx = LintContext(loop, strip_block=1)
+    width = ctx.level_schedule.max_width()
+    assert width > 1
+    found = [d for d in run_lints(loop, strip_block=1) if d.rule == "CHUNK-CYCLE"]
+    assert len(found) == 1
+    assert str(width) in found[0].message
+
+
+def test_unreached_element_reports_maxint_reads():
+    loop = repro.make_test_loop(n=64, m=2, l=8)  # elements 6,8,10 unwritten
+    found = {d.rule: d for d in run_lints(loop)}
+    assert "UNREACHED-ELEMENT" in found
+    assert found["UNREACHED-ELEMENT"].severity == "info"
+    assert "6" in found["UNREACHED-ELEMENT"].location
+    # A chain loop reads only written elements: quiet.
+    assert "UNREACHED-ELEMENT" not in rules_fired(repro.chain_loop(64, 1))
+
+
+def test_run_lints_only_filter():
+    loop = repro.make_test_loop(n=64, m=2, l=8)
+    ds = run_lints(loop, only=["UNREACHED-ELEMENT"])
+    assert {d.rule for d in ds} == {"UNREACHED-ELEMENT"}
