@@ -31,6 +31,9 @@ Subpackages
 - :mod:`repro.workloads` — Figure-4 and synthetic loop generators.
 - :mod:`repro.bench` — the experiment harness regenerating Figure 6 and
   Table 1, plus ablations.
+- :mod:`repro.obs` — cross-backend telemetry: phase/level/compute/wait
+  spans, the unified metrics registry, Chrome-trace / JSONL / ASCII-Gantt
+  exporters, and the ``observe=True`` instrumentation hook.
 """
 
 from repro._version import __version__
@@ -63,6 +66,7 @@ from repro.errors import (
     ReproError,
     ScheduleError,
     SimulationDeadlockError,
+    TelemetryError,
 )
 from repro.ir.accesses import ReadTable
 from repro.ir.frontend import loop_from_source
@@ -78,6 +82,13 @@ from repro.lint import (
 )
 from repro.machine.costs import CostModel, WorkProfile
 from repro.machine.engine import Machine
+from repro.obs import (
+    InstrumentedRunner,
+    MetricsRegistry,
+    Telemetry,
+    chrome_trace,
+    validate_telemetry,
+)
 from repro.workloads.synthetic import chain_loop, random_irregular_loop
 from repro.workloads.testloop import make_test_loop
 
@@ -130,6 +141,12 @@ __all__ = [
     "make_test_loop",
     "random_irregular_loop",
     "chain_loop",
+    # Observability
+    "InstrumentedRunner",
+    "Telemetry",
+    "MetricsRegistry",
+    "validate_telemetry",
+    "chrome_trace",
     # Static analysis
     "run_lints",
     "Diagnostic",
@@ -143,4 +160,5 @@ __all__ = [
     "RaceConditionError",
     "ScheduleError",
     "SimulationDeadlockError",
+    "TelemetryError",
 ]

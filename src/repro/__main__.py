@@ -23,6 +23,15 @@ Commands
     Measured wall clock: sequential vs. threaded vs. vectorized backends
     plus the inspector-cache amortization curve (default n=100000;
     ``--small``: smoke size for CI).
+``bench-threaded [--small] [--json] [n]``
+    Threaded-backend smoke benchmark: wall clock plus the telemetry-derived
+    busy-wait accounting, written to ``BENCH_threaded.json``.
+``profile [--backend=NAME] [--loop=SPEC] [--processors=P]
+        [--schedule=KIND] [--chunk=K] [--export=chrome|jsonl OUT]
+        [--gantt] [--json]``
+    Run one builtin workload with telemetry on and print its phase/metric
+    breakdown; ``--export=chrome trace.json`` writes a
+    ``chrome://tracing``-loadable trace-event file.
 ``demo [--backend=simulated|threaded|vectorized]``
     Two-minute tour: run a dependence-carrying Figure-4 loop, print the
     result summary and (simulated backend) an executor-phase Gantt chart.
@@ -168,6 +177,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.bench_vectorized import main as bench_vec_main
 
         return bench_vec_main(rest)
+    if command == "bench-threaded":
+        from repro.bench.bench_threaded import main as bench_thr_main
+
+        return bench_thr_main(rest)
+    if command == "profile":
+        from repro.obs.cli import main as profile_main
+
+        return profile_main(rest)
     if command == "lint":
         from repro.lint.cli import main as lint_main
 

@@ -57,6 +57,7 @@ def make_runner(
     bus: bool = False,
     coherence: bool = False,
     validate: str | None = None,
+    observe: bool = False,
 ) -> Runner:
     """Build a :class:`Runner` by name.
 
@@ -70,6 +71,12 @@ def make_runner(
     first lint-checks the loop and race-checks the backend's schedule,
     raising :class:`~repro.errors.RaceConditionError` before execution if
     a true dependence is unordered.
+
+    ``observe=True`` wraps the (possibly validating) runner in an
+    :class:`~repro.obs.instrument.InstrumentedRunner`: every ``run``
+    attaches a :class:`~repro.obs.telemetry.Telemetry` blob — phase spans
+    plus the unified metrics registry, same schema on every backend — to
+    ``result.telemetry``.
     """
     if backend == "simulated":
         from repro.machine.engine import Machine
@@ -88,10 +95,15 @@ def make_runner(
             f"unknown backend {backend!r}; expected one of "
             f"{', '.join(BACKENDS)}"
         )
-    if validate is None:
-        return runner
-    if validate != "static":
-        raise ValueError(
-            f"unknown validate mode {validate!r}; expected 'static' or None"
-        )
-    return ValidatingRunner(runner)
+    if validate is not None:
+        if validate != "static":
+            raise ValueError(
+                f"unknown validate mode {validate!r}; expected 'static' or "
+                "None"
+            )
+        runner = ValidatingRunner(runner)
+    if observe:
+        from repro.obs.instrument import InstrumentedRunner
+
+        runner = InstrumentedRunner(runner)
+    return runner

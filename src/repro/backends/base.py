@@ -29,8 +29,15 @@ from repro.ir.loop import IrregularLoop
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.core.results import RunResult
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.spans import SpanRecorder
 
-__all__ = ["Runner", "validate_execution_order", "inverse_permutation"]
+__all__ = [
+    "Runner",
+    "validate_execution_order",
+    "inverse_permutation",
+    "note_ignored_options",
+]
 
 
 class Runner(abc.ABC):
@@ -51,6 +58,14 @@ class Runner(abc.ABC):
     #: Short identifier used by the ``backend=`` selector and in reports.
     name: str = "runner"
 
+    #: Telemetry hooks: an :class:`~repro.obs.instrument.InstrumentedRunner`
+    #: attaches a span recorder and a metrics registry here for the
+    #: duration of one ``run``; backends emit phase/level/wait spans and
+    #: unified metrics when (and only when) these are set.  ``None`` means
+    #: unobserved — the hot paths stay hook-free.
+    _obs_recorder: "SpanRecorder | None" = None
+    _obs_metrics: "MetricsRegistry | None" = None
+
     @abc.abstractmethod
     def run(
         self,
@@ -63,6 +78,41 @@ class Runner(abc.ABC):
     ) -> RunResult:
         """Execute ``loop`` and return its :class:`RunResult`."""
         raise NotImplementedError
+
+
+def note_ignored_options(
+    result: RunResult, backend: str, **ignored: tuple
+) -> None:
+    """Record run options a backend received but cannot honor.
+
+    The module contract (see the module docstring) is that unsupported
+    options are *documented as ignored* rather than rejected, so callers
+    can sweep one option set across backends.  That must not mean the drop
+    is invisible: each ``option=(value, reason)`` pair lands as a
+    structured note in ``result.extras["ignored_options"]``, which
+    :func:`~repro.core.serialize.result_to_dict` surfaces in ``--json``
+    output — the caller can always find out what was silently discarded.
+
+    Callers pass only options that were actually set to a non-default
+    value; this helper never second-guesses defaults.
+    """
+    if not ignored:
+        return
+    notes = result.extras.setdefault("ignored_options", [])
+    for option, (value, reason) in ignored.items():
+        safe = (
+            value
+            if value is None or isinstance(value, (bool, int, float, str))
+            else repr(value)
+        )
+        notes.append(
+            {
+                "backend": backend,
+                "option": option,
+                "value": safe,
+                "reason": reason,
+            }
+        )
 
 
 def inverse_permutation(order: np.ndarray) -> np.ndarray:

@@ -12,6 +12,16 @@ precondition, DESIGN.md §6).
 No timing is reported: under CPython's GIL these threads interleave rather
 than run in parallel, which is exactly why the *performance* experiments use
 the simulated backend instead (DESIGN.md §3).
+
+Observability: when an :class:`~repro.obs.instrument.InstrumentedRunner`
+attaches a span recorder, each worker emits wall-clock spans for its
+inspector/executor/postprocessor slices, and the executor additionally
+splits into alternating ``compute``/``wait`` spans at every *blocking*
+``ready`` wait — by construction the children exactly tile their phase
+span, the measured analogue of the simulated trace/stats accounting
+invariant (tested).  Flag-check / busy-wait counters land in the unified
+metrics registry under the same names the simulated
+:class:`~repro.machine.stats.ProcessorStats` uses.
 """
 
 from __future__ import annotations
@@ -21,12 +31,17 @@ import time
 
 import numpy as np
 
-from repro.backends.base import Runner, validate_execution_order
+from repro.backends.base import (
+    Runner,
+    note_ignored_options,
+    validate_execution_order,
+)
 from repro.core.results import RunResult
 from repro.core.sequential import sequential_time
 from repro.core.workspace import MAXINT
 from repro.ir.loop import INIT_EXTERNAL, IrregularLoop
 from repro.machine.costs import CostModel
+from repro.obs.spans import CAT_COMPUTE, CAT_PHASE, CAT_WAIT
 
 __all__ = ["ThreadedRunner"]
 
@@ -56,13 +71,14 @@ class ThreadedRunner(Runner):
 
         Iterations are always distributed cyclically (the deadlock-freedom
         precondition), so ``schedule``/``chunk`` are ignored; ``trace`` has
-        no simulated timeline to record and is ignored too.
+        no simulated timeline to record and is ignored too.  Every ignored
+        option is recorded in ``result.extras["ignored_options"]``.
         """
         t0 = time.perf_counter()
         y = self._execute(loop, order=order)
         wall = time.perf_counter() - t0
         cm = CostModel()
-        return RunResult(
+        result = RunResult(
             loop_name=loop.name,
             strategy="threaded-doacross",
             processors=self.threads,
@@ -73,6 +89,23 @@ class ThreadedRunner(Runner):
             schedule=f"cyclic({self.threads} threads)",
             wall_seconds=wall,
         )
+        ignored = {}
+        cyclic_reason = (
+            "the threaded backend always distributes iterations cyclically "
+            "(deadlock-freedom precondition, DESIGN.md §6)"
+        )
+        if schedule is not None:
+            ignored["schedule"] = (schedule, cyclic_reason)
+        if chunk is not None:
+            ignored["chunk"] = (chunk, cyclic_reason)
+        if trace:
+            ignored["trace"] = (
+                True,
+                "no simulated timeline exists on real threads; use "
+                "observe=True for wall-clock spans",
+            )
+        note_ignored_options(result, self.name, **ignored)
+        return result
 
     def run_preprocessed(
         self, loop: IrregularLoop, order: np.ndarray | None = None
@@ -107,19 +140,35 @@ class ThreadedRunner(Runner):
         barrier = threading.Barrier(t_count)
         failures: list[BaseException] = []
         failure_lock = threading.Lock()
+        rec = self._obs_recorder
+        met = self._obs_metrics
 
         def positions_for(tid: int) -> range:
             return range(tid, n, t_count)
 
         def worker(tid: int) -> None:
+            flag_checks = 0
+            flag_sets = 0
+            busy_waits = 0
+            wait_seconds = 0.0
             try:
                 # Phase 1: inspector — each thread fills its slice of iter.
+                if rec is not None:
+                    t_phase = rec.now()
                 for p in positions_for(tid):
                     i = p if order is None else int(order[p])
                     iter_arr[write[i]] = i
+                if rec is not None:
+                    rec.record(
+                        "inspector", CAT_PHASE, t_phase, rec.now(), lane=tid
+                    )
                 barrier.wait()
 
-                # Phase 2: executor (Figure 5).
+                # Phase 2: executor (Figure 5).  When observed, alternate
+                # compute/wait spans so the children exactly tile the phase.
+                if rec is not None:
+                    t_phase = rec.now()
+                    seg_start = t_phase
                 for p in positions_for(tid):
                     i = p if order is None else int(order[p])
                     w = write[i]
@@ -130,22 +179,59 @@ class ThreadedRunner(Runner):
                         if writer == i:
                             value = acc
                         elif writer < i:
-                            ready[idx].wait()
+                            flag_checks += 1
+                            event = ready[idx]
+                            if rec is not None and not event.is_set():
+                                # Blocking busy-wait: close the running
+                                # compute span, record the wait.
+                                busy_waits += 1
+                                w0 = rec.now()
+                                rec.record(
+                                    "compute", CAT_COMPUTE, seg_start, w0,
+                                    lane=tid,
+                                )
+                                event.wait()
+                                w1 = rec.now()
+                                rec.record(
+                                    "wait", CAT_WAIT, w0, w1,
+                                    lane=tid, element=int(idx),
+                                )
+                                wait_seconds += w1 - w0
+                                seg_start = w1
+                            else:
+                                event.wait()
                             value = ynew[idx]
                         else:
                             value = y[idx]
                         acc += r_coeff[k] * value
                     ynew[w] = acc
                     ready[w].set()
+                    flag_sets += 1
+                if rec is not None:
+                    t_end = rec.now()
+                    rec.record("compute", CAT_COMPUTE, seg_start, t_end, lane=tid)
+                    rec.record("executor", CAT_PHASE, t_phase, t_end, lane=tid)
                 barrier.wait()
 
                 # Phase 3: postprocessor — reset scratch, copy back.
+                if rec is not None:
+                    t_phase = rec.now()
                 for p in positions_for(tid):
                     i = p if order is None else int(order[p])
                     w = write[i]
                     iter_arr[w] = MAXINT
                     y[w] = ynew[w]
                     ready[w].clear()
+                if rec is not None:
+                    rec.record(
+                        "postprocessor", CAT_PHASE, t_phase, rec.now(), lane=tid
+                    )
+                if met is not None:
+                    met.count("flag_checks", flag_checks)
+                    met.count("flag_sets", flag_sets)
+                    met.count("busy_waits", busy_waits)
+                    met.count("wait_seconds", wait_seconds)
+                    met.count("iterations", len(positions_for(tid)))
             except BaseException as exc:  # pragma: no cover - defensive
                 with failure_lock:
                     failures.append(exc)

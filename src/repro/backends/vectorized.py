@@ -41,13 +41,18 @@ import time
 
 import numpy as np
 
-from repro.backends.base import Runner, validate_execution_order
+from repro.backends.base import (
+    Runner,
+    note_ignored_options,
+    validate_execution_order,
+)
 from repro.backends.cache import InspectorCache, InspectorRecord
 from repro.core.results import RunResult
 from repro.core.sequential import sequential_time
 from repro.ir.loop import INIT_EXTERNAL, IrregularLoop
 from repro.errors import InvalidLoopError
 from repro.machine.costs import CostModel
+from repro.obs.spans import CAT_LEVEL, CAT_PHASE
 
 __all__ = ["VectorizedRunner"]
 
@@ -92,18 +97,26 @@ class VectorizedRunner(Runner):
         backends) but does not change the result: the backend always
         executes in wavefront order, and any legal order produces the same
         values.  ``schedule``/``chunk``/``trace`` have no meaning without
-        per-processor scheduling and are ignored.
+        per-processor scheduling and are ignored (each ignored option is
+        recorded in ``result.extras["ignored_options"]``).
         """
         if order is not None:
             validate_execution_order(loop, np.asarray(order, dtype=np.int64))
+        rec = self._obs_recorder
 
         t0 = time.perf_counter()
         record, hit = self.cache.get_or_build(loop)
         t1 = time.perf_counter()
+        if rec is not None:
+            # The cache lookup/build window IS this backend's inspector
+            # phase: Figure 3's preprocessing, amortized across hits.
+            rec.record(
+                "inspector", CAT_PHASE, t0, t1, lane=0, cache_hit=bool(hit)
+            )
         y = self._execute(loop, record)
         t2 = time.perf_counter()
 
-        return self._result(
+        result = self._result(
             loop,
             record,
             y,
@@ -111,6 +124,23 @@ class VectorizedRunner(Runner):
             preprocess_seconds=t1 - t0,
             execute_seconds=t2 - t1,
         )
+        wavefront_reason = (
+            "the vectorized backend has no per-processor schedules; its "
+            "execution order is the wavefront decomposition itself"
+        )
+        ignored = {}
+        if schedule is not None:
+            ignored["schedule"] = (schedule, wavefront_reason)
+        if chunk is not None:
+            ignored["chunk"] = (chunk, wavefront_reason)
+        if trace:
+            ignored["trace"] = (
+                True,
+                "no simulated timeline exists for batched execution; use "
+                "observe=True for wall-clock level spans",
+            )
+        note_ignored_options(result, self.name, **ignored)
+        return result
 
     # ------------------------------------------------------------------
     def run_repeated(
@@ -209,7 +239,14 @@ class VectorizedRunner(Runner):
         env = np.empty(2 * y_size, dtype=np.float64)
         env[:y_size] = y
 
+        rec = self._obs_recorder
+        met = self._obs_metrics
+        if rec is not None:
+            t_exec = rec.now()
+
         for k in range(record.schedule.n_levels):
+            if rec is not None:
+                t_level = rec.now()
             p0, p1 = int(level_ptr[k]), int(level_ptr[k + 1])
             if external:
                 acc = init[p0:p1].copy()
@@ -225,10 +262,27 @@ class VectorizedRunner(Runner):
                 # value = live accumulator for intra-iteration reads.
                 acc[:m] = a + coeff[kk] * np.where(intra[kk], a, vals)
             env[y_size + exec_write[p0:p1]] = acc
+            if rec is not None:
+                rec.record(
+                    f"level[{k}]", CAT_LEVEL, t_level, rec.now(),
+                    lane=0, level=k, width=p1 - p0,
+                )
+            if met is not None:
+                met.observe("level_width", p1 - p0)
 
+        if rec is not None:
+            t_post = rec.now()
+            rec.record(
+                "executor", CAT_PHASE, t_exec, t_post,
+                lane=0, levels=record.schedule.n_levels,
+            )
         out = np.array(y, dtype=np.float64, copy=True)
         if n:
             out[exec_write] = env[y_size + exec_write]
+        if rec is not None:
+            # The copy-back of renamed values into y is this backend's
+            # (tiny) postprocessor phase.
+            rec.record("postprocessor", CAT_PHASE, t_post, rec.now(), lane=0)
         return out
 
     # ------------------------------------------------------------------
@@ -254,15 +308,29 @@ class VectorizedRunner(Runner):
             order_label=f"wavefront(levels={schedule.n_levels})",
             wall_seconds=preprocess_seconds + execute_seconds,
         )
+        cache_stats = self.cache.stats()
         result.extras.update(
             {
                 "levels": schedule.n_levels,
                 "max_width": schedule.max_width(),
                 "average_width": schedule.average_width(),
                 "cache_hit": hit,
+                "cache_hits_total": cache_stats["hits"],
+                "cache_misses_total": cache_stats["misses"],
                 "preprocess_seconds": preprocess_seconds,
                 "execute_seconds": execute_seconds,
                 "plan": record.plan.describe(),
             }
         )
+        met = self._obs_metrics
+        if met is not None:
+            met.count("inspector_cache_hits", 1 if hit else 0)
+            met.count("inspector_cache_misses", 0 if hit else 1)
+            met.gauge("inspector_cache_hits_total", cache_stats["hits"])
+            met.gauge("inspector_cache_misses_total", cache_stats["misses"])
+            met.gauge("inspector_cache_entries", cache_stats["entries"])
+            met.gauge("inspector_cache_bytes", cache_stats["bytes"])
+            met.gauge("levels", schedule.n_levels)
+            met.gauge("max_width", schedule.max_width())
+            met.count("iterations", loop.n)
         return result

@@ -1,0 +1,210 @@
+"""Threaded-backend smoke benchmark with telemetry accounting.
+
+The threaded backend exists to prove the doacross protocol correct on real
+concurrency, not to be fast (the GIL, DESIGN.md §3) — so its benchmark is
+a *smoke* benchmark: run a dependence-carrying Figure-4 loop observed,
+report wall clock next to the telemetry-derived accounting (busy-wait
+fraction, flag-check counts), and assert only shape, never speed:
+
+- the output equals the sequential oracle (the protocol worked),
+- the per-lane compute/wait spans tile the executor phase (the wall-clock
+  analogue of the simulated trace/stats invariant),
+- every flag was set exactly once per iteration.
+
+Run: ``python -m repro bench-threaded [--small] [--json] [n]``.  Every run
+writes the machine-readable ``BENCH_threaded.json`` (override with
+``--out=``) carrying the run's full telemetry blob, schema-checked in CI
+by ``python -m repro.bench.schema``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends import make_runner
+from repro.bench.reporting import format_table
+from repro.obs.spans import CAT_COMPUTE, CAT_PHASE, CAT_WAIT
+from repro.workloads.testloop import make_test_loop
+
+__all__ = [
+    "ThreadedBenchResult",
+    "run_bench_threaded",
+    "write_bench_json",
+    "main",
+]
+
+#: Default artifact path (repo root in CI), sibling of BENCH_vectorized.
+BENCH_JSON = "BENCH_threaded.json"
+
+
+@dataclass
+class ThreadedBenchResult:
+    """One observed threaded run, reduced to its accounting."""
+
+    n: int
+    m: int
+    l: int
+    threads: int
+    wall_seconds: float
+    executor_seconds: float
+    compute_seconds: float
+    wait_seconds: float
+    flag_checks: int
+    flag_sets: int
+    busy_waits: int
+    telemetry: dict
+
+    @property
+    def wait_fraction(self) -> float:
+        """Busy-wait share of total executor lane time (the measured
+        analogue of the paper's §3 execution-time dependency-check cost)."""
+        lane_total = self.compute_seconds + self.wait_seconds
+        return self.wait_seconds / lane_total if lane_total else 0.0
+
+    def check(self) -> None:
+        """Shape assertions (never speed — the GIL forbids timing claims)."""
+        if self.flag_sets != self.n:
+            raise AssertionError(
+                f"{self.flag_sets} ready flags set for {self.n} iterations"
+            )
+        lane_total = self.compute_seconds + self.wait_seconds
+        if not np.isclose(lane_total, self.executor_seconds, rtol=0.05):
+            raise AssertionError(
+                f"compute+wait lane time ({lane_total:.6f}s) does not tile "
+                f"the executor phase spans ({self.executor_seconds:.6f}s)"
+            )
+
+    def report(self) -> str:
+        ms = 1e3
+        table = format_table(
+            ["quantity", "value"],
+            [
+                ("wall (ms)", self.wall_seconds * ms),
+                ("executor lane time (ms)", self.executor_seconds * ms),
+                ("compute (ms)", self.compute_seconds * ms),
+                ("busy-wait (ms)", self.wait_seconds * ms),
+                ("busy-wait fraction", self.wait_fraction),
+                ("flag checks", self.flag_checks),
+                ("flag sets", self.flag_sets),
+                ("blocking busy-waits", self.busy_waits),
+            ],
+            title=(
+                f"threaded smoke benchmark — figure4(N={self.n},"
+                f"M={self.m},L={self.l}), {self.threads} threads"
+            ),
+        )
+        return table
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "m": self.m,
+            "l": self.l,
+            "threads": self.threads,
+            "wall_seconds": self.wall_seconds,
+            "executor_seconds": self.executor_seconds,
+            "compute_seconds": self.compute_seconds,
+            "wait_seconds": self.wait_seconds,
+            "wait_fraction": self.wait_fraction,
+            "flag_checks": self.flag_checks,
+            "flag_sets": self.flag_sets,
+            "busy_waits": self.busy_waits,
+        }
+
+
+def run_bench_threaded(
+    n: int = 4000, m: int = 2, l: int = 8, threads: int = 4
+) -> ThreadedBenchResult:
+    """One observed threaded run on a dependence-carrying Figure-4 loop.
+
+    ``l`` even makes the loop carry true cross-iteration dependencies, so
+    the busy-wait machinery actually engages — an all-independent loop
+    would report a trivially zero wait fraction.
+    """
+    loop = make_test_loop(n=n, m=m, l=l)
+    runner = make_runner("threaded", processors=threads, observe=True)
+    result = runner.run(loop)
+    if not np.array_equal(result.y, loop.run_sequential()):
+        raise AssertionError("threaded backend diverged from the oracle")
+    telemetry = result.telemetry
+    assert telemetry is not None
+
+    def total(cat: str, name: str | None = None) -> float:
+        return sum(
+            s.duration
+            for s in telemetry.spans
+            if s.cat == cat and (name is None or s.name == name)
+        )
+
+    counters = telemetry.metrics.as_dict()["counters"]
+    return ThreadedBenchResult(
+        n=n,
+        m=m,
+        l=l,
+        threads=threads,
+        wall_seconds=float(result.wall_seconds),
+        executor_seconds=total(CAT_PHASE, "executor"),
+        compute_seconds=total(CAT_COMPUTE),
+        wait_seconds=total(CAT_WAIT),
+        flag_checks=int(counters.get("flag_checks", 0)),
+        flag_sets=int(counters.get("flag_sets", 0)),
+        busy_waits=int(counters.get("busy_waits", 0)),
+        telemetry=telemetry.as_dict(),
+    )
+
+
+def write_bench_json(
+    result: ThreadedBenchResult, path: str | Path = BENCH_JSON
+) -> Path:
+    """Write the machine-readable artifact: flat ``records`` rows (the
+    stable cross-PR schema shared with ``BENCH_vectorized.json``), the
+    ``detail`` dict, and the run's full ``telemetry`` blob."""
+    path = Path(path)
+    payload = {
+        "benchmark": "bench-threaded",
+        "records": [
+            {
+                "n": result.n,
+                "backend": "threaded",
+                "wall_seconds": result.wall_seconds,
+                "wait_fraction": result.wait_fraction,
+            }
+        ],
+        "detail": result.as_dict(),
+        "telemetry": result.telemetry,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    small = "--small" in args
+    as_json = "--json" in args
+    out = BENCH_JSON
+    for a in args:
+        if a.startswith("--out="):
+            out = a.split("=", 1)[1]
+    numeric = [a for a in args if a.isdigit()]
+    n = int(numeric[0]) if numeric else (1_000 if small else 4_000)
+    result = run_bench_threaded(n=n)
+    if as_json:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(result.report())
+    written = write_bench_json(result, out)
+    if not as_json:
+        print(f"\nwrote {written}")
+    result.check()
+    if not as_json:
+        print("\nshape check: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,6 +70,9 @@ class VectorizedBenchResult:
     cache_stats: dict
     #: ``(instances, per-instance seconds, cumulative cache hits)`` rows.
     amortization: list[tuple[int, float, int]] = field(default_factory=list)
+    #: Serialized :class:`~repro.obs.telemetry.Telemetry` of one observed
+    #: warm run (level spans + cache metrics), or ``None``.
+    telemetry: dict | None = None
 
     @property
     def speedup_vs_threaded(self) -> float:
@@ -193,6 +196,7 @@ def write_bench_json(
         "benchmark": "bench-vectorized",
         "records": bench_records(result),
         "detail": result.as_dict(),
+        "telemetry": result.telemetry,
     }
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return path
@@ -244,6 +248,13 @@ def run_bench_vectorized(
     if not np.array_equal(warm.y, reference):
         raise AssertionError("warm vectorized run diverged from the oracle")
 
+    # One extra observed warm run so the artifact carries the unified
+    # telemetry blob (level spans + cache metrics) for downstream tooling.
+    from repro.obs.instrument import InstrumentedRunner
+
+    observed = InstrumentedRunner(runner).run(loop)
+    telemetry = observed.telemetry.as_dict()
+
     amortization = []
     curve_runner = VectorizedRunner()
     for k in curve_instances:
@@ -268,6 +279,7 @@ def run_bench_vectorized(
         warm_cache_hit=warm.extras["cache_hit"],
         cache_stats=runner.cache.stats(),
         amortization=amortization,
+        telemetry=telemetry,
     )
 
 

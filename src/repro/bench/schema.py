@@ -1,0 +1,104 @@
+"""Schema validation for the ``BENCH_*.json`` benchmark artifacts.
+
+CI writes one artifact per tracked benchmark (``BENCH_vectorized.json``,
+``BENCH_threaded.json``) so the perf trajectory is diffable across PRs.
+An artifact nobody can parse is worse than none — downstream tooling
+silently drops it and the trajectory gets a hole — so the CI job runs
+``python -m repro.bench.schema BENCH_*.json`` and *fails* if a file is
+missing or malformed.
+
+The contract (:func:`validate_bench_payload`):
+
+- ``benchmark`` — non-empty string naming the benchmark;
+- ``records`` — non-empty list of flat rows, each with a ``backend``
+  string and a non-negative numeric ``wall_seconds`` (the stable cross-PR
+  schema; extra row keys are allowed);
+- ``detail`` — a dict of benchmark-specific depth;
+- ``telemetry`` — optional; when present it must pass
+  :func:`~repro.obs.telemetry.validate_telemetry`, i.e. the same schema
+  every backend's ``RunResult.telemetry`` carries.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import TelemetryError
+from repro.obs.telemetry import validate_telemetry
+
+__all__ = ["validate_bench_payload", "main"]
+
+
+def _fail(message: str) -> None:
+    raise TelemetryError(f"invalid benchmark artifact: {message}")
+
+
+def validate_bench_payload(payload: object) -> dict:
+    """Check one parsed ``BENCH_*.json`` payload; return it or raise
+    :class:`~repro.errors.TelemetryError` naming the first violation."""
+    if not isinstance(payload, dict):
+        _fail(f"expected a dict, got {type(payload).__name__}")
+    name = payload.get("benchmark")
+    if not isinstance(name, str) or not name:
+        _fail("'benchmark' must be a non-empty string")
+
+    records = payload.get("records")
+    if not isinstance(records, list) or not records:
+        _fail("'records' must be a non-empty list")
+    for pos, row in enumerate(records):
+        if not isinstance(row, dict):
+            _fail(f"records[{pos}] is not a dict")
+        backend = row.get("backend")
+        if not isinstance(backend, str) or not backend:
+            _fail(f"records[{pos}].backend must be a non-empty string")
+        wall = row.get("wall_seconds")
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool):
+            _fail(f"records[{pos}].wall_seconds must be a number")
+        if wall < 0:
+            _fail(f"records[{pos}].wall_seconds is negative ({wall})")
+
+    if not isinstance(payload.get("detail"), dict):
+        _fail("'detail' must be a dict")
+
+    telemetry = payload.get("telemetry")
+    if telemetry is not None:
+        validate_telemetry(telemetry)
+    return payload  # type: ignore[return-value]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.bench.schema ARTIFACT...`` — validate artifacts.
+
+    Exit 0 only if every named file exists, parses as JSON, and passes
+    :func:`validate_bench_payload`; exit 1 (with the reason) otherwise.
+    """
+    args = sys.argv[1:] if argv is None else argv
+    if not args:
+        print("usage: python -m repro.bench.schema BENCH_file.json ...")
+        return 2
+    status = 0
+    for name in args:
+        path = Path(name)
+        if not path.is_file():
+            print(f"{name}: MISSING")
+            status = 1
+            continue
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            validate_bench_payload(payload)
+        except (json.JSONDecodeError, TelemetryError) as exc:
+            print(f"{name}: INVALID — {exc}")
+            status = 1
+            continue
+        extra = " (+telemetry)" if payload.get("telemetry") else ""
+        print(
+            f"{name}: ok — {payload['benchmark']}, "
+            f"{len(payload['records'])} record(s){extra}"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

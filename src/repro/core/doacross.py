@@ -238,6 +238,7 @@ def parallelize(
     backend: str | Runner = "simulated",
     cache=None,
     validate: str | None = None,
+    observe: bool = False,
 ) -> tuple[RunResult, TransformPlan]:
     """Automatically select and run the cheapest sound strategy.
 
@@ -268,6 +269,12 @@ def parallelize(
         attached as ``result.extras["lint"]`` /
         ``result.extras["race_check"]``.  ``None`` (default) skips
         validation.
+    observe:
+        ``True`` attaches a :class:`~repro.obs.telemetry.Telemetry` blob
+        (phase spans + unified metrics, one schema on every backend) to
+        ``result.telemetry`` — wall-clock spans on the threaded and
+        vectorized backends, cycle-clock spans synthesized from the
+        simulator's own accounting on the simulated backend.
 
     Options are keyword-only; the pre-Runner positional form
     ``parallelize(loop, processors, cost_model, assert_independent,
@@ -324,6 +331,10 @@ def parallelize(
                 from repro.backends.validating import ValidatingRunner
 
                 runner = ValidatingRunner(runner)
+            if observe:
+                from repro.obs.instrument import InstrumentedRunner
+
+                runner = InstrumentedRunner(runner)
         else:
             from repro.backends import make_runner
 
@@ -333,6 +344,7 @@ def parallelize(
                 cost_model=opt["cost_model"],
                 cache=cache,
                 validate=validate,
+                observe=observe,
             )
         result = runner.run(
             loop, schedule=opt["schedule"], chunk=opt["chunk"]
@@ -389,4 +401,8 @@ def parallelize(
         result.extras["lint"] = [d.as_dict() for d in lint_findings]
         result.extras["race_check"] = race_report.as_dict()
     result.extras.setdefault("plan", plan.describe())
+    if observe:
+        from repro.obs.instrument import attach_simulated_telemetry
+
+        attach_simulated_telemetry(result)
     return result, plan

@@ -9,11 +9,15 @@ those plus the full per-phase breakdown the analysis sections discuss
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.machine.costs import CostModel
 from repro.machine.stats import PhaseStats
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.telemetry import Telemetry
 
 __all__ = ["PhaseBreakdown", "RunResult"]
 
@@ -71,6 +75,12 @@ class RunResult:
         Measured wall-clock duration for backends that execute for real
         (threaded, vectorized); ``None`` for simulated/sequential runs,
         whose time axis is cycles.
+    telemetry:
+        The run's :class:`~repro.obs.telemetry.Telemetry` blob (phase
+        spans + unified metrics, same schema on every backend) when the
+        run was observed (``observe=True`` /
+        :class:`~repro.obs.instrument.InstrumentedRunner`); ``None``
+        otherwise.
     extras:
         Free-form strategy-specific details (block size, level count, ...).
     """
@@ -88,6 +98,7 @@ class RunResult:
     schedule: str = ""
     order_label: str = "natural"
     wall_seconds: float | None = None
+    telemetry: Telemetry | None = None
     extras: dict = field(default_factory=dict)
 
     @property
@@ -136,6 +147,13 @@ class RunResult:
             lines.append(
                 f"  phases: inspector={b.inspector} executor={b.executor} "
                 f"postprocessor={b.postprocessor} barriers={b.barriers}"
+            )
+        if self.telemetry is not None:
+            lines.append(f"  telemetry: {self.telemetry.one_line()}")
+        for note in self.extras.get("ignored_options", []):
+            lines.append(
+                f"  ignored {note['option']}={note['value']!r}: "
+                f"{note['reason']}"
             )
         for key, value in self.extras.items():
             if isinstance(value, (int, float, str, bool)):

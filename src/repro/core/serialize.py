@@ -43,6 +43,9 @@ def result_to_dict(result: RunResult) -> dict:
         for k, v in result.extras.items()
         if isinstance(v, (int, float, str, bool))
     }
+    telemetry = (
+        None if result.telemetry is None else result.telemetry.as_dict()
+    )
     return {
         "loop": result.loop_name,
         "strategy": result.strategy,
@@ -62,6 +65,8 @@ def result_to_dict(result: RunResult) -> dict:
         "y_len": int(len(result.y)),
         "y_checksum": _checksum(result.y),
         "extras": extras,
+        "ignored_options": list(result.extras.get("ignored_options", [])),
+        "telemetry": telemetry,
     }
 
 

@@ -17,6 +17,7 @@ __all__ = [
     "MatrixFormatError",
     "SingularMatrixError",
     "CalibrationError",
+    "TelemetryError",
 ]
 
 
@@ -103,3 +104,9 @@ class SingularMatrixError(MatrixFormatError):
 
 class CalibrationError(ReproError):
     """A cost model's constants are inconsistent (negative costs, etc.)."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry blob or benchmark artifact violates the serialized
+    schema (:func:`repro.obs.telemetry.validate_telemetry`,
+    :func:`repro.bench.schema.validate_bench_payload`)."""

@@ -44,6 +44,20 @@ class ProcessorStats:
         """All cycles attributable to this processor in the phase."""
         return self.compute_cycles + self.wait_cycles + self.resource_wait_cycles
 
+    def as_metrics(self) -> dict[str, int]:
+        """Counter name → value pairs under the unified telemetry metric
+        names (:mod:`repro.obs.metrics`), ready to fold into a registry."""
+        return {
+            "compute_cycles": self.compute_cycles,
+            "wait_cycles": self.wait_cycles,
+            "resource_wait_cycles": self.resource_wait_cycles,
+            "flag_checks": self.flag_checks,
+            "flag_sets": self.flag_sets,
+            "dispatches": self.dispatches,
+            "coherence_misses": self.coherence_misses,
+            "iterations": self.iterations,
+        }
+
     def merge(self, other: "ProcessorStats") -> "ProcessorStats":
         """Combine accounting from another phase on the same processor."""
         if other.proc != self.proc:

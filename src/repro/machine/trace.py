@@ -96,6 +96,30 @@ class Tracer:
                     )
 
     # ------------------------------------------------------------------
+    def to_spans(self, offset: int = 0) -> list:
+        """The trace as :class:`~repro.obs.spans.Span` objects (cycle
+        clock), shifted by ``offset`` — the bridge from the simulated
+        backend's per-processor timeline into the unified telemetry model.
+        Segment kinds map one-to-one onto span categories."""
+        from repro.obs.spans import CAT_COMPUTE, CAT_QUEUE, CAT_WAIT, Span
+
+        category = {
+            SEG_COMPUTE: CAT_COMPUTE,
+            SEG_WAIT: CAT_WAIT,
+            SEG_QUEUE: CAT_QUEUE,
+        }
+        return [
+            Span(
+                name=seg.kind,
+                cat=category[seg.kind],
+                start=float(seg.start + offset),
+                end=float(seg.end + offset),
+                lane=seg.proc,
+            )
+            for seg in self.segments
+        ]
+
+    # ------------------------------------------------------------------
     def gantt(self, width: int = 72) -> str:
         """ASCII Gantt chart: one row per processor, ``#`` compute,
         ``.`` busy-wait, ``~`` resource queueing, space idle."""

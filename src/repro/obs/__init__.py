@@ -1,0 +1,97 @@
+"""Observability: cross-backend telemetry for the doacross pipeline.
+
+The paper's whole argument is an accounting argument — preprocessing cost
+amortized against executor busy-wait savings (§2.2–§3, Figure 6, Table 1).
+The simulated backend always had that accounting
+(:class:`~repro.machine.stats.PhaseStats`,
+:class:`~repro.machine.trace.Tracer`); this package extends it to the
+backends that run on real hardware, under one schema:
+
+- :mod:`repro.obs.spans` — structured :class:`Span` intervals
+  (phase / wavefront-level / compute / wait / queue) and the thread-safe
+  :class:`SpanRecorder` backends emit into.
+- :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` of named
+  counters/gauges/histograms unifying what used to live piecemeal in
+  ``ProcessorStats``, the :class:`~repro.backends.cache.InspectorCache`
+  counters, and the vectorized level widths.
+- :mod:`repro.obs.telemetry` — the serializable :class:`Telemetry` blob
+  attached to :class:`~repro.core.results.RunResult` and its schema
+  validator :func:`validate_telemetry`.
+- :mod:`repro.obs.export` — Chrome trace-event JSON
+  (``chrome://tracing``-loadable), JSONL span sink, and the ASCII
+  :func:`~repro.obs.export.gantt` mirroring the simulated Gantt chart.
+- :mod:`repro.obs.instrument` — the :class:`InstrumentedRunner` wrapper,
+  selectable as ``make_runner(..., observe=True)`` /
+  ``parallelize(..., observe=True)``.
+- :mod:`repro.obs.cli` — ``python -m repro profile``: run any builtin
+  workload on any backend and print/export its phase breakdown.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    gantt,
+    spans_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.obs.instrument import (
+    InstrumentedRunner,
+    attach_simulated_telemetry,
+    telemetry_from_result,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import (
+    CAT_BARRIER,
+    CAT_COMPUTE,
+    CAT_LEVEL,
+    CAT_PHASE,
+    CAT_QUEUE,
+    CAT_RUN,
+    CAT_WAIT,
+    SPAN_CATEGORIES,
+    WHOLE_RUN_LANE,
+    Span,
+    SpanRecorder,
+)
+from repro.obs.telemetry import (
+    CLOCK_CYCLES,
+    CLOCK_WALL,
+    PHASE_NAMES,
+    TELEMETRY_SCHEMA_VERSION,
+    Telemetry,
+    validate_telemetry,
+)
+
+__all__ = [
+    # spans
+    "Span",
+    "SpanRecorder",
+    "SPAN_CATEGORIES",
+    "WHOLE_RUN_LANE",
+    "CAT_RUN",
+    "CAT_PHASE",
+    "CAT_LEVEL",
+    "CAT_COMPUTE",
+    "CAT_WAIT",
+    "CAT_QUEUE",
+    "CAT_BARRIER",
+    # metrics
+    "MetricsRegistry",
+    # telemetry
+    "Telemetry",
+    "validate_telemetry",
+    "TELEMETRY_SCHEMA_VERSION",
+    "CLOCK_WALL",
+    "CLOCK_CYCLES",
+    "PHASE_NAMES",
+    # instrumentation
+    "InstrumentedRunner",
+    "telemetry_from_result",
+    "attach_simulated_telemetry",
+    # exporters
+    "chrome_trace",
+    "write_chrome_trace",
+    "spans_jsonl",
+    "write_spans_jsonl",
+    "gantt",
+]

@@ -1,0 +1,105 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+One registry per observed run unifies the counts that previously lived in
+backend-specific corners — the simulated machine's
+:class:`~repro.machine.stats.ProcessorStats` (flag checks, busy-wait
+cycles, dispatches), the :class:`~repro.backends.cache.InspectorCache`
+hit/miss counters, the vectorized backend's wavefront widths — under one
+serializable namespace, so the paper's overhead quantities (§3.1's
+busy-wait analysis, Figure 3's amortization) can be compared across
+backends by name.
+
+Three instrument kinds, matching how each quantity behaves:
+
+- **counter** — monotonically accumulated totals (``flag_checks``,
+  ``wait_cycles``, ``busy_waits``); ``count()`` adds.
+- **gauge** — point-in-time values (``processors``, ``levels``,
+  ``inspector_cache_entries``); ``gauge()`` overwrites.
+- **histogram** — distributions summarized as count/sum/min/max
+  (``level_width``); ``observe()`` folds one sample in.
+
+Thread-safe: the threaded backend reports from worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Collects named counters, gauges, and histogram summaries."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, dict[str, float]] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one sample into histogram ``name``."""
+        with self._lock:
+            h = self.histograms.get(name)
+            if h is None:
+                self.histograms[name] = {
+                    "count": 1,
+                    "sum": value,
+                    "min": value,
+                    "max": value,
+                }
+            else:
+                h["count"] += 1
+                h["sum"] += value
+                h["min"] = min(h["min"], value)
+                h["max"] = max(h["max"], value)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one (counters
+        add, gauges overwrite, histograms combine)."""
+        with other._lock:
+            counters = dict(other.counters)
+            gauges = dict(other.gauges)
+            histograms = {k: dict(v) for k, v in other.histograms.items()}
+        for name, value in counters.items():
+            self.count(name, value)
+        for name, value in gauges.items():
+            self.gauge(name, value)
+        with self._lock:
+            for name, h in histograms.items():
+                mine = self.histograms.get(name)
+                if mine is None:
+                    self.histograms[name] = dict(h)
+                else:
+                    mine["count"] += h["count"]
+                    mine["sum"] += h["sum"]
+                    mine["min"] = min(mine["min"], h["min"])
+                    mine["max"] = max(mine["max"], h["max"])
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot: numbers only, plain dicts."""
+
+        def num(v: float) -> float | int:
+            return int(v) if isinstance(v, bool) or v == int(v) else float(v)
+
+        with self._lock:
+            return {
+                "counters": {k: num(v) for k, v in sorted(self.counters.items())},
+                "gauges": {k: num(v) for k, v in sorted(self.gauges.items())},
+                "histograms": {
+                    k: {kk: num(vv) for kk, vv in v.items()}
+                    for k, v in sorted(self.histograms.items())
+                },
+            }

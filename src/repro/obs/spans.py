@@ -1,0 +1,188 @@
+"""Structured spans: the unit of the cross-backend telemetry model.
+
+A :class:`Span` is one named, categorized time interval on one *lane*
+(processor, thread, or the whole construct).  Every backend emits the same
+span vocabulary so the paper's accounting argument — preprocessing cost
+amortized over executor busy-wait savings (§2.2–§3) — can be read off any
+backend, not just the simulated one:
+
+- category ``"phase"`` spans named ``inspector`` / ``executor`` /
+  ``postprocessor`` mirror Figure 3's pipeline stages;
+- category ``"wait"`` spans are the busy-waits of Figure 2/5 (simulated:
+  :data:`~repro.machine.trace.SEG_WAIT` segments; threaded: blocked
+  ``threading.Event.wait`` calls);
+- category ``"compute"`` / ``"queue"`` spans match the simulated
+  :class:`~repro.machine.trace.Tracer` segment kinds;
+- category ``"level"`` spans are the vectorized backend's per-wavefront
+  batches (§3.2 doconsider decomposition);
+- one category ``"run"`` span brackets the whole construct.
+
+Span times are floats in the clock of the enclosing
+:class:`~repro.obs.telemetry.Telemetry` blob — wall-clock seconds for the
+threaded/vectorized backends, simulated cycles for the simulated backend.
+
+:class:`SpanRecorder` is the collection point backends write into.  It is
+thread-safe (the threaded backend records from worker threads) and
+deliberately tiny: recording a span is one lock acquire and one list
+append, cheap enough to leave enabled for whole benchmark runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "CAT_RUN",
+    "CAT_PHASE",
+    "CAT_LEVEL",
+    "CAT_COMPUTE",
+    "CAT_WAIT",
+    "CAT_QUEUE",
+    "CAT_BARRIER",
+    "SPAN_CATEGORIES",
+    "WHOLE_RUN_LANE",
+    "Span",
+    "SpanRecorder",
+]
+
+CAT_RUN = "run"
+CAT_PHASE = "phase"
+CAT_LEVEL = "level"
+CAT_COMPUTE = "compute"
+CAT_WAIT = "wait"
+CAT_QUEUE = "queue"
+CAT_BARRIER = "barrier"
+
+#: Every category a conforming telemetry blob may use.
+SPAN_CATEGORIES = (
+    CAT_RUN,
+    CAT_PHASE,
+    CAT_LEVEL,
+    CAT_COMPUTE,
+    CAT_WAIT,
+    CAT_QUEUE,
+    CAT_BARRIER,
+)
+
+#: Lane value for spans that belong to the construct as a whole rather
+#: than to one processor/thread.
+WHOLE_RUN_LANE = -1
+
+
+@dataclass(frozen=True)
+class Span:
+    """One contiguous interval of categorized activity on one lane.
+
+    Attributes
+    ----------
+    name:
+        What happened (``"inspector"``, ``"level[3]"``, ``"wait"`` ...).
+    cat:
+        One of :data:`SPAN_CATEGORIES`.
+    start, end:
+        Interval bounds in the telemetry clock (``end >= start``).
+    lane:
+        Processor/thread index, or :data:`WHOLE_RUN_LANE` for
+        construct-wide spans.
+    attrs:
+        Small JSON-safe payload (cache hit flag, wavefront width, ...).
+    """
+
+    name: str
+    cat: str
+    start: float
+    end: float
+    lane: int = WHOLE_RUN_LANE
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def shifted(self, offset: float) -> "Span":
+        """The same span translated by ``offset`` along the time axis."""
+        return Span(
+            name=self.name,
+            cat=self.cat,
+            start=self.start + offset,
+            end=self.end + offset,
+            lane=self.lane,
+            attrs=self.attrs,
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-safe flat form (the schema the exporters consume)."""
+        return {
+            "name": self.name,
+            "cat": self.cat,
+            "start": float(self.start),
+            "end": float(self.end),
+            "lane": int(self.lane),
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanRecorder:
+    """Thread-safe span sink the instrumented backends write into.
+
+    ``now()`` reads the wall clock (``time.perf_counter``); backends whose
+    time axis is simulated cycles construct spans from their own clocks and
+    feed them through :meth:`record` / :meth:`extend` directly.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def now() -> float:
+        return time.perf_counter()
+
+    def record(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        lane: int = WHOLE_RUN_LANE,
+        **attrs,
+    ) -> None:
+        """Append one span; zero/negative-length spans are dropped (they
+        carry no accounting weight and only clutter exports)."""
+        if end <= start:
+            return
+        span = Span(name=name, cat=cat, start=start, end=end, lane=lane, attrs=attrs)
+        with self._lock:
+            self.spans.append(span)
+
+    def extend(self, spans: list[Span]) -> None:
+        with self._lock:
+            self.spans.extend(spans)
+
+    @contextmanager
+    def span(
+        self, name: str, cat: str = CAT_PHASE, lane: int = WHOLE_RUN_LANE, **attrs
+    ) -> Iterator[None]:
+        """Context manager recording the enclosed wall-clock interval."""
+        start = self.now()
+        try:
+            yield
+        finally:
+            self.record(name, cat, start, self.now(), lane=lane, **attrs)
+
+    def normalized(self) -> list[Span]:
+        """All spans shifted so the earliest start sits at t=0, sorted by
+        start time (the form :class:`~repro.obs.telemetry.Telemetry`
+        stores)."""
+        with self._lock:
+            spans = list(self.spans)
+        if not spans:
+            return []
+        t0 = min(s.start for s in spans)
+        return sorted(
+            (s.shifted(-t0) for s in spans), key=lambda s: (s.start, s.lane)
+        )

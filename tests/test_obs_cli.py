@@ -1,0 +1,169 @@
+"""The ``profile`` command, the threaded smoke bench, and the benchmark
+artifact schema gate."""
+
+import json
+
+import pytest
+
+from repro.bench.bench_threaded import run_bench_threaded, write_bench_json
+from repro.bench.schema import main as schema_main, validate_bench_payload
+from repro.errors import TelemetryError
+from repro.obs.cli import main as profile_main
+
+
+SMALL = "--loop=figure4:n=200,m=2,l=8"
+
+
+class TestProfileCommand:
+    @pytest.mark.parametrize("backend", ("simulated", "threaded", "vectorized"))
+    def test_table_output(self, capsys, backend):
+        assert profile_main([f"--backend={backend}", SMALL]) == 0
+        out = capsys.readouterr().out
+        for phase in ("inspector", "executor", "postprocessor"):
+            assert phase in out
+        assert "metric" in out
+
+    def test_chrome_export_is_valid_trace_event_json(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        assert (
+            profile_main(
+                ["--backend=threaded", SMALL, "--export=chrome", str(out_file)]
+            )
+            == 0
+        )
+        trace = json.loads(out_file.read_text())
+        events = trace["traceEvents"]
+        assert events
+        assert {e["ph"] for e in events} <= {"X", "M"}
+        for e in events:
+            if e["ph"] == "X":
+                assert {"name", "cat", "ts", "dur", "pid", "tid"} <= e.keys()
+                assert e["ts"] >= 0 and e["dur"] >= 0
+        assert trace["otherData"]["backend"] == "threaded"
+        assert "wrote chrome export" in capsys.readouterr().out
+
+    def test_jsonl_export(self, tmp_path, capsys):
+        out_file = tmp_path / "spans.jsonl"
+        assert (
+            profile_main(
+                ["--backend=vectorized", SMALL, "--export=jsonl", str(out_file)]
+            )
+            == 0
+        )
+        lines = out_file.read_text().strip().splitlines()
+        assert json.loads(lines[0])["record"] == "telemetry"
+        assert all(json.loads(line) for line in lines)
+
+    def test_json_output_carries_telemetry(self, capsys):
+        assert profile_main(["--backend=simulated", SMALL, "--json"]) == 0
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["telemetry"]["clock"] == "cycles"
+        assert blob["telemetry"]["spans"]
+
+    def test_gantt_and_schedule_options(self, capsys):
+        assert (
+            profile_main(
+                [
+                    "--backend=simulated",
+                    "--loop=chain:n=60,d=1",
+                    "--processors=4",
+                    "--schedule=cyclic",
+                    "--chunk=1",
+                    "--gantt",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "t = 0 .." in out
+        assert "p0  |" in out
+
+    def test_ignored_options_are_printed(self, capsys):
+        assert (
+            profile_main(["--backend=threaded", SMALL, "--schedule=block"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ignored schedule='block'" in out or "ignored" in out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--backend=quantum"],
+            ["--loop=figure9:n=1"],
+            ["--export=chrome"],  # missing output path
+            ["--export=svg", "out.svg"],
+            ["--frobnicate"],
+            ["stray-positional"],
+        ],
+    )
+    def test_bad_usage_exits_2(self, capsys, argv):
+        assert profile_main(argv) == 2
+        assert capsys.readouterr().out
+
+
+class TestBenchThreaded:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return run_bench_threaded(n=300)
+
+    def test_shape_check_passes(self, bench):
+        bench.check()
+        assert bench.flag_sets == 300
+        assert 0.0 <= bench.wait_fraction < 1.0
+
+    def test_artifact_validates(self, bench, tmp_path):
+        path = write_bench_json(bench, tmp_path / "BENCH_threaded.json")
+        payload = json.loads(path.read_text())
+        validate_bench_payload(payload)
+        assert payload["benchmark"] == "bench-threaded"
+        assert payload["records"][0]["backend"] == "threaded"
+        assert payload["telemetry"]["clock"] == "wall_seconds"
+
+
+class TestBenchSchema:
+    def payload(self):
+        return {
+            "benchmark": "bench-x",
+            "records": [{"backend": "threaded", "wall_seconds": 0.5}],
+            "detail": {},
+        }
+
+    def test_accepts_minimal(self):
+        validate_bench_payload(self.payload())
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.update(benchmark=""),
+            lambda p: p.update(records=[]),
+            lambda p: p.update(records=[{"backend": "x"}]),
+            lambda p: p.update(
+                records=[{"backend": "x", "wall_seconds": -1.0}]
+            ),
+            lambda p: p.update(
+                records=[{"backend": "x", "wall_seconds": True}]
+            ),
+            lambda p: p.pop("detail"),
+            lambda p: p.update(telemetry={"schema_version": 0}),
+        ],
+    )
+    def test_rejects(self, mutate):
+        payload = self.payload()
+        mutate(payload)
+        with pytest.raises(TelemetryError):
+            validate_bench_payload(payload)
+
+    def test_cli_gate(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(self.payload()))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        missing = tmp_path / "missing.json"
+
+        assert schema_main([str(good)]) == 0
+        assert schema_main([str(good), str(bad)]) == 1
+        assert schema_main([str(missing)]) == 1
+        assert schema_main([]) == 2
+        out = capsys.readouterr().out
+        assert "ok" in out and "INVALID" in out and "MISSING" in out

@@ -1,0 +1,331 @@
+"""The cross-backend telemetry contract.
+
+One schema, three backends: every observed run — simulated cycles,
+threaded wall clock, vectorized wall clock — must attach a
+``RunResult.telemetry`` blob that passes :func:`validate_telemetry`,
+report the same three pipeline phases, and survive JSON serialization.
+This file is the acceptance gate the obs subsystem was built against.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import parallelize
+from repro.backends import InspectorCache, make_runner
+from repro.core.serialize import result_to_dict
+from repro.errors import TelemetryError
+from repro.obs import (
+    CAT_COMPUTE,
+    CAT_PHASE,
+    CAT_RUN,
+    CAT_WAIT,
+    CLOCK_CYCLES,
+    CLOCK_WALL,
+    PHASE_NAMES,
+    InstrumentedRunner,
+    validate_telemetry,
+)
+from repro.workloads.testloop import make_test_loop
+
+BACKENDS = ("simulated", "threaded", "vectorized")
+
+
+@pytest.fixture(scope="module")
+def loop():
+    # Even l: the loop carries true cross-iteration dependencies, so the
+    # busy-wait machinery (and its wait spans) actually engages.
+    return make_test_loop(n=400, m=2, l=8)
+
+
+@pytest.fixture(scope="module")
+def observed(loop):
+    """One observed run per backend (module-scoped: runs are not free)."""
+    return {
+        backend: make_runner(backend, processors=4, observe=True).run(loop)
+        for backend in BACKENDS
+    }
+
+
+class TestSharedSchema:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_telemetry_validates(self, observed, backend):
+        result = observed[backend]
+        assert result.telemetry is not None
+        validate_telemetry(result.telemetry.as_dict())
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_all_three_phases_reported(self, observed, backend):
+        phases = observed[backend].telemetry.phase_totals()
+        assert set(PHASE_NAMES) <= set(phases), backend
+        assert all(v >= 0 for v in phases.values())
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_exactly_one_run_span_brackets_everything(self, observed, backend):
+        tel = observed[backend].telemetry
+        runs = [s for s in tel.spans if s.cat == CAT_RUN]
+        assert len(runs) == 1
+        assert runs[0].start == 0.0
+        assert runs[0].end == pytest.approx(tel.span_total())
+
+    def test_span_and_metric_keys_identical_across_backends(self, observed):
+        span_keysets = set()
+        metric_keysets = set()
+        for result in observed.values():
+            blob = result.telemetry.as_dict()
+            for span in blob["spans"]:
+                span_keysets.add(frozenset(span.keys()))
+            metric_keysets.add(frozenset(blob["metrics"].keys()))
+        assert len(span_keysets) == 1
+        assert len(metric_keysets) == 1
+
+    def test_clocks(self, observed):
+        assert observed["simulated"].telemetry.clock == CLOCK_CYCLES
+        assert observed["threaded"].telemetry.clock == CLOCK_WALL
+        assert observed["vectorized"].telemetry.clock == CLOCK_WALL
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_serializes_through_json(self, observed, backend):
+        blob = json.loads(json.dumps(result_to_dict(observed[backend])))
+        assert blob["telemetry"] is not None
+        validate_telemetry(blob["telemetry"])
+
+    def test_unobserved_run_has_no_telemetry(self, loop):
+        result = make_runner("threaded", processors=4).run(loop)
+        assert result.telemetry is None
+        assert result_to_dict(result)["telemetry"] is None
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_parallelize_observe(self, loop, backend):
+        result, _ = parallelize(
+            loop, processors=4, backend=backend, observe=True
+        )
+        assert result.telemetry is not None
+        validate_telemetry(result.telemetry.as_dict())
+
+    def test_observed_values_equal_oracle(self, loop, observed):
+        reference = loop.run_sequential()
+        for backend, result in observed.items():
+            assert np.array_equal(result.y, reference), backend
+
+
+class TestThreadedAccountingInvariant:
+    """Wall-clock analogue of the simulated trace/stats invariant: each
+    lane's compute + wait spans exactly tile its executor phase span."""
+
+    def test_compute_plus_wait_tiles_executor_phase(self, observed):
+        tel = observed["threaded"].telemetry
+        lanes = tel.lanes()
+        assert lanes, "no lanes recorded"
+        for lane in lanes:
+            phase = [
+                s
+                for s in tel.spans
+                if s.cat == CAT_PHASE and s.name == "executor" and s.lane == lane
+            ]
+            assert len(phase) == 1, f"lane {lane}"
+            children = sum(
+                s.duration
+                for s in tel.spans
+                if s.cat in (CAT_COMPUTE, CAT_WAIT) and s.lane == lane
+            )
+            assert children == pytest.approx(
+                phase[0].duration, rel=1e-6, abs=1e-9
+            ), f"lane {lane}"
+
+    def test_children_stay_inside_their_phase(self, observed):
+        tel = observed["threaded"].telemetry
+        for lane in tel.lanes():
+            (phase,) = [
+                s
+                for s in tel.spans
+                if s.cat == CAT_PHASE and s.name == "executor" and s.lane == lane
+            ]
+            for s in tel.spans:
+                if s.lane == lane and s.cat in (CAT_COMPUTE, CAT_WAIT):
+                    assert s.start >= phase.start - 1e-9
+                    assert s.end <= phase.end + 1e-9
+
+    def test_wait_metrics_match_wait_spans(self, observed):
+        tel = observed["threaded"].telemetry
+        counters = tel.metrics.as_dict()["counters"]
+        wait_spans = [s for s in tel.spans if s.cat == CAT_WAIT]
+        assert counters["busy_waits"] == len(wait_spans)
+        assert counters["wait_seconds"] == pytest.approx(
+            sum(s.duration for s in wait_spans), rel=1e-6, abs=1e-9
+        )
+        # Dependence-carrying loop on >1 thread: some waits must block.
+        assert counters["flag_sets"] == 400
+        assert counters["flag_checks"] >= 1
+
+
+class TestSimulatedTelemetry:
+    def test_phase_extents_match_breakdown(self, observed):
+        result = observed["simulated"]
+        phases = result.telemetry.phase_totals()
+        b = result.breakdown
+        for name in PHASE_NAMES:
+            assert phases[name] == pytest.approx(float(getattr(b, name)))
+        assert result.telemetry.span_total() == pytest.approx(
+            float(result.total_cycles)
+        )
+
+    def test_trace_not_left_behind_unless_requested(self, loop):
+        runner = make_runner("simulated", processors=4, observe=True)
+        result = runner.run(loop)
+        assert "trace" not in result.extras
+        assert any(s.cat == CAT_COMPUTE for s in result.telemetry.spans)
+        traced = runner.run(loop, trace=True)
+        assert "trace" in traced.extras
+
+
+class TestInspectorCacheMetrics:
+    """Satellite: cache hit/miss counters flow through the registry and
+    survive RunResult serialization."""
+
+    def test_cache_stats_survive_serialization(self, loop):
+        cache = InspectorCache()
+        runner = make_runner("vectorized", cache=cache, observe=True)
+        cold = runner.run(loop)
+        warm = runner.run(loop)
+
+        cold_counters = cold.telemetry.metrics.as_dict()["counters"]
+        assert cold_counters["inspector_cache_misses"] == 1
+        assert cold_counters["inspector_cache_hits"] == 0
+
+        blob = json.loads(json.dumps(result_to_dict(warm)))
+        counters = blob["telemetry"]["metrics"]["counters"]
+        gauges = blob["telemetry"]["metrics"]["gauges"]
+        assert counters["inspector_cache_hits"] == 1
+        assert counters["inspector_cache_misses"] == 0
+        assert gauges["inspector_cache_hits_total"] == 1
+        assert gauges["inspector_cache_misses_total"] == 1
+        assert gauges["inspector_cache_entries"] == 1
+        assert blob["extras"]["cache_hits_total"] == 1
+        assert blob["extras"]["cache_misses_total"] == 1
+
+    def test_level_width_histogram(self, observed):
+        metrics = observed["vectorized"].telemetry.metrics.as_dict()
+        hist = metrics["histograms"]["level_width"]
+        assert hist["count"] >= 1
+        assert hist["sum"] == 400  # every iteration is in exactly one level
+
+
+class TestIgnoredOptions:
+    """Satellite: silently-dropped run options become structured notes."""
+
+    @pytest.mark.parametrize("backend", ("threaded", "vectorized"))
+    def test_notes_recorded_and_serialized(self, loop, backend):
+        result = make_runner(backend, processors=2).run(
+            loop, schedule="block", chunk=4, trace=True
+        )
+        notes = result.extras["ignored_options"]
+        assert {n["option"] for n in notes} == {"schedule", "chunk", "trace"}
+        for note in notes:
+            assert note["backend"] == backend
+            assert note["reason"]
+        blob = json.loads(json.dumps(result_to_dict(result)))
+        assert blob["ignored_options"] == notes
+        assert "ignored schedule=" in result.summary()
+
+    def test_defaults_produce_no_notes(self, loop):
+        for backend in BACKENDS:
+            result = make_runner(backend, processors=2).run(loop)
+            assert "ignored_options" not in result.extras, backend
+            assert result_to_dict(result)["ignored_options"] == []
+
+    def test_simulated_honors_options_no_notes(self, loop):
+        result = make_runner("simulated", processors=2).run(
+            loop, schedule="block", chunk=4, trace=True
+        )
+        assert "ignored_options" not in result.extras
+
+
+class TestValidatorRejects:
+    def base(self):
+        return {
+            "schema_version": 1,
+            "backend": "threaded",
+            "clock": "wall_seconds",
+            "spans": [],
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        }
+
+    def test_accepts_minimal(self):
+        validate_telemetry(self.base())
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda b: b.update(schema_version=99),
+            lambda b: b.update(clock="fortnights"),
+            lambda b: b.update(backend=""),
+            lambda b: b.pop("metrics"),
+            lambda b: b["metrics"].pop("histograms"),
+            lambda b: b.update(
+                spans=[
+                    {
+                        "name": "x",
+                        "cat": "nonsense",
+                        "start": 0,
+                        "end": 1,
+                        "lane": 0,
+                        "attrs": {},
+                    }
+                ]
+            ),
+            lambda b: b.update(
+                spans=[
+                    {
+                        "name": "x",
+                        "cat": "compute",
+                        "start": 5,
+                        "end": 1,
+                        "lane": 0,
+                        "attrs": {},
+                    }
+                ]
+            ),
+        ],
+    )
+    def test_rejects(self, mutate):
+        blob = self.base()
+        mutate(blob)
+        with pytest.raises(TelemetryError):
+            validate_telemetry(blob)
+
+    def test_spans_without_run_span_rejected(self):
+        blob = self.base()
+        blob["spans"] = [
+            {
+                "name": "compute",
+                "cat": "compute",
+                "start": 0,
+                "end": 1,
+                "lane": 0,
+                "attrs": {},
+            }
+        ]
+        with pytest.raises(TelemetryError, match="run-category"):
+            validate_telemetry(blob)
+
+
+class TestComposition:
+    def test_instrumented_over_validating(self, loop):
+        runner = make_runner(
+            "threaded", processors=2, validate="static", observe=True
+        )
+        assert isinstance(runner, InstrumentedRunner)
+        result = runner.run(loop)
+        assert result.telemetry is not None
+        assert result.telemetry.backend == "threaded"
+        assert "race_check" in result.extras
+        validate_telemetry(result.telemetry.as_dict())
+
+    def test_hooks_detached_after_run(self, loop):
+        runner = make_runner("threaded", processors=2, observe=True)
+        inner = runner.inner
+        runner.run(loop)
+        assert inner._obs_recorder is None
+        assert inner._obs_metrics is None
