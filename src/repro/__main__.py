@@ -37,11 +37,23 @@ Commands
     result summary and (simulated backend) an executor-phase Gantt chart.
 ``lint <target>... [--json] [--schedule=KIND] [--chunk=K]
       [--processors=P] [--strip-block=B] [--backend=NAME]
-      [--rules=A,B] [--strict]``
+      [--rules=A,B] [--strict] [--baseline=FILE] [--write-baseline=FILE]``
     Static analysis: run the paper-grounded lint rules (and, with
     ``--backend``, the happens-before race checker) over loops from a
     ``.py`` file, a directory of examples, or a builtin spec
     (``figure4:n=200,l=8``, ``chain:n=100,d=1``, ``random:seed=3``).
+    ``--baseline`` suppresses previously recorded findings so a CI gate
+    fails only on new diagnostics; ``--write-baseline`` records them.
+``analyze <target>... [--json] [--cross-check]``
+    Symbolic dependence analysis: print each loop's proof-carrying
+    verdict (doall-proven / constant-distance / injective-write /
+    runtime-only); ``--cross-check`` validates every verdict against the
+    runtime inspector and exits 1 on any mismatch.  Targets are resolved
+    like ``lint`` targets.
+``bench-elision [--small] [--json] [n]``
+    Measured wall clock of the symbolic inspector elision: full runtime
+    inspector vs. ``analyze="symbolic"`` closed-form preprocessing on
+    proven-affine workloads, written to ``BENCH_elision.json``.
 ``version``
     Print the package version.
 """
@@ -189,6 +201,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(rest)
+    if command == "analyze":
+        from repro.analysis.cli import main as analyze_main
+
+        return analyze_main(rest)
+    if command == "bench-elision":
+        from repro.bench.bench_elision import main as bench_eli_main
+
+        return bench_eli_main(rest)
     if command == "verify":
         return _verify(rest)
     if command == "codegen":

@@ -1,0 +1,232 @@
+"""Proof checking and runtime cross-validation.
+
+Two independent layers of defense for shipped verdicts:
+
+- :func:`check_proof` audits the proof object itself: every concrete side
+  condition must re-evaluate true (:func:`~repro.analysis.proofs
+  .evaluate_check`) and an independent re-derivation must reach the same
+  verdict.
+- :func:`cross_check` compares the verdict against the *runtime
+  inspector's* value-level answer (:mod:`repro.ir.analysis`) on this loop
+  instance: a DOALL-proven loop must show no true dependence, a
+  constant-distance verdict must match every observed distance, and each
+  slot's claimed classification must match the observed category of every
+  one of its terms.  This is the debug mode behind
+  ``make_runner(..., analyze="symbolic+check")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.engine import analyze_loop, slot_term_map
+from repro.analysis.verdicts import (
+    SLOT_ANTI,
+    SLOT_INTRA,
+    SLOT_NO_TRUE,
+    SLOT_NONE,
+    SLOT_TRUE,
+    SLOT_UNKNOWN,
+    VERDICT_CONSTANT_DISTANCE,
+    VERDICT_DOALL,
+    DependenceVerdict,
+)
+from repro.errors import ProofError
+from repro.ir.analysis import (
+    CAT_ANTI,
+    CAT_INTRA,
+    CAT_NONE,
+    CAT_TRUE,
+    classify_reads,
+    observed_distances,
+)
+
+__all__ = ["check_proof", "cross_check", "CrossCheckReport"]
+
+
+def check_proof(loop, verdict: DependenceVerdict | None = None) -> list[str]:
+    """Audit a verdict's proof object; returns a list of problems."""
+    if verdict is None:
+        verdict = analyze_loop(loop)
+    problems: list[str] = []
+    for step, check in verdict.proof.failed_checks():
+        problems.append(
+            f"{step.target}: side condition {check.describe()} of rule "
+            f"{step.rule!r} does not hold"
+        )
+    rederived = analyze_loop(loop, use_cache=False)
+    if rederived.signature() != verdict.signature():
+        problems.append(
+            f"re-derivation reached {rederived.kind!r} "
+            f"(d={rederived.distance}), shipped verdict is "
+            f"{verdict.kind!r} (d={verdict.distance})"
+        )
+    return problems
+
+
+@dataclass
+class CrossCheckReport:
+    """Outcome of validating a verdict against the runtime inspector."""
+
+    loop_name: str
+    verdict_kind: str
+    checked_terms: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def describe(self) -> str:
+        status = "OK" if self.ok else "MISMATCH"
+        head = (
+            f"{self.loop_name}: {self.verdict_kind} cross-check {status} "
+            f"({self.checked_terms} terms)"
+        )
+        return "\n".join([head] + ["  " + p for p in self.problems])
+
+
+def _check_slot_terms(dep, categories, readers, writers, problems):
+    """Validate one slot's claimed classification against the observed
+    per-term categories (``categories`` etc. already filtered to the
+    slot's terms)."""
+    tag = f"slot {dep.slot}"
+    if dep.kind == SLOT_UNKNOWN:
+        return
+    if dep.kind == SLOT_NONE:
+        bad = categories != CAT_NONE
+        if bad.any():
+            k = int(np.nonzero(bad)[0][0])
+            problems.append(
+                f"{tag}: claimed no-reference but iteration "
+                f"{int(readers[k])} observes category {int(categories[k])}"
+            )
+        return
+    if dep.kind == SLOT_INTRA:
+        bad = categories != CAT_INTRA
+        if bad.any():
+            k = int(np.nonzero(bad)[0][0])
+            problems.append(
+                f"{tag}: claimed intra but iteration {int(readers[k])} "
+                f"observes category {int(categories[k])}"
+            )
+        return
+    if dep.kind == SLOT_NO_TRUE:
+        bad = (categories == CAT_TRUE) | (categories == CAT_INTRA)
+        if bad.any():
+            k = int(np.nonzero(bad)[0][0])
+            problems.append(
+                f"{tag}: claimed anti-or-none but iteration "
+                f"{int(readers[k])} observes category {int(categories[k])}"
+            )
+        return
+    # TRUE / ANTI: exact category and writer inside dep_range, NONE outside.
+    a, b = dep.dep_range
+    inside = (readers >= a) & (readers < b)
+    want = CAT_TRUE if dep.kind == SLOT_TRUE else CAT_ANTI
+    bad_in = inside & (categories != want)
+    if bad_in.any():
+        k = int(np.nonzero(bad_in)[0][0])
+        problems.append(
+            f"{tag}: claimed {dep.kind} on [{a}, {b}) but iteration "
+            f"{int(readers[k])} observes category {int(categories[k])}"
+        )
+    wrong_writer = inside & (writers != readers - dep.distance)
+    if wrong_writer.any():
+        k = int(np.nonzero(wrong_writer)[0][0])
+        problems.append(
+            f"{tag}: claimed distance {dep.distance} but iteration "
+            f"{int(readers[k])} depends on writer {int(writers[k])}"
+        )
+    bad_out = ~inside & (categories != CAT_NONE)
+    if bad_out.any():
+        k = int(np.nonzero(bad_out)[0][0])
+        problems.append(
+            f"{tag}: claimed no-reference outside [{a}, {b}) but "
+            f"iteration {int(readers[k])} observes category "
+            f"{int(categories[k])}"
+        )
+
+
+def cross_check(
+    loop,
+    verdict: DependenceVerdict | None = None,
+    strict: bool = False,
+) -> CrossCheckReport:
+    """Validate ``verdict`` against the runtime inspector on ``loop``.
+
+    With ``strict=True`` a mismatch raises :class:`ProofError` instead of
+    being reported — the behavior of the debug elision mode.
+    """
+    if verdict is None:
+        verdict = analyze_loop(loop)
+    report = CrossCheckReport(
+        loop_name=loop.name, verdict_kind=verdict.kind
+    )
+    report.problems.extend(check_proof(loop, verdict))
+
+    readers, writers, categories = classify_reads(loop)
+    report.checked_terms = len(categories)
+
+    if verdict.slots and loop.read_slots is not None:
+        try:
+            sids = slot_term_map(loop)
+        except ProofError as exc:
+            report.problems.append(str(exc))
+            sids = None
+        if sids is not None:
+            # Declared subscripts must produce the materialized indices.
+            for dep, slot in zip(verdict.slots, loop.read_slots):
+                mask = sids == dep.slot
+                if not mask.any():
+                    continue
+                lo, hi = slot.active_range(loop.n)
+                expected = slot.subscript.materialize(hi)[readers[mask]]
+                actual = loop.reads.index[np.nonzero(mask)[0]]
+                if not np.array_equal(expected, actual):
+                    k = int(np.nonzero(expected != actual)[0][0])
+                    i = int(readers[mask][k])
+                    report.problems.append(
+                        f"slot {dep.slot}: declared subscript gives "
+                        f"{int(expected[k])} at iteration {i}, read "
+                        f"table has {int(actual[k])}"
+                    )
+                    continue
+                _check_slot_terms(
+                    dep,
+                    categories[mask],
+                    readers[mask],
+                    writers[mask],
+                    report.problems,
+                )
+
+    if verdict.kind == VERDICT_DOALL:
+        if np.any(categories == CAT_TRUE):
+            k = int(np.nonzero(categories == CAT_TRUE)[0][0])
+            report.problems.append(
+                f"DOALL-proven, but the inspector observes a true "
+                f"dependence at iteration {int(readers[k])} "
+                f"(writer {int(writers[k])})"
+            )
+    elif verdict.kind == VERDICT_CONSTANT_DISTANCE:
+        observed = observed_distances(loop)
+        if len(observed) != 1 or int(observed[0]) != verdict.distance:
+            report.problems.append(
+                f"constant-distance d={verdict.distance} claimed, "
+                f"inspector observes distances "
+                f"{observed.tolist() or 'none'}"
+            )
+    if verdict.write_injective:
+        if len(np.unique(loop.write)) != loop.n:
+            report.problems.append(
+                "write claimed injective but materialized values collide"
+            )
+
+    if strict and not report.ok:
+        raise ProofError(
+            f"symbolic verdict failed runtime cross-check:\n"
+            f"{report.describe()}"
+        )
+    return report

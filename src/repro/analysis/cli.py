@@ -1,0 +1,100 @@
+"""``python -m repro analyze`` — symbolic dependence verdicts from the shell.
+
+Targets resolve exactly like ``python -m repro lint`` targets (see
+:mod:`repro.lint.cli`): ``.py`` files exposing loops through the
+``build_loops()`` / ``LOOPS`` / ``build_loop()`` hooks, directories of
+such files, or builtin specs (``figure4[:n=..,m=..,l=..]``,
+``chain[:n=..,d=..]``, ``random[:n=..,seed=..]``).
+
+Options
+-------
+``--json``         machine-readable verdicts, proof objects included
+``--cross-check``  additionally validate every verdict against the
+                   runtime inspector (:func:`repro.analysis.cross_check`)
+
+Exit status: 0 when every verdict's proof checks out (and, with
+``--cross-check``, matches the runtime inspector), 1 on any problem,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.analysis.checker import check_proof, cross_check
+from repro.analysis.engine import analyze_loop
+
+__all__ = ["main"]
+
+
+def main(argv: list[str]) -> int:
+    from repro.lint.cli import collect_loops
+
+    as_json = False
+    do_cross = False
+    targets: list[str] = []
+    try:
+        for arg in argv:
+            if arg == "--json":
+                as_json = True
+            elif arg == "--cross-check":
+                do_cross = True
+            elif arg.startswith("-"):
+                raise ValueError(f"unknown analyze option {arg!r}")
+            else:
+                targets.append(arg)
+        if not targets:
+            raise ValueError(
+                "no targets; give a .py file, a directory, or a builtin "
+                "spec (figure4/chain/random)"
+            )
+        loops = collect_loops(targets)
+    except ValueError as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+
+    records: list[dict] = []
+    failed = 0
+    for source, name, loop in loops:
+        verdict = analyze_loop(loop)
+        if do_cross:
+            report = cross_check(loop, verdict)
+            problems = list(report.problems)
+            checked_terms = report.checked_terms
+        else:
+            problems = check_proof(loop, verdict)
+            checked_terms = None
+        if problems:
+            failed += 1
+        record = {
+            "source": source,
+            "loop": name,
+            "verdict": verdict.as_dict(),
+            "elidable": verdict.elidable,
+            "problems": problems,
+        }
+        if checked_terms is not None:
+            record["checked_terms"] = checked_terms
+        records.append(record)
+        if not as_json:
+            print(f"== {name} ({source}) ==")
+            print(verdict.describe())
+            if do_cross:
+                status = "OK" if not problems else "MISMATCH"
+                print(
+                    f"cross-check {status} ({checked_terms} term(s) "
+                    f"validated against the runtime inspector)"
+                )
+            for problem in problems:
+                print("  ! " + problem)
+            print()
+
+    if as_json:
+        print(json.dumps({"targets": records, "failed": failed}, indent=2))
+    else:
+        print(
+            f"analyzed {len(loops)} loop(s) from {len(targets)} "
+            f"target(s); {failed} with problems"
+        )
+    return 1 if failed else 0

@@ -1,0 +1,284 @@
+"""Abstract domains for symbolic subscript analysis.
+
+Four cheap, composable domains over integer expressions of the loop index:
+
+- **Affine** — the exact form ``c·i + d`` when one exists (the paper's §2.3
+  linear subscript), or TOP.
+- **Congruence** — ``value ≡ residue (mod modulus)``.  ``modulus == 0``
+  means the value is exactly the constant ``residue``; ``modulus == 1``
+  carries no information.  Separates, e.g., an odd affine write from an
+  even ``(i // 2) * 2`` read.
+- **Interval** — inclusive bounds ``[lo, hi]`` over the iteration range
+  being analyzed.
+- **Monotonicity** — direction (+1 / −1 / 0) and strictness as a function
+  of the loop index.  Strict monotonicity proves injectivity for
+  non-affine closed forms.
+
+Every fact is a small frozen dataclass so proofs can embed them verbatim
+and the checker can recompute and compare them structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Optional
+
+__all__ = [
+    "AffineFact",
+    "CongruenceFact",
+    "IntervalFact",
+    "MonotonicityFact",
+    "DomainFacts",
+    "AFFINE_TOP",
+    "CONGRUENCE_TOP",
+    "MONOTONICITY_UNKNOWN",
+]
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AffineFact:
+    """``i ↦ c·i + d`` exactly, or TOP (no affine form known)."""
+
+    c: int = 0
+    d: int = 0
+    is_top: bool = False
+
+    def __repr__(self) -> str:
+        if self.is_top:
+            return "affine:⊤"
+        return f"affine:{self.c}·i+{self.d}"
+
+    def as_tuple(self) -> tuple:
+        return ("top",) if self.is_top else (self.c, self.d)
+
+    # -- transfer functions -------------------------------------------
+    def add(self, other: "AffineFact") -> "AffineFact":
+        if self.is_top or other.is_top:
+            return AFFINE_TOP
+        return AffineFact(self.c + other.c, self.d + other.d)
+
+    def mul(self, other: "AffineFact") -> "AffineFact":
+        if self.is_top or other.is_top:
+            return AFFINE_TOP
+        # Exact only when at least one side is constant.
+        if other.c == 0:
+            return AffineFact(self.c * other.d, self.d * other.d)
+        if self.c == 0:
+            return AffineFact(other.c * self.d, other.d * self.d)
+        return AFFINE_TOP
+
+    def mod(self, k: int) -> "AffineFact":
+        if not self.is_top and self.c == 0:
+            return AffineFact(0, self.d % k)
+        return AFFINE_TOP
+
+    def floordiv(self, k: int) -> "AffineFact":
+        # (c·i + d) // k == (c/k)·i + d//k exactly when k | c (floor
+        # semantics: the divisible part splits off for any sign of i).
+        if not self.is_top and self.c % k == 0:
+            return AffineFact(self.c // k, self.d // k)
+        return AFFINE_TOP
+
+
+AFFINE_TOP = AffineFact(is_top=True)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CongruenceFact:
+    """``value ≡ residue (mod modulus)``; modulus 0 = exact constant."""
+
+    modulus: int
+    residue: int
+
+    @staticmethod
+    def make(modulus: int, residue: int) -> "CongruenceFact":
+        modulus = abs(int(modulus))
+        residue = int(residue)
+        if modulus > 0:
+            residue %= modulus
+        return CongruenceFact(modulus, residue)
+
+    def __repr__(self) -> str:
+        if self.modulus == 0:
+            return f"cong:={self.residue}"
+        if self.modulus == 1:
+            return "cong:⊤"
+        return f"cong:≡{self.residue} (mod {self.modulus})"
+
+    def as_tuple(self) -> tuple:
+        return (self.modulus, self.residue)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.modulus == 0
+
+    # -- transfer functions -------------------------------------------
+    def add(self, other: "CongruenceFact") -> "CongruenceFact":
+        if self.is_constant and other.is_constant:
+            return CongruenceFact.make(0, self.residue + other.residue)
+        m = gcd(self.modulus, other.modulus)  # gcd(0, x) == x
+        return CongruenceFact.make(m, self.residue + other.residue)
+
+    def mul(self, other: "CongruenceFact") -> "CongruenceFact":
+        if self.is_constant and other.is_constant:
+            return CongruenceFact.make(0, self.residue * other.residue)
+        if self.is_constant or other.is_constant:
+            const, var = (
+                (self, other) if self.is_constant else (other, self)
+            )
+            if const.residue == 0:
+                return CongruenceFact.make(0, 0)
+            return CongruenceFact.make(
+                const.residue * var.modulus, const.residue * var.residue
+            )
+        # (r1 + m1·a)(r2 + m2·b) ≡ r1·r2 modulo gcd of the cross terms.
+        m = gcd(
+            self.modulus * other.modulus,
+            gcd(self.modulus * other.residue, other.modulus * self.residue),
+        )
+        return CongruenceFact.make(m, self.residue * other.residue)
+
+    def mod(self, k: int) -> "CongruenceFact":
+        if self.is_constant:
+            return CongruenceFact.make(0, self.residue % k)
+        g = gcd(self.modulus, k)
+        if g == k:
+            # k divides the modulus: the value mod k is a fixed constant.
+            return CongruenceFact.make(0, self.residue % k)
+        return CongruenceFact.make(g, self.residue)
+
+    def floordiv(self, k: int) -> "CongruenceFact":
+        if self.is_constant:
+            return CongruenceFact.make(0, self.residue // k)
+        if self.modulus % k == 0 and self.residue % k == 0:
+            return CongruenceFact.make(self.modulus // k, self.residue // k)
+        return CONGRUENCE_TOP
+
+
+CONGRUENCE_TOP = CongruenceFact(1, 0)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IntervalFact:
+    """Inclusive value bounds over the iteration range under analysis."""
+
+    lo: int
+    hi: int
+
+    def __repr__(self) -> str:
+        return f"ival:[{self.lo}, {self.hi}]"
+
+    def as_tuple(self) -> tuple:
+        return (self.lo, self.hi)
+
+    # -- transfer functions -------------------------------------------
+    def add(self, other: "IntervalFact") -> "IntervalFact":
+        return IntervalFact(self.lo + other.lo, self.hi + other.hi)
+
+    def mul(self, other: "IntervalFact") -> "IntervalFact":
+        products = (
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        )
+        return IntervalFact(min(products), max(products))
+
+    def mod(self, k: int) -> "IntervalFact":
+        if 0 <= self.lo and self.hi < k:
+            return self
+        return IntervalFact(0, k - 1)
+
+    def floordiv(self, k: int) -> "IntervalFact":
+        return IntervalFact(self.lo // k, self.hi // k)
+
+    def disjoint_from(self, other: "IntervalFact") -> bool:
+        return self.hi < other.lo or other.hi < self.lo
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MonotonicityFact:
+    """Direction as a function of the loop index.
+
+    ``direction`` is +1 (non-decreasing), −1 (non-increasing), 0
+    (constant), or ``None`` (unknown); ``strict`` upgrades ±1 to strictly
+    monotone.
+    """
+
+    direction: Optional[int]
+    strict: bool = False
+
+    def __repr__(self) -> str:
+        if self.direction is None:
+            return "mono:⊤"
+        if self.direction == 0:
+            return "mono:const"
+        arrow = "↑" if self.direction > 0 else "↓"
+        return f"mono:{arrow}{'strict' if self.strict else ''}"
+
+    def as_tuple(self) -> tuple:
+        return (self.direction, self.strict)
+
+    @property
+    def is_strictly_monotone(self) -> bool:
+        return self.direction in (1, -1) and self.strict
+
+    # -- transfer functions -------------------------------------------
+    def add(self, other: "MonotonicityFact") -> "MonotonicityFact":
+        if self.direction is None or other.direction is None:
+            return MONOTONICITY_UNKNOWN
+        if self.direction == 0:
+            return other
+        if other.direction == 0:
+            return self
+        if self.direction == other.direction:
+            return MonotonicityFact(self.direction, self.strict or other.strict)
+        return MONOTONICITY_UNKNOWN
+
+    def scale(self, value: int) -> "MonotonicityFact":
+        """Multiply by a known constant."""
+        if value == 0:
+            return MonotonicityFact(0)
+        if self.direction is None:
+            return MONOTONICITY_UNKNOWN
+        direction = self.direction if value > 0 else -self.direction
+        return MonotonicityFact(direction, self.strict)
+
+    def floordiv(self, k: int) -> "MonotonicityFact":
+        if self.direction is None:
+            return MONOTONICITY_UNKNOWN
+        # Floor division by k >= 1 preserves direction but not strictness.
+        return MonotonicityFact(self.direction, strict=(k == 1 and self.strict))
+
+
+MONOTONICITY_UNKNOWN = MonotonicityFact(None)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DomainFacts:
+    """The product of all four domains for one expression."""
+
+    affine: AffineFact
+    congruence: CongruenceFact
+    interval: IntervalFact
+    monotonicity: MonotonicityFact
+
+    def __repr__(self) -> str:
+        return (
+            f"Facts({self.affine!r}, {self.congruence!r}, "
+            f"{self.interval!r}, {self.monotonicity!r})"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "affine": self.affine.as_tuple(),
+            "congruence": self.congruence.as_tuple(),
+            "interval": self.interval.as_tuple(),
+            "monotonicity": self.monotonicity.as_tuple(),
+        }

@@ -1,0 +1,254 @@
+"""Inspector elision: the §2.3 payoff, generalized.
+
+When a loop's verdict is fully classified (write proven injective, every
+read slot's dependence known in closed form), the runtime inspector has
+nothing left to discover: :func:`build_symbolic_record` constructs the
+exact :class:`~repro.backends.cache.InspectorRecord` the inspector would
+have produced — ``iter`` array from the write's closed form, per-term
+true/intra flags from the slot proofs, wavefront levels from the proven
+distances — without classifying a single read term against memory.  The
+record feeds the same executor, so results are bitwise identical to the
+full-inspector path (asserted by the debug mode and the test suite).
+
+A fully proven loop is also content-free for caching purposes: its record
+is determined by structure alone, so :func:`symbolic_fingerprint` keys the
+InspectorCache without hashing the index arrays — loops with identical
+proofs share one entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.analysis.engine import analyze_loop
+from repro.analysis.verdicts import (
+    SLOT_INTRA,
+    SLOT_TRUE,
+    DependenceVerdict,
+)
+from repro.backends.cache import InspectorRecord, assemble_record
+from repro.core.workspace import MAXINT
+from repro.errors import ProofError
+from repro.graph.levels import LevelSchedule
+from repro.ir.loop import IrregularLoop
+from repro.ir.transform import plan_transform, structural_signature
+
+__all__ = [
+    "build_symbolic_record",
+    "symbolic_fingerprint",
+    "records_equal",
+    "record_mismatches",
+]
+
+
+def symbolic_fingerprint(loop: IrregularLoop) -> str:
+    """Structure-only cache key for a fully proven loop.
+
+    Unlike :func:`repro.backends.cache.loop_fingerprint` this hashes no
+    array contents — for an elidable loop the structural signature (which
+    embeds the slot closed forms and the verdict) already determines the
+    whole inspector record.
+    """
+    h = hashlib.sha256()
+    h.update(b"symbolic|")
+    h.update(repr(structural_signature(loop)).encode())
+    return h.hexdigest()
+
+
+def _slot_term_layout(loop: IrregularLoop):
+    """Per-flat-term ``(iteration, slot)`` in read-table order, with the
+    per-iteration counts validated against the table."""
+    n = loop.n
+    ranges = [slot.active_range(n) for slot in loop.read_slots]
+    counts = np.zeros(n, dtype=np.int64)
+    for lo, hi in ranges:
+        counts[lo:hi] += 1
+    if not np.array_equal(counts, loop.reads.term_counts()):
+        bad = int(np.nonzero(counts != loop.reads.term_counts())[0][0])
+        raise ProofError(
+            f"{loop.name}: declared slots give {int(counts[bad])} term(s) "
+            f"at iteration {bad}, read table has "
+            f"{int(loop.reads.term_count(bad))}"
+        )
+    if not ranges:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    iters = np.concatenate(
+        [np.arange(lo, hi, dtype=np.int64) for lo, hi in ranges]
+    )
+    sids = np.concatenate(
+        [
+            np.full(hi - lo, j, dtype=np.int64)
+            for j, (lo, hi) in enumerate(ranges)
+        ]
+    )
+    order = np.lexsort((sids, iters))
+    return iters[order], sids[order]
+
+
+def _chain_levels(has_pred: np.ndarray, delta: int) -> np.ndarray:
+    """Wavefront levels for a single constant distance ``delta``:
+    ``level[i] = level[i − delta] + 1`` where a predecessor exists, else 0.
+
+    Along each residue chain ``r, r+δ, r+2δ, …`` the level is the run
+    length of consecutive predecessors, computed by one
+    ``maximum.accumulate`` over a ``(rows, δ)`` reshape.
+    """
+    n = len(has_pred)
+    rows = -(-n // delta)
+    padded = np.zeros(rows * delta, dtype=bool)
+    padded[:n] = has_pred
+    grid = padded.reshape(rows, delta)
+    row_idx = np.arange(rows, dtype=np.int64)[:, None]
+    # Latest row at or before q with no predecessor; row 0 never has one
+    # (i < δ cannot reach back), so the accumulate is always grounded.
+    last_clear = np.maximum.accumulate(
+        np.where(~grid, row_idx, -1), axis=0
+    )
+    levels = (row_idx - last_clear).reshape(-1)[:n]
+    return levels.astype(np.int64)
+
+
+def _schedule_from_levels(levels: np.ndarray) -> LevelSchedule:
+    """The deterministic LevelSchedule layout for given levels (identical
+    to the tail of :func:`repro.graph.levels.compute_levels`)."""
+    n = len(levels)
+    order = np.lexsort(
+        (np.arange(n, dtype=np.int64), levels)
+    ).astype(np.int64)
+    n_levels = int(levels.max()) + 1 if n else 0
+    level_ptr = np.zeros(n_levels + 1, dtype=np.int64)
+    if n:
+        level_ptr[1:] = np.cumsum(np.bincount(levels, minlength=n_levels))
+    return LevelSchedule(levels=levels, order=order, level_ptr=level_ptr)
+
+
+def build_symbolic_record(
+    loop: IrregularLoop,
+    verdict: DependenceVerdict | None = None,
+) -> InspectorRecord:
+    """Construct the inspector's output from the symbolic verdict alone.
+
+    Raises :class:`ProofError` when the verdict is not elidable or the
+    declared slots do not tile the loop's read table.  The produced
+    record is array-for-array identical to
+    :func:`repro.backends.cache.build_inspector_record` — the claim the
+    ``analyze="symbolic+check"`` debug mode re-verifies on every run.
+    """
+    if verdict is None:
+        verdict = analyze_loop(loop)
+    if not verdict.elidable:
+        raise ProofError(
+            f"{loop.name}: verdict {verdict.kind!r} is not elidable "
+            f"(write_injective={verdict.write_injective}, "
+            f"fully_classified={verdict.fully_classified})"
+        )
+    n, y_size = loop.n, loop.y_size
+
+    # The paper's iter array, from the write's closed form — no inspection.
+    iter_array = np.full(y_size, MAXINT, dtype=np.int64)
+    iter_array[loop.write] = np.arange(n, dtype=np.int64)
+
+    # Per-term classification from the slot proofs.
+    total = loop.reads.total_terms
+    true_flat = np.zeros(total, dtype=bool)
+    intra_flat = np.zeros(total, dtype=bool)
+    true_slots = []
+    if loop.read_slots is not None and len(loop.read_slots):
+        iters, sids = _slot_term_layout(loop)
+        for dep in verdict.slots:
+            mask = sids == dep.slot
+            if dep.kind == SLOT_INTRA:
+                intra_flat[mask] = True
+            elif dep.kind == SLOT_TRUE:
+                a, b = dep.dep_range
+                true_flat[mask & (iters >= a) & (iters < b)] = True
+                true_slots.append(dep)
+    elif total:
+        raise ProofError(
+            f"{loop.name}: read terms exist but no slots are declared"
+        )
+
+    # Wavefront levels from the proven distances.
+    if not true_slots:
+        levels = np.zeros(n, dtype=np.int64)
+        schedule = _schedule_from_levels(levels)
+    else:
+        distances = {dep.distance for dep in true_slots}
+        has_pred = np.zeros(n, dtype=bool)
+        for dep in true_slots:
+            a, b = dep.dep_range
+            has_pred[a:b] = True
+        if len(distances) == 1:
+            levels = _chain_levels(has_pred, true_slots[0].distance)
+            schedule = _schedule_from_levels(levels)
+        else:
+            # Mixed constant distances: emit the dependence pairs in
+            # closed form (still no memory inspection) and reuse the
+            # standard level computation.
+            from repro.graph.depgraph import DependenceGraph
+            from repro.graph.levels import compute_levels
+
+            pair_list = [
+                np.stack(
+                    [
+                        np.arange(a, b, dtype=np.int64) - dep.distance,
+                        np.arange(a, b, dtype=np.int64),
+                    ],
+                    axis=1,
+                )
+                for dep in true_slots
+                for a, b in [dep.dep_range]
+            ]
+            pairs = np.unique(np.concatenate(pair_list, axis=0), axis=0)
+            schedule = compute_levels(DependenceGraph(n, pairs))
+
+    return assemble_record(
+        loop,
+        iter_array=iter_array,
+        schedule=schedule,
+        true_flat=true_flat,
+        intra_flat=intra_flat,
+        plan=plan_transform(loop, verdict=verdict),
+        fingerprint=symbolic_fingerprint(loop),
+    )
+
+
+_RECORD_ARRAYS = (
+    "iter_array",
+    "exec_order",
+    "exec_counts",
+    "exec_ptr",
+    "exec_write",
+    "term_source",
+    "env_index",
+    "intra",
+    "slot_active",
+    "slot_ptr",
+)
+
+
+def record_mismatches(
+    symbolic: InspectorRecord, runtime: InspectorRecord
+) -> list[str]:
+    """Field-by-field comparison of two records (ignoring fingerprints
+    and plans, which legitimately differ between the paths)."""
+    problems = []
+    for name in _RECORD_ARRAYS:
+        a, b = getattr(symbolic, name), getattr(runtime, name)
+        if not np.array_equal(a, b):
+            problems.append(f"record field {name!r} differs")
+    for name in ("levels", "order", "level_ptr"):
+        a = getattr(symbolic.schedule, name)
+        b = getattr(runtime.schedule, name)
+        if not np.array_equal(a, b):
+            problems.append(f"schedule field {name!r} differs")
+    return problems
+
+
+def records_equal(
+    symbolic: InspectorRecord, runtime: InspectorRecord
+) -> bool:
+    return not record_mismatches(symbolic, runtime)

@@ -1,0 +1,154 @@
+"""Abstract interpretation of subscript expressions.
+
+:func:`abstract_eval` folds a :class:`~repro.ir.subscript.SymExpr` (or a
+whole :class:`~repro.ir.subscript.Subscript`) over the four domains in
+:mod:`repro.analysis.domains`, for a loop index ranging over the inclusive
+interval ``[lo, hi]``.
+
+When the affine domain stays exact it dominates the others, so the final
+facts are re-derived from it — e.g. ``(2·i) // 2`` folds back to the exact
+affine ``i`` and its congruence/interval/monotonicity follow from that,
+not from the weaker per-domain transfer chain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.subscript import (
+    Add,
+    AffineSubscript,
+    Const,
+    ExprSubscript,
+    FloorDiv,
+    Index,
+    Mod,
+    Mul,
+    Subscript,
+    SymExpr,
+)
+
+from repro.analysis.domains import (
+    AFFINE_TOP,
+    AffineFact,
+    CongruenceFact,
+    DomainFacts,
+    IntervalFact,
+    MonotonicityFact,
+)
+
+__all__ = ["abstract_eval", "facts_for_subscript", "affine_facts"]
+
+
+def affine_facts(c: int, d: int, lo: int, hi: int) -> DomainFacts:
+    """The exact product-domain facts of ``c·i + d`` over ``i ∈ [lo, hi]``."""
+    endpoints = (c * lo + d, c * hi + d)
+    if c > 0:
+        mono = MonotonicityFact(1, strict=True)
+    elif c < 0:
+        mono = MonotonicityFact(-1, strict=True)
+    else:
+        mono = MonotonicityFact(0)
+    return DomainFacts(
+        affine=AffineFact(c, d),
+        congruence=CongruenceFact.make(c, d),
+        interval=IntervalFact(min(endpoints), max(endpoints)),
+        monotonicity=mono,
+    )
+
+
+def _eval_expr(expr: SymExpr, lo: int, hi: int) -> DomainFacts:
+    if isinstance(expr, Index):
+        return affine_facts(1, 0, lo, hi)
+    if isinstance(expr, Const):
+        return affine_facts(0, expr.value, lo, hi)
+    if isinstance(expr, Add):
+        a = _eval_expr(expr.left, lo, hi)
+        b = _eval_expr(expr.right, lo, hi)
+        return _refine(
+            DomainFacts(
+                affine=a.affine.add(b.affine),
+                congruence=a.congruence.add(b.congruence),
+                interval=a.interval.add(b.interval),
+                monotonicity=a.monotonicity.add(b.monotonicity),
+            ),
+            lo,
+            hi,
+        )
+    if isinstance(expr, Mul):
+        a = _eval_expr(expr.left, lo, hi)
+        b = _eval_expr(expr.right, lo, hi)
+        if b.congruence.is_constant:
+            mono = a.monotonicity.scale(b.congruence.residue)
+        elif a.congruence.is_constant:
+            mono = b.monotonicity.scale(a.congruence.residue)
+        else:
+            mono = MonotonicityFact(None)
+        return _refine(
+            DomainFacts(
+                affine=a.affine.mul(b.affine),
+                congruence=a.congruence.mul(b.congruence),
+                interval=a.interval.mul(b.interval),
+                monotonicity=mono,
+            ),
+            lo,
+            hi,
+        )
+    if isinstance(expr, Mod):
+        a = _eval_expr(expr.operand, lo, hi)
+        k = expr.divisor
+        if 0 <= a.interval.lo and a.interval.hi < k:
+            return a  # the mod is the identity on this range
+        return _refine(
+            DomainFacts(
+                affine=a.affine.mod(k),
+                congruence=a.congruence.mod(k),
+                interval=a.interval.mod(k),
+                monotonicity=MonotonicityFact(None),
+            ),
+            lo,
+            hi,
+        )
+    if isinstance(expr, FloorDiv):
+        a = _eval_expr(expr.operand, lo, hi)
+        k = expr.divisor
+        return _refine(
+            DomainFacts(
+                affine=a.affine.floordiv(k),
+                congruence=a.congruence.floordiv(k),
+                interval=a.interval.floordiv(k),
+                monotonicity=a.monotonicity.floordiv(k),
+            ),
+            lo,
+            hi,
+        )
+    raise TypeError(f"unknown SymExpr node {type(expr).__name__}")
+
+
+def _refine(facts: DomainFacts, lo: int, hi: int) -> DomainFacts:
+    """When the affine form survived, it is exact — derive the weaker
+    domains from it instead of keeping the per-domain approximations."""
+    if facts.affine.is_top:
+        return facts
+    return affine_facts(facts.affine.c, facts.affine.d, lo, hi)
+
+
+def abstract_eval(expr: SymExpr, lo: int, hi: int) -> DomainFacts:
+    """Facts for ``expr`` with the loop index ranging over ``[lo, hi]``."""
+    if hi < lo:
+        # Empty range: evaluate at a nominal point; callers skip the slot.
+        hi = lo
+    return _eval_expr(expr, lo, hi)
+
+
+def facts_for_subscript(
+    sub: Subscript, lo: int, hi: int
+) -> Optional[DomainFacts]:
+    """Facts for a subscript, or ``None`` when it is runtime data."""
+    if isinstance(sub, AffineSubscript):
+        if hi < lo:
+            hi = lo
+        return affine_facts(sub.c, sub.d, lo, hi)
+    if isinstance(sub, ExprSubscript):
+        return abstract_eval(sub.expr, lo, hi)
+    return None

@@ -1,0 +1,167 @@
+"""Structured dependence verdicts.
+
+The engine's output is a :class:`DependenceVerdict` — one of four kinds:
+
+- :data:`VERDICT_DOALL` — no true cross-iteration dependence exists for
+  *any* input data; every iteration may run concurrently.
+- :data:`VERDICT_CONSTANT_DISTANCE` — every true dependence has the same
+  constant distance ``d`` (the classic-doacross eligibility envelope).
+- :data:`VERDICT_INJECTIVE_WRITE` — the write subscript is proven
+  injective, but the read side is not (fully) summarizable as one of the
+  two stronger kinds.
+- :data:`VERDICT_RUNTIME_ONLY` — nothing useful is provable; the runtime
+  inspector is required.
+
+Orthogonally, ``fully_classified`` records whether *every* read slot got
+an exact per-iteration classification — the precondition for eliding the
+runtime inspector (a mixed-distance loop can be fully classified yet not
+be a constant-distance doacross).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.analysis.proofs import Proof
+
+__all__ = [
+    "DependenceVerdict",
+    "SlotDependence",
+    "VERDICT_DOALL",
+    "VERDICT_CONSTANT_DISTANCE",
+    "VERDICT_INJECTIVE_WRITE",
+    "VERDICT_RUNTIME_ONLY",
+    "SLOT_TRUE",
+    "SLOT_INTRA",
+    "SLOT_ANTI",
+    "SLOT_NONE",
+    "SLOT_NO_TRUE",
+    "SLOT_UNKNOWN",
+]
+
+VERDICT_DOALL = "doall-proven"
+VERDICT_CONSTANT_DISTANCE = "constant-distance"
+VERDICT_INJECTIVE_WRITE = "injective-write"
+VERDICT_RUNTIME_ONLY = "runtime-only"
+
+#: Slot kinds.  ``no-true`` means "provably anti or no dependence, never
+#: true and never intra" — exact enough for elision (the executor treats
+#: anti and none identically), weaker than naming which of the two.
+SLOT_TRUE = "true"
+SLOT_INTRA = "intra"
+SLOT_ANTI = "anti"
+SLOT_NONE = "none"
+SLOT_NO_TRUE = "no-true"
+SLOT_UNKNOWN = "unknown"
+
+#: Kinds that give an exact per-iteration classification.
+_CLASSIFIED = (SLOT_TRUE, SLOT_INTRA, SLOT_ANTI, SLOT_NONE, SLOT_NO_TRUE)
+
+
+@dataclass(frozen=True)
+class SlotDependence:
+    """Per-slot conclusion.
+
+    ``active`` is the slot's iteration range ``[lo, hi)``; ``dep_range``
+    is the subrange where the named dependence actually applies (a true
+    dependence of distance ``d`` only binds iterations ``i >= d``) —
+    outside it the slot reads an element no iteration writes.
+    """
+
+    slot: int
+    kind: str
+    rule: str
+    active: Tuple[int, int]
+    distance: Optional[int] = None
+    dep_range: Optional[Tuple[int, int]] = None
+
+    @property
+    def classified(self) -> bool:
+        return self.kind in _CLASSIFIED
+
+    def as_dict(self) -> dict:
+        return {
+            "slot": self.slot,
+            "kind": self.kind,
+            "rule": self.rule,
+            "active": list(self.active),
+            "distance": self.distance,
+            "dep_range": list(self.dep_range) if self.dep_range else None,
+        }
+
+    def describe(self) -> str:
+        body = self.kind
+        if self.kind == SLOT_TRUE:
+            body = f"true distance={self.distance}"
+        if self.dep_range and self.kind in (SLOT_TRUE, SLOT_ANTI):
+            body += f" over [{self.dep_range[0]}, {self.dep_range[1]})"
+        return f"slot {self.slot}: {body} ({self.rule})"
+
+
+@dataclass(frozen=True)
+class DependenceVerdict:
+    """The engine's structured conclusion for one loop."""
+
+    kind: str
+    loop_name: str
+    n: int
+    write_injective: bool
+    fully_classified: bool
+    slots: Tuple[SlotDependence, ...]
+    proof: Proof
+    distance: Optional[int] = None
+
+    @property
+    def elidable(self) -> bool:
+        """Whether the runtime inspector can be skipped: the write is
+        proven injective and every read slot is exactly classified."""
+        return self.write_injective and self.fully_classified
+
+    def true_slots(self) -> tuple[SlotDependence, ...]:
+        return tuple(s for s in self.slots if s.kind == SLOT_TRUE)
+
+    def has_anti(self) -> bool:
+        """Whether any slot may carry an antidependence."""
+        return any(s.kind in (SLOT_ANTI, SLOT_NO_TRUE) for s in self.slots)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "loop": self.loop_name,
+            "n": self.n,
+            "distance": self.distance,
+            "write_injective": self.write_injective,
+            "fully_classified": self.fully_classified,
+            "elidable": self.elidable,
+            "slots": [s.as_dict() for s in self.slots],
+            "proof": self.proof.as_dict(),
+        }
+
+    def describe(self) -> str:
+        head = f"{self.loop_name}: {self.kind}"
+        if self.kind == VERDICT_CONSTANT_DISTANCE:
+            head += f" (d={self.distance})"
+        flags = []
+        if self.write_injective:
+            flags.append("write-injective")
+        if self.elidable:
+            flags.append("inspector-elidable")
+        if flags:
+            head += "  [" + ", ".join(flags) + "]"
+        lines = [head]
+        lines += ["  " + s.describe() for s in self.slots]
+        return "\n".join(lines)
+
+    def signature(self) -> tuple:
+        """Hashable summary for structural signatures / cache keys."""
+        return (
+            self.kind,
+            self.distance,
+            self.write_injective,
+            self.fully_classified,
+            tuple(
+                (s.kind, s.distance, s.active, s.dep_range)
+                for s in self.slots
+            ),
+        )

@@ -58,6 +58,7 @@ def make_runner(
     coherence: bool = False,
     validate: str | None = None,
     observe: bool = False,
+    analyze: str | None = None,
 ) -> Runner:
     """Build a :class:`Runner` by name.
 
@@ -65,6 +66,16 @@ def make_runner(
     thread count for the threaded backend; the vectorized backend has no
     processor knob (its parallelism is the wavefront width).  ``cache``
     is only meaningful for the vectorized backend.
+
+    ``analyze="symbolic"`` enables the symbolic dependence engine on the
+    threaded and vectorized backends: when a loop's verdict is proven, the
+    runtime inspector is elided (closed-form ``iter`` array / inspector
+    record; see :mod:`repro.analysis`).  ``analyze="symbolic+check"`` is
+    the debug mode that additionally cross-checks every proof against the
+    real inspector output.  The simulated backend models the inspector as
+    a costed phase, so ``analyze`` is rejected here — use
+    :func:`repro.core.doacross.parallelize` with ``analyze=`` for
+    verdict-driven strategy dispatch on the simulator.
 
     ``validate="static"`` wraps the runner in a
     :class:`~repro.backends.validating.ValidatingRunner`: every ``run``
@@ -81,15 +92,24 @@ def make_runner(
     if backend == "simulated":
         from repro.machine.engine import Machine
 
+        if analyze is not None:
+            raise ValueError(
+                "analyze is not supported on the simulated backend (its "
+                "inspector is a costed phase, not elidable work); use "
+                "parallelize(..., analyze=...) for verdict-driven strategy "
+                "dispatch"
+            )
         runner: Runner = SimulatedRunner(
             Machine(
                 processors, cost_model=cost_model, bus=bus, coherence=coherence
             )
         )
     elif backend == "threaded":
-        runner = ThreadedRunner(threads=processors)
+        runner = ThreadedRunner(threads=processors, analyze=analyze)
     elif backend == "vectorized":
-        runner = VectorizedRunner(cache=cache, cost_model=cost_model)
+        runner = VectorizedRunner(
+            cache=cache, cost_model=cost_model, analyze=analyze
+        )
     else:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of "

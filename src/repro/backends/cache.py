@@ -43,7 +43,13 @@ from repro.graph.levels import LevelSchedule, compute_levels
 from repro.ir.loop import IrregularLoop
 from repro.ir.transform import TransformPlan, plan_transform, structural_signature
 
-__all__ = ["loop_fingerprint", "InspectorRecord", "InspectorCache"]
+__all__ = [
+    "loop_fingerprint",
+    "InspectorRecord",
+    "InspectorCache",
+    "build_inspector_record",
+    "assemble_record",
+]
 
 
 def loop_fingerprint(loop: IrregularLoop) -> str:
@@ -149,7 +155,7 @@ def build_inspector_record(loop: IrregularLoop) -> InspectorRecord:
     """
     n, y_size = loop.n, loop.y_size
     write = loop.write
-    ptr, index = loop.reads.ptr, loop.reads.index
+    index = loop.reads.index
 
     # Inspector: iter(a(i)) = i, everything else MAXINT (Figure 3, left).
     iter_array = np.full(y_size, MAXINT, dtype=np.int64)
@@ -169,6 +175,38 @@ def build_inspector_record(loop: IrregularLoop) -> InspectorRecord:
     else:
         pairs = np.empty((0, 2), dtype=np.int64)
     schedule = compute_levels(DependenceGraph(n, pairs))
+
+    return assemble_record(
+        loop,
+        iter_array=iter_array,
+        schedule=schedule,
+        true_flat=true_flat,
+        intra_flat=intra_flat,
+        plan=plan_transform(loop),
+        fingerprint=loop_fingerprint(loop),
+    )
+
+
+def assemble_record(
+    loop: IrregularLoop,
+    *,
+    iter_array: np.ndarray,
+    schedule: LevelSchedule,
+    true_flat: np.ndarray,
+    intra_flat: np.ndarray,
+    plan: TransformPlan,
+    fingerprint: str,
+) -> InspectorRecord:
+    """Lay out an :class:`InspectorRecord` from classified terms.
+
+    Shared by the runtime inspector (:func:`build_inspector_record`) and
+    the symbolic elision path (:func:`repro.analysis.build_symbolic_record`)
+    — both feed the same deterministic layout, so records are bitwise
+    comparable regardless of which side produced the classification.
+    """
+    n, y_size = loop.n, loop.y_size
+    write = loop.write
+    ptr, index = loop.reads.ptr, loop.reads.index
 
     # Execution order: level-major, term count descending inside a level
     # so slot j's active iterations are always a leading prefix.
@@ -215,10 +253,10 @@ def build_inspector_record(loop: IrregularLoop) -> InspectorRecord:
     )
 
     return InspectorRecord(
-        fingerprint=loop_fingerprint(loop),
+        fingerprint=fingerprint,
         iter_array=iter_array,
         schedule=schedule,
-        plan=plan_transform(loop),
+        plan=plan,
         exec_order=exec_order,
         exec_counts=exec_counts,
         exec_ptr=exec_ptr,
@@ -264,16 +302,30 @@ class InspectorCache:
     def __contains__(self, loop: IrregularLoop) -> bool:
         return loop_fingerprint(loop) in self._entries
 
-    def get_or_build(self, loop: IrregularLoop) -> tuple[InspectorRecord, bool]:
-        """Return ``(record, hit)`` for ``loop``, building on a miss."""
-        fp = loop_fingerprint(loop)
+    def get_or_build(
+        self,
+        loop: IrregularLoop,
+        builder=None,
+        fingerprint: str | None = None,
+    ) -> tuple[InspectorRecord, bool]:
+        """Return ``(record, hit)`` for ``loop``, building on a miss.
+
+        ``builder`` (default :func:`build_inspector_record`) produces the
+        record; the symbolic elision path injects
+        :func:`repro.analysis.build_symbolic_record` here.  ``fingerprint``
+        overrides the content digest — a fully proven loop is keyed by its
+        structure-only :func:`repro.analysis.symbolic_fingerprint`, which
+        lets loops with identical proofs share one entry without hashing
+        their index arrays.
+        """
+        fp = fingerprint if fingerprint is not None else loop_fingerprint(loop)
         record = self._entries.get(fp)
         if record is not None:
             self.hits += 1
             self._entries.move_to_end(fp)
             return record, True
         self.misses += 1
-        record = build_inspector_record(loop)
+        record = (builder or build_inspector_record)(loop)
         self._entries[fp] = record
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

@@ -47,14 +47,32 @@ __all__ = ["ThreadedRunner"]
 
 
 class ThreadedRunner(Runner):
-    """Runs the preprocessed doacross on real Python threads."""
+    """Runs the preprocessed doacross on real Python threads.
+
+    ``analyze="symbolic"`` consults the symbolic dependence engine
+    (:func:`repro.analysis.analyze_loop`) first: when the write subscript
+    is *proven* injective, the ``iter`` array is filled in closed form by
+    the main thread before any worker starts, and the workers skip their
+    phase-1 inspector loops entirely (zero inspector iterations).
+    ``analyze="symbolic+check"`` additionally cross-checks the verdict
+    against the runtime inspector on every run, raising
+    :class:`~repro.errors.ProofError` on divergence.
+    """
 
     name = "threaded"
 
-    def __init__(self, threads: int = 4):
+    def __init__(self, threads: int = 4, analyze: str | None = None):
+        from repro.backends.vectorized import ANALYZE_MODES
+
         if threads < 1:
             raise ValueError(f"need at least one thread, got {threads}")
+        if analyze not in ANALYZE_MODES:
+            raise ValueError(
+                f"unknown analyze mode {analyze!r}; expected one of "
+                f"{ANALYZE_MODES}"
+            )
         self.threads = threads
+        self.analyze = analyze
 
     def run(
         self,
@@ -74,8 +92,21 @@ class ThreadedRunner(Runner):
         no simulated timeline to record and is ignored too.  Every ignored
         option is recorded in ``result.extras["ignored_options"]``.
         """
+        verdict = None
+        elide = False
+        if self.analyze is not None:
+            from repro.analysis import analyze_loop
+
+            verdict = analyze_loop(loop)
+            # Prefilling iter in closed form is sound exactly when no two
+            # iterations write one element — which the verdict proves.
+            elide = verdict.write_injective
+            if self.analyze == "symbolic+check":
+                from repro.analysis import cross_check
+
+                cross_check(loop, verdict, strict=True)
         t0 = time.perf_counter()
-        y = self._execute(loop, order=order)
+        y = self._execute(loop, order=order, prefill_iter=elide)
         wall = time.perf_counter() - t0
         cm = CostModel()
         result = RunResult(
@@ -89,6 +120,13 @@ class ThreadedRunner(Runner):
             schedule=f"cyclic({self.threads} threads)",
             wall_seconds=wall,
         )
+        if self.analyze is not None:
+            result.extras["analyze"] = self.analyze
+            result.extras["inspector_elided"] = elide
+            if verdict is not None:
+                result.extras["verdict"] = verdict.kind
+                if verdict.distance is not None:
+                    result.extras["verdict_distance"] = int(verdict.distance)
         ignored = {}
         cyclic_reason = (
             "the threaded backend always distributes iterations cyclically "
@@ -119,9 +157,16 @@ class ThreadedRunner(Runner):
         return self.run(loop, order=order)
 
     def _execute(
-        self, loop: IrregularLoop, order: np.ndarray | None = None
+        self,
+        loop: IrregularLoop,
+        order: np.ndarray | None = None,
+        prefill_iter: bool = False,
     ) -> np.ndarray:
-        """The three-phase protocol on real threads; returns final ``y``."""
+        """The three-phase protocol on real threads; returns final ``y``.
+
+        With ``prefill_iter`` (symbolic elision, write proven injective),
+        ``iter`` is filled once on the calling thread and the workers skip
+        phase 1."""
         if order is not None:
             order = np.asarray(order, dtype=np.int64)
             validate_execution_order(loop, order)
@@ -136,6 +181,10 @@ class ThreadedRunner(Runner):
         y = loop.y0.copy()
         ynew = np.zeros(loop.y_size, dtype=np.float64)
         iter_arr = np.full(loop.y_size, MAXINT, dtype=np.int64)
+        if prefill_iter:
+            # Closed-form inspector: injectivity is proven, so no fill
+            # order matters and the workers' phase-1 loops are skipped.
+            iter_arr[write] = np.arange(n, dtype=np.int64)
         ready = [threading.Event() for _ in range(loop.y_size)]
         barrier = threading.Barrier(t_count)
         failures: list[BaseException] = []
@@ -152,15 +201,20 @@ class ThreadedRunner(Runner):
             busy_waits = 0
             wait_seconds = 0.0
             try:
-                # Phase 1: inspector — each thread fills its slice of iter.
+                # Phase 1: inspector — each thread fills its slice of iter
+                # (skipped entirely when the symbolic proof prefilled it).
                 if rec is not None:
                     t_phase = rec.now()
-                for p in positions_for(tid):
-                    i = p if order is None else int(order[p])
-                    iter_arr[write[i]] = i
+                inspected = 0
+                if not prefill_iter:
+                    for p in positions_for(tid):
+                        i = p if order is None else int(order[p])
+                        iter_arr[write[i]] = i
+                        inspected += 1
                 if rec is not None:
                     rec.record(
-                        "inspector", CAT_PHASE, t_phase, rec.now(), lane=tid
+                        "inspector", CAT_PHASE, t_phase, rec.now(),
+                        lane=tid, elided=prefill_iter,
                     )
                 barrier.wait()
 
@@ -232,6 +286,7 @@ class ThreadedRunner(Runner):
                     met.count("busy_waits", busy_waits)
                     met.count("wait_seconds", wait_seconds)
                     met.count("iterations", len(positions_for(tid)))
+                    met.count("inspector_iterations", inspected)
             except BaseException as exc:  # pragma: no cover - defensive
                 with failure_lock:
                     failures.append(exc)

@@ -34,6 +34,19 @@ __all__ = ["ValidatingRunner"]
 _MODELED = ("vectorized", "threaded", "simulated")
 
 
+def _innermost(runner: Runner) -> Runner:
+    """Unwrap decorator runners (instrumented, validating) to the backend
+    that actually executes.  Validation must target *that* backend's
+    schedule even when the wrappers are composed in either order —
+    ``ValidatingRunner(InstrumentedRunner(x))`` works the same as
+    ``InstrumentedRunner(ValidatingRunner(x))``."""
+    seen: set[int] = set()
+    while hasattr(runner, "inner") and id(runner) not in seen:
+        seen.add(id(runner))
+        runner = runner.inner  # type: ignore[attr-defined]
+    return runner
+
+
 class ValidatingRunner(Runner):
     """Run ``inner`` only after the static checks pass."""
 
@@ -42,7 +55,7 @@ class ValidatingRunner(Runner):
         self.name = f"validating({inner.name})"
 
     def _processors(self) -> int:
-        inner = self.inner
+        inner = _innermost(self.inner)
         if hasattr(inner, "threads"):
             return int(inner.threads)
         if hasattr(inner, "machine"):
@@ -61,9 +74,8 @@ class ValidatingRunner(Runner):
         from repro.lint.driver import run_lints
         from repro.lint.hb import check_backend_schedule
 
-        backend = self.inner.name if self.inner.name in _MODELED else (
-            "vectorized"
-        )
+        target = _innermost(self.inner)
+        backend = target.name if target.name in _MODELED else "vectorized"
         kind = schedule if isinstance(schedule, str) else None
         diagnostics = run_lints(
             loop,

@@ -54,7 +54,11 @@ from repro.errors import InvalidLoopError
 from repro.machine.costs import CostModel
 from repro.obs.spans import CAT_LEVEL, CAT_PHASE
 
-__all__ = ["VectorizedRunner"]
+__all__ = ["VectorizedRunner", "ANALYZE_MODES"]
+
+#: Accepted values for the ``analyze`` option (here and on
+#: :func:`~repro.backends.make_runner` / ``parallelize``).
+ANALYZE_MODES = (None, "symbolic", "symbolic+check")
 
 
 class VectorizedRunner(Runner):
@@ -69,6 +73,19 @@ class VectorizedRunner(Runner):
     cost_model:
         Used only to report the simulated ``T_seq`` alongside measured
         wall time, so vectorized rows are comparable in mixed tables.
+    analyze:
+        ``"symbolic"`` runs the symbolic dependence engine
+        (:func:`repro.analysis.analyze_loop`) first and, when the verdict
+        is elidable (write proven injective, every read slot classified),
+        builds the inspector record in closed form
+        (:func:`repro.analysis.build_symbolic_record`) — zero inspector
+        iterations, and the cache is keyed by the structure-only
+        :func:`repro.analysis.symbolic_fingerprint` so loops with
+        identical proofs share one entry.  ``"symbolic+check"`` is the
+        debug mode: every elided record is cross-checked against the real
+        inspector (verdict vs. observed dependences, record vs. record,
+        bitwise), raising :class:`~repro.errors.ProofError` on any
+        divergence.  ``None`` (default) always runs the runtime inspector.
     """
 
     name = "vectorized"
@@ -77,9 +94,63 @@ class VectorizedRunner(Runner):
         self,
         cache: InspectorCache | None = None,
         cost_model: CostModel | None = None,
+        analyze: str | None = None,
     ):
+        if analyze not in ANALYZE_MODES:
+            raise ValueError(
+                f"unknown analyze mode {analyze!r}; expected one of "
+                f"{ANALYZE_MODES}"
+            )
         self.cache = cache if cache is not None else InspectorCache()
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.analyze = analyze
+
+    # ------------------------------------------------------------------
+    def _preprocess(self, loop: IrregularLoop):
+        """Serve the inspector record for ``loop``.
+
+        Returns ``(record, hit, elided, verdict)``.  With ``analyze`` set
+        and an elidable verdict, the record is built symbolically (no
+        read term is classified against memory) and cached under the
+        structure-only fingerprint; otherwise the runtime inspector path
+        of :class:`InspectorCache` is used unchanged.
+        """
+        if self.analyze is not None:
+            from repro.analysis import (
+                analyze_loop,
+                build_symbolic_record,
+                symbolic_fingerprint,
+            )
+
+            verdict = analyze_loop(loop)
+            if verdict.elidable:
+                record, hit = self.cache.get_or_build(
+                    loop,
+                    builder=lambda lp: build_symbolic_record(lp, verdict),
+                    fingerprint=symbolic_fingerprint(loop),
+                )
+                if self.analyze == "symbolic+check":
+                    self._debug_check(loop, verdict, record)
+                return record, hit, True, verdict
+            record, hit = self.cache.get_or_build(loop)
+            return record, hit, False, verdict
+        record, hit = self.cache.get_or_build(loop)
+        return record, hit, False, None
+
+    def _debug_check(self, loop: IrregularLoop, verdict, record) -> None:
+        """``analyze="symbolic+check"``: validate the verdict against the
+        runtime inspector and the elided record against the real one."""
+        from repro.analysis import cross_check, record_mismatches
+        from repro.backends.cache import build_inspector_record
+        from repro.errors import ProofError
+
+        cross_check(loop, verdict, strict=True)
+        problems = record_mismatches(record, build_inspector_record(loop))
+        if problems:
+            raise ProofError(
+                f"{loop.name}: symbolic record diverges from the runtime "
+                f"inspector: " + "; ".join(problems)
+            )
 
     # ------------------------------------------------------------------
     def run(
@@ -105,13 +176,15 @@ class VectorizedRunner(Runner):
         rec = self._obs_recorder
 
         t0 = time.perf_counter()
-        record, hit = self.cache.get_or_build(loop)
+        record, hit, elided, verdict = self._preprocess(loop)
         t1 = time.perf_counter()
         if rec is not None:
             # The cache lookup/build window IS this backend's inspector
-            # phase: Figure 3's preprocessing, amortized across hits.
+            # phase: Figure 3's preprocessing, amortized across hits (and
+            # skipped entirely on the symbolic elision path).
             rec.record(
-                "inspector", CAT_PHASE, t0, t1, lane=0, cache_hit=bool(hit)
+                "inspector", CAT_PHASE, t0, t1, lane=0,
+                cache_hit=bool(hit), elided=elided,
             )
         y = self._execute(loop, record)
         t2 = time.perf_counter()
@@ -123,6 +196,8 @@ class VectorizedRunner(Runner):
             hit=hit,
             preprocess_seconds=t1 - t0,
             execute_seconds=t2 - t1,
+            elided=elided,
+            verdict=verdict,
         )
         wavefront_reason = (
             "the vectorized backend has no per-processor schedules; its "
@@ -181,7 +256,7 @@ class VectorizedRunner(Runner):
                     )
 
         t0 = time.perf_counter()
-        record, hit = self.cache.get_or_build(loop)
+        record, hit, elided, verdict = self._preprocess(loop)
         t1 = time.perf_counter()
         y = loop.y0
         for k in range(instances):
@@ -196,11 +271,13 @@ class VectorizedRunner(Runner):
             hit=hit,
             preprocess_seconds=t1 - t0,
             execute_seconds=t2 - t1,
+            elided=elided,
+            verdict=verdict,
         )
         result.strategy = "vectorized-wavefront-amortized"
         result.sequential_cycles = instances * result.sequential_cycles
         result.extras["instances"] = instances
-        result.extras["inspector_runs"] = 0 if hit else 1
+        result.extras["inspector_runs"] = 0 if (hit or elided) else 1
         return result
 
     # ------------------------------------------------------------------
@@ -294,6 +371,8 @@ class VectorizedRunner(Runner):
         hit: bool,
         preprocess_seconds: float,
         execute_seconds: float,
+        elided: bool = False,
+        verdict=None,
     ) -> RunResult:
         schedule = record.schedule
         result = RunResult(
@@ -322,10 +401,29 @@ class VectorizedRunner(Runner):
                 "plan": record.plan.describe(),
             }
         )
+        if self.analyze is not None:
+            result.extras["analyze"] = self.analyze
+            result.extras["inspector_elided"] = elided
+            if verdict is not None:
+                result.extras["verdict"] = verdict.kind
+                if verdict.distance is not None:
+                    result.extras["verdict_distance"] = int(verdict.distance)
         met = self._obs_metrics
         if met is not None:
             met.count("inspector_cache_hits", 1 if hit else 0)
             met.count("inspector_cache_misses", 0 if hit else 1)
+            # Inspection work actually performed this run: zero on a cache
+            # hit or when the symbolic proof elided the inspector, the
+            # full loop otherwise (the acceptance metric for elision).
+            ran_inspector = not (hit or elided)
+            met.count(
+                "inspector_iterations", loop.n if ran_inspector else 0
+            )
+            met.count(
+                "inspector_terms_classified",
+                loop.reads.total_terms if ran_inspector else 0,
+            )
+            met.count("inspector_elisions", 1 if elided else 0)
             met.gauge("inspector_cache_hits_total", cache_stats["hits"])
             met.gauge("inspector_cache_misses_total", cache_stats["misses"])
             met.gauge("inspector_cache_entries", cache_stats["entries"])

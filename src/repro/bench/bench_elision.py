@@ -1,0 +1,325 @@
+"""Inspector-elision benchmark: runtime inspector vs. symbolic proof.
+
+The paper's §2.3 observes that a *linear* subscript needs no runtime
+inspector at all — the writer of every element is a closed form.  The
+symbolic engine (:mod:`repro.analysis`) generalizes that observation into
+proof-carrying verdicts, and ``analyze="symbolic"`` on the vectorized
+backend consumes them to elide the inspector entirely.  This benchmark
+measures what that elision buys on proven-affine workloads:
+
+- **preprocessing wall clock** — ``build_inspector_record`` (the full
+  runtime inspector + wavefront pipeline) vs. ``analyze_loop`` +
+  ``build_symbolic_record`` (proof search + closed-form construction),
+  each timed cold (no cache);
+- **end-to-end wall clock** — a cold ``run()`` through the vectorized
+  backend with and without ``analyze="symbolic"``;
+- **the accounting** — telemetry counters proving the elided path did
+  zero inspector iterations and recorded one elision per loop.
+
+Shape assertions (never raw speed — CI machines are noisy): the elided
+path's output is bitwise-equal to the full-inspector path's, its
+``inspector_iterations`` counter is exactly zero, and every workload's
+verdict is elidable.
+
+Run: ``python -m repro bench-elision [--small] [--json] [n]``.  Every run
+writes the machine-readable ``BENCH_elision.json`` (override with
+``--out=``), schema-checked in CI by ``python -m repro.bench.schema``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import analyze_loop, build_symbolic_record
+from repro.backends import make_runner
+from repro.backends.cache import InspectorCache, build_inspector_record
+from repro.bench.reporting import format_table
+from repro.ir.loop import IrregularLoop
+from repro.workloads.synthetic import chain_loop
+from repro.workloads.testloop import make_test_loop
+
+__all__ = [
+    "ElisionCase",
+    "ElisionBenchResult",
+    "run_bench_elision",
+    "write_bench_json",
+    "main",
+]
+
+#: Default artifact path (repo root in CI), sibling of the other BENCH_*.
+BENCH_JSON = "BENCH_elision.json"
+
+
+@dataclass
+class ElisionCase:
+    """One workload's inspector-vs-symbolic comparison."""
+
+    workload: str
+    n: int
+    verdict_kind: str
+    verdict_distance: int | None
+    inspect_pre_seconds: float
+    symbolic_pre_seconds: float
+    inspect_run_seconds: float
+    symbolic_run_seconds: float
+    inspector_iterations_full: int
+    inspector_iterations_elided: int
+    inspector_elisions: int
+    outputs_equal: bool
+
+    @property
+    def pre_speedup(self) -> float:
+        """Preprocessing speedup of the symbolic path (>1 is a win)."""
+        if self.symbolic_pre_seconds <= 0.0:
+            return float("inf")
+        return self.inspect_pre_seconds / self.symbolic_pre_seconds
+
+    def check(self) -> None:
+        """Shape assertions: correctness and accounting, never speed."""
+        if not self.outputs_equal:
+            raise AssertionError(
+                f"{self.workload}: elided output diverged from the "
+                f"full-inspector output"
+            )
+        if self.inspector_iterations_elided != 0:
+            raise AssertionError(
+                f"{self.workload}: elided path still ran "
+                f"{self.inspector_iterations_elided} inspector iterations"
+            )
+        if self.inspector_iterations_full != self.n:
+            raise AssertionError(
+                f"{self.workload}: full path inspected "
+                f"{self.inspector_iterations_full} of {self.n} iterations"
+            )
+        if self.inspector_elisions < 1:
+            raise AssertionError(
+                f"{self.workload}: no inspector elision was recorded"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "n": self.n,
+            "verdict_kind": self.verdict_kind,
+            "verdict_distance": self.verdict_distance,
+            "inspect_pre_seconds": self.inspect_pre_seconds,
+            "symbolic_pre_seconds": self.symbolic_pre_seconds,
+            "inspect_run_seconds": self.inspect_run_seconds,
+            "symbolic_run_seconds": self.symbolic_run_seconds,
+            "pre_speedup": self.pre_speedup,
+            "inspector_iterations_full": self.inspector_iterations_full,
+            "inspector_iterations_elided": self.inspector_iterations_elided,
+            "inspector_elisions": self.inspector_elisions,
+            "outputs_equal": self.outputs_equal,
+        }
+
+
+@dataclass
+class ElisionBenchResult:
+    """The full sweep, one :class:`ElisionCase` per proven workload."""
+
+    n: int
+    repeats: int
+    cases: list[ElisionCase]
+
+    def check(self) -> None:
+        for case in self.cases:
+            case.check()
+
+    def report(self) -> str:
+        ms = 1e3
+        rows = [
+            (
+                c.workload,
+                c.verdict_kind,
+                c.inspect_pre_seconds * ms,
+                c.symbolic_pre_seconds * ms,
+                c.pre_speedup,
+                c.inspector_iterations_elided,
+            )
+            for c in self.cases
+        ]
+        return format_table(
+            [
+                "workload",
+                "verdict",
+                "inspector pre (ms)",
+                "symbolic pre (ms)",
+                "speedup",
+                "elided iters",
+            ],
+            rows,
+            title=(
+                f"inspector elision benchmark — n={self.n}, "
+                f"best of {self.repeats}"
+            ),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "repeats": self.repeats,
+            "cases": [c.as_dict() for c in self.cases],
+        }
+
+
+def _best(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall clock for ``fn()`` (cold each time)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _counters(result) -> dict:
+    telemetry = result.telemetry
+    assert telemetry is not None
+    return telemetry.metrics.as_dict()["counters"]
+
+
+def _bench_case(
+    workload: str, loop: IrregularLoop, repeats: int
+) -> ElisionCase:
+    verdict = analyze_loop(loop)
+    if not verdict.elidable:
+        raise AssertionError(
+            f"{workload}: expected an elidable verdict, got {verdict.kind}"
+        )
+
+    # Preprocessing only, both paths cold (no cache involved).
+    inspect_pre = _best(lambda: build_inspector_record(loop), repeats)
+    symbolic_pre = _best(
+        lambda: build_symbolic_record(loop, analyze_loop(loop)), repeats
+    )
+
+    # End-to-end cold runs; fresh cache per trial so neither path hits.
+    def run_full():
+        runner = make_runner(
+            "vectorized", cache=InspectorCache(), observe=True
+        )
+        return runner.run(loop)
+
+    def run_elided():
+        runner = make_runner(
+            "vectorized",
+            cache=InspectorCache(),
+            observe=True,
+            analyze="symbolic",
+        )
+        return runner.run(loop)
+
+    full = run_full()
+    elided = run_elided()
+    inspect_run = _best(run_full, repeats)
+    symbolic_run = _best(run_elided, repeats)
+
+    full_counters = _counters(full)
+    elided_counters = _counters(elided)
+    return ElisionCase(
+        workload=workload,
+        n=loop.n,
+        verdict_kind=verdict.kind,
+        verdict_distance=verdict.distance,
+        inspect_pre_seconds=inspect_pre,
+        symbolic_pre_seconds=symbolic_pre,
+        inspect_run_seconds=inspect_run,
+        symbolic_run_seconds=symbolic_run,
+        inspector_iterations_full=int(
+            full_counters.get("inspector_iterations", 0)
+        ),
+        inspector_iterations_elided=int(
+            elided_counters.get("inspector_iterations", 0)
+        ),
+        inspector_elisions=int(
+            elided_counters.get("inspector_elisions", 0)
+        ),
+        outputs_equal=bool(np.array_equal(full.y, elided.y)),
+    )
+
+
+def run_bench_elision(n: int = 100_000, repeats: int = 3) -> ElisionBenchResult:
+    """Sweep the three proven-affine workload shapes.
+
+    ``chain`` is the constant-distance recurrence (§2.3's linear-subscript
+    case), ``figure4-dep`` the paper's test loop with true dependences
+    (injective write, mixed distances), ``figure4-indep`` the odd-``L``
+    variant the engine proves DOALL.
+    """
+    cases = [
+        _bench_case("chain-d3", chain_loop(n, 3), repeats),
+        _bench_case("figure4-dep", make_test_loop(n=n, m=2, l=8), repeats),
+        _bench_case("figure4-indep", make_test_loop(n=n, m=2, l=7), repeats),
+    ]
+    return ElisionBenchResult(n=n, repeats=repeats, cases=cases)
+
+
+def write_bench_json(
+    result: ElisionBenchResult, path: str | Path = BENCH_JSON
+) -> Path:
+    """Write the machine-readable artifact: flat ``records`` rows (two per
+    workload — full-inspector and symbolic — the stable cross-PR schema
+    shared with the other ``BENCH_*.json``) plus the ``detail`` dict."""
+    path = Path(path)
+    records = []
+    for case in result.cases:
+        records.append(
+            {
+                "n": case.n,
+                "workload": case.workload,
+                "backend": "vectorized-inspector",
+                "wall_seconds": case.inspect_run_seconds,
+                "preprocess_seconds": case.inspect_pre_seconds,
+            }
+        )
+        records.append(
+            {
+                "n": case.n,
+                "workload": case.workload,
+                "backend": "vectorized-symbolic",
+                "wall_seconds": case.symbolic_run_seconds,
+                "preprocess_seconds": case.symbolic_pre_seconds,
+            }
+        )
+    payload = {
+        "benchmark": "bench-elision",
+        "records": records,
+        "detail": result.as_dict(),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    small = "--small" in args
+    as_json = "--json" in args
+    out = BENCH_JSON
+    for a in args:
+        if a.startswith("--out="):
+            out = a.split("=", 1)[1]
+    numeric = [a for a in args if a.isdigit()]
+    n = int(numeric[0]) if numeric else (5_000 if small else 100_000)
+    result = run_bench_elision(n=n)
+    if as_json:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(result.report())
+    written = write_bench_json(result, out)
+    if not as_json:
+        print(f"\nwrote {written}")
+    result.check()
+    if not as_json:
+        print("\nshape check: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

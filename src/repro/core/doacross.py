@@ -239,6 +239,7 @@ def parallelize(
     cache=None,
     validate: str | None = None,
     observe: bool = False,
+    analyze: str | None = None,
 ) -> tuple[RunResult, TransformPlan]:
     """Automatically select and run the cheapest sound strategy.
 
@@ -275,6 +276,19 @@ def parallelize(
         ``result.telemetry`` — wall-clock spans on the threaded and
         vectorized backends, cycle-clock spans synthesized from the
         simulator's own accounting on the simulated backend.
+    analyze:
+        ``"symbolic"`` runs the symbolic dependence engine
+        (:func:`repro.analysis.analyze_loop`) and feeds the proven verdict
+        into strategy selection: a DOALL-proven loop dispatches to the
+        doall specialization and a constant-distance one to the classic
+        doacross *without any caller assertion*, and on the threaded /
+        vectorized backends an elidable verdict skips the runtime
+        inspector entirely.  ``"symbolic+check"`` additionally
+        cross-checks the verdict against the runtime inspector
+        (:func:`repro.analysis.cross_check`), raising
+        :class:`~repro.errors.ProofError` on divergence.  Not accepted
+        together with a pre-built :class:`Runner` instance — configure
+        ``analyze`` on the runner itself in that case.
 
     Options are keyword-only; the pre-Runner positional form
     ``parallelize(loop, processors, cost_model, assert_independent,
@@ -313,10 +327,27 @@ def parallelize(
     }
     opt = {k: (defaults[k] if v is _UNSET else v) for k, v in given.items()}
 
+    if analyze not in (None, "symbolic", "symbolic+check"):
+        raise ValueError(
+            f"unknown analyze mode {analyze!r}; expected 'symbolic', "
+            "'symbolic+check' or None"
+        )
+    verdict = None
+    if analyze is not None:
+        if isinstance(backend, Runner):
+            raise ValueError(
+                "analyze cannot be combined with a pre-built Runner "
+                "instance; configure analyze on the runner itself"
+            )
+        from repro.analysis import analyze_loop
+
+        verdict = analyze_loop(loop)
+
     plan = plan_transform(
         loop,
         assert_independent=opt["assert_independent"],
         known_distance=opt["known_distance"],
+        verdict=verdict,
     )
 
     if validate not in (None, "static"):
@@ -345,6 +376,7 @@ def parallelize(
                 cache=cache,
                 validate=validate,
                 observe=observe,
+                analyze=analyze,
             )
         result = runner.run(
             loop, schedule=opt["schedule"], chunk=opt["chunk"]
@@ -375,6 +407,11 @@ def parallelize(
         if not race_report.passed:
             raise RaceConditionError(race_report)
 
+    if analyze == "symbolic+check" and verdict is not None:
+        from repro.analysis import cross_check
+
+        cross_check(loop, verdict, strict=True)
+
     pd = PreprocessedDoacross(
         processors=opt["processors"],
         cost_model=opt["cost_model"],
@@ -400,6 +437,11 @@ def parallelize(
     if validate == "static":
         result.extras["lint"] = [d.as_dict() for d in lint_findings]
         result.extras["race_check"] = race_report.as_dict()
+    if verdict is not None:
+        result.extras["analyze"] = analyze
+        result.extras["verdict"] = verdict.kind
+        if verdict.distance is not None:
+            result.extras["verdict_distance"] = int(verdict.distance)
     result.extras.setdefault("plan", plan.describe())
     if observe:
         from repro.obs.instrument import attach_simulated_telemetry

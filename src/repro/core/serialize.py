@@ -26,6 +26,42 @@ def _checksum(y: np.ndarray) -> str:
     return hashlib.sha256(np.ascontiguousarray(y).tobytes()).hexdigest()[:16]
 
 
+#: Sentinel for values that cannot be represented in JSON at all.
+_DROP = object()
+
+
+def _json_safe(value):
+    """Recursively convert ``value`` to a JSON-representable structure,
+    or :data:`_DROP` when it has no such form (e.g. a tracer object).
+
+    Containers are preserved — structured extras such as the lint
+    findings and race-check reports attached by
+    :class:`~repro.backends.validating.ValidatingRunner` must survive
+    ``--json`` regardless of how deeply the wrappers nested them.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {
+            str(k): safe
+            for k, v in value.items()
+            if (safe := _json_safe(v)) is not _DROP
+        }
+    if isinstance(value, (list, tuple)):
+        return [
+            safe for v in value if (safe := _json_safe(v)) is not _DROP
+        ]
+    return _DROP
+
+
 def result_to_dict(result: RunResult) -> dict:
     """Flatten one run into a JSON-safe dictionary."""
     phases = {
@@ -39,9 +75,9 @@ def result_to_dict(result: RunResult) -> dict:
         for p in result.phases
     }
     extras = {
-        k: v
+        k: safe
         for k, v in result.extras.items()
-        if isinstance(v, (int, float, str, bool))
+        if (safe := _json_safe(v)) is not _DROP
     }
     telemetry = (
         None if result.telemetry is None else result.telemetry.as_dict()

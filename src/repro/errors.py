@@ -18,6 +18,7 @@ __all__ = [
     "SingularMatrixError",
     "CalibrationError",
     "TelemetryError",
+    "ProofError",
 ]
 
 
@@ -110,3 +111,11 @@ class TelemetryError(ReproError):
     """A telemetry blob or benchmark artifact violates the serialized
     schema (:func:`repro.obs.telemetry.validate_telemetry`,
     :func:`repro.bench.schema.validate_bench_payload`)."""
+
+
+class ProofError(ReproError):
+    """A symbolic dependence proof failed verification: a side condition
+    no longer evaluates true, declared read slots do not match the loop's
+    materialized read table, or the debug cross-check found the runtime
+    inspector disagreeing with the verdict
+    (:mod:`repro.analysis.checker`)."""

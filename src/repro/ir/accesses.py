@@ -12,13 +12,81 @@ reserve Python loops for the irreducible executor core).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import InvalidLoopError
 
-__all__ = ["ReadTable"]
+__all__ = ["ReadTable", "ReadSlot", "read_table_from_slots"]
+
+
+@dataclass(frozen=True)
+class ReadSlot:
+    """Symbolic description of one read term: iteration ``i`` (for
+    ``start <= i < stop``) reads ``y[subscript(i)]``.
+
+    A loop may declare a list of slots alongside its materialized
+    :class:`ReadTable`; the contract is that iteration ``i``'s terms are
+    exactly its active slots in increasing slot order.  The symbolic
+    analysis (``repro.analysis``) consumes the declarations; the
+    SYMBOLIC-MISMATCH lint rule checks them against the materialized
+    arrays.
+    """
+
+    subscript: "object"  # repro.ir.subscript.Subscript (avoid import cycle)
+    start: int = 0
+    stop: Optional[int] = None
+
+    def active_range(self, n: int) -> tuple[int, int]:
+        """Clamped ``[start, stop)`` over a loop of ``n`` iterations."""
+        lo = max(0, int(self.start))
+        hi = n if self.stop is None else min(n, int(self.stop))
+        return lo, max(lo, hi)
+
+    def is_active(self, i: int, n: int) -> bool:
+        lo, hi = self.active_range(n)
+        return lo <= i < hi
+
+
+def read_table_from_slots(
+    slots: Sequence[ReadSlot],
+    coeffs: Sequence[float],
+    n: int,
+) -> ReadTable:
+    """Materialize a :class:`ReadTable` from slot declarations.
+
+    Produces the canonical layout (iteration-major, slots in increasing
+    order within each iteration), so a table built this way satisfies the
+    slot contract by construction.  ``coeffs`` gives one constant
+    coefficient per slot.
+    """
+    if len(coeffs) != len(slots):
+        raise InvalidLoopError(
+            f"{len(slots)} slots but {len(coeffs)} coefficients"
+        )
+    ranges = [slot.active_range(n) for slot in slots]
+    counts = np.zeros(n, dtype=np.int64)
+    for lo, hi in ranges:
+        counts[lo:hi] += 1
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr[1:])
+    iters = np.concatenate(
+        [np.arange(lo, hi, dtype=np.int64) for lo, hi in ranges]
+    ) if slots else np.empty(0, dtype=np.int64)
+    slot_ids = np.concatenate(
+        [np.full(hi - lo, j, dtype=np.int64) for j, (lo, hi) in enumerate(ranges)]
+    ) if slots else np.empty(0, dtype=np.int64)
+    order = np.lexsort((slot_ids, iters))
+    index = np.empty(len(iters), dtype=np.int64)
+    coeff = np.empty(len(iters), dtype=np.float64)
+    for j, (slot, (lo, hi)) in enumerate(zip(slots, ranges)):
+        if hi > lo:
+            mask = slot_ids[order] == j
+            index[mask] = slot.subscript.materialize(hi)[lo:hi]
+            coeff[mask] = float(coeffs[j])
+    return ReadTable(ptr, index, coeff)
 
 
 class ReadTable:

@@ -39,6 +39,7 @@ __all__ = [
     "dependence_pairs",
     "is_doall",
     "uniform_distance",
+    "observed_distances",
     "summarize_dependences",
     "DependenceSummary",
 ]
@@ -122,6 +123,19 @@ def uniform_distance(loop: IrregularLoop) -> int | None:
     if np.all(distances == d):
         return d
     return None
+
+
+def observed_distances(loop: IrregularLoop) -> np.ndarray:
+    """Sorted unique distances of the loop's true dependences.
+
+    Empty for doall loops; a single-element array is the value-level
+    counterpart of the symbolic constant-distance verdict
+    (:mod:`repro.analysis`), which the cross-checker compares against.
+    """
+    pairs = dependence_pairs(loop)
+    if len(pairs) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(pairs[:, 1] - pairs[:, 0])
 
 
 @dataclass(frozen=True)

@@ -69,6 +69,12 @@ class IrregularLoop:
         Optional per-iteration :class:`~repro.machine.costs.WorkProfile` of
         the *source* loop (sequential overhead, per-term setup/consume).
         ``None`` means "use the cost model's default profile".
+    read_slots:
+        Optional sequence of :class:`~repro.ir.accesses.ReadSlot` declaring
+        the read terms symbolically: iteration ``i``'s terms must be its
+        active slots in increasing slot order.  Consumed by the symbolic
+        dependence analysis (``repro.analysis``); checked against the
+        materialized table by the SYMBOLIC-MISMATCH lint rule.
     """
 
     def __init__(
@@ -82,6 +88,7 @@ class IrregularLoop:
         y0=None,
         name: str = "loop",
         work=None,
+        read_slots=None,
     ):
         if n < 0:
             raise InvalidLoopError(f"iteration count must be >= 0, got {n}")
@@ -101,6 +108,7 @@ class IrregularLoop:
         self.init_kind = init_kind
         self.name = name
         self.work = work
+        self.read_slots = tuple(read_slots) if read_slots is not None else None
 
         self.write = write_subscript.materialize(n)
         if len(self.write) != n:

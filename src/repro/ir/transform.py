@@ -89,23 +89,46 @@ def structural_signature(loop: IrregularLoop) -> tuple:
     same wavefront decomposition, the same plan — regardless of their
     coefficients or values.  This is the non-content half of the
     :class:`~repro.backends.cache.InspectorCache` fingerprint.
+
+    When the loop carries symbolic read slots, the signature additionally
+    records each slot's closed form and the symbolic dependence verdict
+    (:func:`repro.analysis.analyze_loop`) — so two loops with identical
+    proofs share a signature prefix, and a fully proven loop is
+    identified by structure alone (no array contents needed; see
+    :func:`repro.analysis.symbolic_fingerprint`).
     """
     sub = loop.write_subscript
     sub_sig: tuple = (type(sub).__name__,)
-    if isinstance(sub, AffineSubscript):
-        sub_sig = sub_sig + (int(sub.c), int(sub.d))
-    return (
+    static = sub.static_signature()
+    if static is not None:
+        sub_sig = sub_sig + static
+    base = (
         int(loop.n),
         int(loop.y_size),
         str(loop.init_kind),
         sub_sig,
     )
+    if loop.read_slots is not None:
+        slot_sig = tuple(
+            (slot.subscript.static_signature(), slot.active_range(loop.n))
+            for slot in loop.read_slots
+        )
+        if all(sig is not None for sig, _ in slot_sig):
+            from repro.analysis.engine import analyze_loop
+
+            verdict = analyze_loop(loop)
+            return base + (
+                ("slots",) + slot_sig,
+                ("verdict",) + verdict.signature(),
+            )
+    return base
 
 
 def plan_transform(
     loop: IrregularLoop,
     assert_independent: bool = False,
     known_distance: int | None = None,
+    verdict=None,
 ) -> TransformPlan:
     """Select the transformation strategy for ``loop``.
 
@@ -119,11 +142,57 @@ def plan_transform(
     known_distance:
         Caller-supplied uniform dependence distance for the classic
         doacross baseline.
+    verdict:
+        Optional :class:`~repro.analysis.verdicts.DependenceVerdict`.
+        Unlike ``assert_independent``, a verdict is *proven*: a
+        DOALL-proven loop without antidependencies upgrades to the doall
+        strategy, a constant-distance one to the classic doacross —
+        without any caller assertion.
     """
     if assert_independent and known_distance is not None:
         raise ValueError(
             "assert_independent and known_distance are mutually exclusive"
         )
+
+    if (
+        verdict is not None
+        and verdict.fully_classified
+        and not assert_independent
+        and known_distance is None
+        and not verdict.has_anti()
+    ):
+        # Proof-backed upgrades.  Antidependence-carrying loops stay on
+        # the renaming strategies: doall/classic write in place, which is
+        # only sound when no later iteration re-reads an overwritten
+        # element.
+        from repro.analysis.verdicts import (
+            VERDICT_CONSTANT_DISTANCE,
+            VERDICT_DOALL,
+        )
+
+        if verdict.kind == VERDICT_DOALL:
+            return TransformPlan(
+                strategy=STRATEGY_DOALL,
+                needs_inspector=False,
+                needs_postprocess=False,
+                reason=(
+                    "proven statically: no slot carries a true "
+                    "dependence for any input (symbolic verdict "
+                    "doall-proven)"
+                ),
+            )
+        if verdict.kind == VERDICT_CONSTANT_DISTANCE:
+            return TransformPlan(
+                strategy=STRATEGY_CLASSIC_DOACROSS,
+                needs_inspector=False,
+                needs_postprocess=False,
+                uniform_distance=verdict.distance,
+                reason=(
+                    f"proven statically: every true dependence has "
+                    f"constant distance {verdict.distance} (symbolic "
+                    f"verdict constant-distance)"
+                ),
+            )
 
     if loop.reads.total_terms == 0 or assert_independent:
         reason = (

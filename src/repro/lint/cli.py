@@ -25,6 +25,17 @@ Options
                          (vectorized/threaded/simulated)
 ``--rules=A,B``          run only these rule IDs
 ``--strict``             exit 1 on warnings, not just errors
+``--baseline=FILE``      suppress findings recorded in FILE, so the gate
+                         fails only on *new* diagnostics
+``--write-baseline=FILE`` record the current findings as the baseline
+                         and exit 0 (mutually exclusive with --baseline)
+
+A baseline file is JSON — ``{"version": 1, "findings": [key, ...]}``
+with one ``rule|loop|location`` key per accepted finding.  Suppressed
+findings are excluded from the exit-status computation and from the text
+output (the JSON output lists them under ``suppressed``), so a CI gate
+with ``--strict --baseline=...`` only fails when a diagnostic appears
+that the baseline has not recorded.
 
 Exit status: 0 clean (or info/warning findings only), 1 if any
 error-severity finding (always includes races), 2 on usage errors.
@@ -47,10 +58,42 @@ from repro.lint.diagnostics import (
 from repro.lint.driver import run_lints
 from repro.lint.rules import rule_ids
 
-__all__ = ["main", "collect_loops", "loops_from_file", "builtin_loops"]
+__all__ = [
+    "main",
+    "collect_loops",
+    "loops_from_file",
+    "builtin_loops",
+    "baseline_key",
+    "load_baseline",
+]
 
 #: Hook names probed on target modules, in priority order.
 _HOOKS = ("build_loops", "LOOPS", "build_loop")
+
+
+def baseline_key(diagnostic: Diagnostic) -> str:
+    """The identity under which a finding is recorded in (and matched
+    against) a baseline file: rule, loop, and location — but not the
+    message text, which may be rephrased without the finding changing."""
+    return f"{diagnostic.rule}|{diagnostic.loop}|{diagnostic.location}"
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Read a baseline file written by ``--write-baseline``."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not JSON: {exc}") from None
+    if not isinstance(data, dict) or not isinstance(
+        data.get("findings"), list
+    ):
+        raise ValueError(
+            f"baseline {path} is malformed: expected an object with a "
+            f"'findings' list"
+        )
+    return set(data["findings"])
 
 
 def builtin_loops(spec: str) -> dict[str, IrregularLoop]:
@@ -157,6 +200,8 @@ def main(argv: list[str]) -> int:
     strip_block: int | None = None
     backend: str | None = None
     only: list[str] | None = None
+    baseline: set[str] | None = None
+    write_baseline: Path | None = None
     targets: list[str] = []
     try:
         for arg in argv:
@@ -164,6 +209,10 @@ def main(argv: list[str]) -> int:
                 as_json = True
             elif arg == "--strict":
                 strict = True
+            elif arg.startswith("--baseline="):
+                baseline = load_baseline(Path(arg.split("=", 1)[1]))
+            elif arg.startswith("--write-baseline="):
+                write_baseline = Path(arg.split("=", 1)[1])
             elif arg.startswith("--schedule="):
                 schedule = arg.split("=", 1)[1]
             elif arg.startswith("--chunk="):
@@ -186,6 +235,10 @@ def main(argv: list[str]) -> int:
                 raise ValueError(f"unknown lint option {arg!r}")
             else:
                 targets.append(arg)
+        if baseline is not None and write_baseline is not None:
+            raise ValueError(
+                "--baseline and --write-baseline are mutually exclusive"
+            )
         if not targets:
             raise ValueError(
                 "no targets; give a .py file, a directory, or a builtin "
@@ -197,6 +250,8 @@ def main(argv: list[str]) -> int:
         return 2
 
     records: list[dict] = []
+    all_keys: set[str] = set()
+    total_suppressed = 0
     worst = ""
     for source, name, loop in loops:
         diagnostics = run_lints(
@@ -208,26 +263,67 @@ def main(argv: list[str]) -> int:
             only=only,
             backend=backend,
         )
+        all_keys.update(baseline_key(d) for d in diagnostics)
+        suppressed: list[Diagnostic] = []
+        if baseline is not None:
+            suppressed = [
+                d for d in diagnostics if baseline_key(d) in baseline
+            ]
+            diagnostics = [
+                d for d in diagnostics if baseline_key(d) not in baseline
+            ]
+            total_suppressed += len(suppressed)
         records.append(
             {
                 "source": source,
                 "loop": name,
                 "diagnostics": [d.as_dict() for d in diagnostics],
+                "suppressed": [baseline_key(d) for d in suppressed],
             }
         )
         worst = _worse(worst, diagnostics)
-        if not as_json:
+        if not as_json and write_baseline is None:
             print(f"== {name} ({source}) ==")
             print(format_diagnostics(diagnostics))
+            if suppressed:
+                print(f"({len(suppressed)} baselined finding(s) suppressed)")
             print()
+
+    if write_baseline is not None:
+        write_baseline.write_text(
+            json.dumps(
+                {"version": 1, "findings": sorted(all_keys)}, indent=2
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"wrote {len(all_keys)} finding key(s) from {len(loops)} "
+            f"loop(s) to {write_baseline}"
+        )
+        return 0
+
     if as_json:
         print(
             json.dumps(
-                {"targets": records, "worst_severity": worst}, indent=2
+                {
+                    "targets": records,
+                    "worst_severity": worst,
+                    "suppressed": total_suppressed,
+                },
+                indent=2,
             )
         )
     else:
-        print(f"linted {len(loops)} loop(s) from {len(targets)} target(s)")
+        tail = (
+            f" ({total_suppressed} baselined finding(s) suppressed)"
+            if baseline is not None
+            else ""
+        )
+        print(
+            f"linted {len(loops)} loop(s) from {len(targets)} "
+            f"target(s){tail}"
+        )
     if worst == SEVERITY_ERROR:
         return 1
     if strict and worst == SEVERITY_WARNING:

@@ -69,8 +69,23 @@ class LintContext:
         )
         self._summary: DependenceSummary | None = None
         self._levels: LevelSchedule | None = None
+        self._verdict = None
+        self._verdict_computed = False
 
     # ------------------------------------------------------------------
+    @property
+    def verdict(self):
+        """The symbolic :class:`~repro.analysis.verdicts.DependenceVerdict`
+        for the loop (computed once, shared by every proof-backed rule).
+        Always available — a loop without statically-known structure gets
+        a ``runtime-only`` verdict."""
+        if not self._verdict_computed:
+            from repro.analysis import analyze_loop
+
+            self._verdict = analyze_loop(self.loop)
+            self._verdict_computed = True
+        return self._verdict
+
     @property
     def classified(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(readers, writers, categories)`` per flat read term."""

@@ -27,7 +27,16 @@ Every built-in rule is grounded in the paper:
                    than the widest wavefront cap its parallelism (§2.3).
 ``UNREACHED-ELEMENT`` reads of never-written elements always take the
                    ``iter == MAXINT`` old-value path.
+``SYMBOLIC-MISMATCH`` a declared closed-form subscript disagrees with
+                   the materialized read table — every symbolic verdict
+                   for the loop would be unsound (error).
 =================  ====================================================
+
+``DOALL-ABLE`` and ``AFFINE-WRITE`` are *proof-backed*: when the
+symbolic dependence engine (:mod:`repro.analysis`) proves the property
+for every input, the finding says so and cites the verdict; otherwise
+they fall back to the value-level observation on this instance and say
+that instead.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from repro.ir.subscript import AffineSubscript
 from repro.ir.transform import STRATEGY_DOALL, STRATEGY_LINEAR
 from repro.lint.context import LintContext
 from repro.lint.diagnostics import (
+    SEVERITY_ERROR,
     SEVERITY_INFO,
     SEVERITY_WARNING,
     Diagnostic,
@@ -58,6 +68,7 @@ __all__ = [
     "DeadWaitRule",
     "ChunkCycleRule",
     "UnreachedElementRule",
+    "SymbolicMismatchRule",
 ]
 
 
@@ -151,13 +162,31 @@ class DoallAbleRule(LintRule):
     )
 
     def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        from repro.analysis import VERDICT_DOALL
+
         if ctx.loop.n == 0 or ctx.plan.strategy == STRATEGY_DOALL:
+            return
+        if ctx.verdict.kind == VERDICT_DOALL:
+            # Proof-backed: independence holds for *every* input, not just
+            # the one this instance materialized.
+            yield self.finding(
+                ctx,
+                "proven independent for every input: no read slot can "
+                "carry a cross-iteration true dependence (symbolic "
+                "verdict doall-proven)",
+                suggestion=(
+                    "run with analyze=\"symbolic\" — parallelize(loop, "
+                    "analyze=\"symbolic\") dispatches to a doall with the "
+                    "inspector elided; no caller assertion needed"
+                ),
+            )
             return
         if ctx.summary.true_terms == 0:
             yield self.finding(
                 ctx,
                 "no read is true-dependent on an earlier iteration; every "
-                "iteration is independent once writes are renamed",
+                "iteration is independent once writes are renamed "
+                "(observed on this instance — not proven for every input)",
                 suggestion=(
                     "run as a doall — parallelize(loop, "
                     "assert_independent=True) — or use the vectorized "
@@ -187,15 +216,24 @@ class AffineWriteRule(LintRule):
             f"writer of element off is (off − {sub.d})/{sub.c} in closed "
             f"form"
         )
+        if ctx.verdict.write_injective:
+            detail += " (injectivity proven by the symbolic engine)"
         if ctx.plan.needs_inspector:
+            suggestion = (
+                "use the linear variant (LinearDoacross, or "
+                "PreprocessedDoacross.run(loop, linear=True)): no "
+                "inspector phase, no iter array storage"
+            )
+            if ctx.verdict.elidable:
+                suggestion += (
+                    "; or analyze=\"symbolic\" — the full verdict is "
+                    "elidable, so the inspector record itself can be "
+                    "built in closed form"
+                )
             yield self.finding(
                 ctx,
                 detail + " — yet the plan schedules an inspector phase",
-                suggestion=(
-                    "use the linear variant (LinearDoacross, or "
-                    "PreprocessedDoacross.run(loop, linear=True)): no "
-                    "inspector phase, no iter array storage"
-                ),
+                suggestion=suggestion,
             )
         elif ctx.plan.strategy == STRATEGY_LINEAR:
             yield self.finding(
@@ -371,3 +409,60 @@ class UnreachedElementRule(LintRule):
             ),
             location=f"elements {listed}",
         )
+
+
+@register
+class SymbolicMismatchRule(LintRule):
+    rule_id = "SYMBOLIC-MISMATCH"
+    default_severity = SEVERITY_ERROR
+    paper_ref = "§2.3 (linear subscripts)"
+    description = (
+        "a declared closed-form subscript disagrees with the materialized "
+        "read table: every symbolic verdict for the loop would be unsound"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        loop = ctx.loop
+        if loop.read_slots is None:
+            return
+        from repro.analysis import slot_term_map
+        from repro.errors import ProofError
+
+        try:
+            sids = slot_term_map(loop)
+        except ProofError as exc:
+            yield self.finding(
+                ctx,
+                str(exc),
+                suggestion=(
+                    "fix the ReadSlot declarations (or rebuild the read "
+                    "table from them with read_table_from_slots); until "
+                    "then the loop must stay on the runtime inspector"
+                ),
+                location="slot layout",
+            )
+            return
+        readers = loop.reads.iteration_of_term()
+        for j, slot in enumerate(loop.read_slots):
+            mask = sids == j
+            if not mask.any():
+                continue
+            lo, hi = slot.active_range(loop.n)
+            expected = slot.subscript.materialize(hi)[readers[mask]]
+            actual = loop.reads.index[np.nonzero(mask)[0]]
+            if np.array_equal(expected, actual):
+                continue
+            k = int(np.nonzero(expected != actual)[0][0])
+            i = int(readers[mask][k])
+            yield self.finding(
+                ctx,
+                f"declared subscript for slot {j} gives "
+                f"{int(expected[k])} at iteration {i}, but the read table "
+                f"has {int(actual[k])}",
+                suggestion=(
+                    "fix the ReadSlot declaration or rebuild the read "
+                    "table from it; symbolic verdicts for this loop are "
+                    "unsound until the declaration matches"
+                ),
+                location=f"slot {j}, iteration {i}",
+            )

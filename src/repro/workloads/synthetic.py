@@ -8,6 +8,10 @@
 - :func:`chain_loop` — a loop whose every true dependence has one uniform
   distance ``d`` (and no antidependencies), the eligibility envelope of the
   classic doacross baseline.
+- :func:`affine_loop` — a fully symbolic loop built from closed-form write
+  and read subscripts (affine pairs or :class:`~repro.ir.subscript.SymExpr`
+  expressions), auto-shifted into a valid ``y`` range.  The generator for
+  the symbolic-analysis property tests and the ``workloads/`` suite.
 """
 
 from __future__ import annotations
@@ -15,11 +19,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import InvalidLoopError
-from repro.ir.accesses import ReadTable
+from repro.ir.accesses import ReadSlot, ReadTable, read_table_from_slots
 from repro.ir.loop import INIT_EXTERNAL, INIT_OLD_VALUE, IrregularLoop
-from repro.ir.subscript import AffineSubscript, IndirectSubscript
+from repro.ir.subscript import (
+    AffineSubscript,
+    ExprSubscript,
+    IndirectSubscript,
+    Subscript,
+    SymExpr,
+)
 
-__all__ = ["random_irregular_loop", "chain_loop"]
+__all__ = ["random_irregular_loop", "chain_loop", "affine_loop"]
 
 
 def random_irregular_loop(
@@ -110,4 +120,108 @@ def chain_loop(
         init_kind=INIT_OLD_VALUE,
         y0=np.full(n, y0_value, dtype=np.float64),
         name=f"chain(n={n},d={distance})",
+        read_slots=[
+            ReadSlot(AffineSubscript(1, -distance), start=distance)
+        ],
+    )
+
+
+def _as_subscript(spec) -> Subscript:
+    if isinstance(spec, Subscript):
+        return spec
+    if isinstance(spec, SymExpr):
+        return ExprSubscript(spec)
+    c, d = spec
+    return AffineSubscript(int(c), int(d))
+
+
+def _shift_subscript(sub: Subscript, offset: int) -> Subscript:
+    if offset == 0:
+        return sub
+    if isinstance(sub, AffineSubscript):
+        return sub.shifted(offset)
+    if isinstance(sub, ExprSubscript):
+        return ExprSubscript(sub.expr + offset)
+    raise InvalidLoopError(
+        f"cannot shift subscript of type {type(sub).__name__}"
+    )
+
+
+def affine_loop(
+    n: int,
+    write,
+    slots,
+    coeffs=None,
+    y_extra: int = 0,
+    seed: int = 0,
+    name: str | None = None,
+) -> IrregularLoop:
+    """A fully closed-form loop for the symbolic dependence analysis.
+
+    Parameters
+    ----------
+    n:
+        Iteration count (>= 1).
+    write:
+        The write subscript: an ``(c, d)`` affine pair, a
+        :class:`~repro.ir.subscript.SymExpr`, or a ``Subscript``.
+    slots:
+        Read slots: each an ``(c, d)`` pair, ``(c, d, start, stop)`` tuple,
+        a ``SymExpr``, a ``Subscript``, or a full :class:`ReadSlot`.
+    coeffs:
+        One constant coefficient per slot (default ``0.5 / max(1, len)``).
+    y_extra:
+        Extra unwritten tail elements on ``y``.
+    seed:
+        Seed for the random initial ``y`` contents.
+
+    All subscripts are uniformly shifted so the smallest referenced index
+    becomes 0 (a shift moves every dependence endpoint identically, so the
+    dependence structure — and the symbolic verdict — is unchanged).
+    """
+    if n < 1:
+        raise InvalidLoopError(f"n must be >= 1, got {n}")
+    write_sub = _as_subscript(write)
+    slot_objs: list[ReadSlot] = []
+    for spec in slots:
+        if isinstance(spec, ReadSlot):
+            slot_objs.append(spec)
+        elif isinstance(spec, tuple) and len(spec) == 4:
+            c, d, start, stop = spec
+            slot_objs.append(
+                ReadSlot(AffineSubscript(int(c), int(d)), start, stop)
+            )
+        else:
+            slot_objs.append(ReadSlot(_as_subscript(spec)))
+    if coeffs is None:
+        coeffs = [0.5 / max(1, len(slot_objs))] * len(slot_objs)
+
+    # Uniform shift so every referenced index is >= 0.
+    lo = int(write_sub.materialize(n).min()) if n else 0
+    hi = int(write_sub.materialize(n).max()) if n else 0
+    for slot in slot_objs:
+        s, t = slot.active_range(n)
+        if t > s:
+            vals = slot.subscript.materialize(t)[s:t]
+            lo = min(lo, int(vals.min()))
+            hi = max(hi, int(vals.max()))
+    shift = -lo if lo < 0 else 0
+    write_sub = _shift_subscript(write_sub, shift)
+    slot_objs = [
+        ReadSlot(_shift_subscript(s.subscript, shift), s.start, s.stop)
+        for s in slot_objs
+    ]
+    y_size = hi + shift + 1 + int(y_extra)
+
+    reads = read_table_from_slots(slot_objs, coeffs, n)
+    rng = np.random.default_rng(seed)
+    return IrregularLoop(
+        n=n,
+        y_size=y_size,
+        write_subscript=write_sub,
+        reads=reads,
+        init_kind=INIT_OLD_VALUE,
+        y0=rng.normal(size=y_size),
+        name=name or f"affine(n={n},slots={len(slot_objs)})",
+        read_slots=slot_objs,
     )

@@ -34,7 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import InvalidLoopError
-from repro.ir.accesses import ReadTable
+from repro.ir.accesses import ReadSlot, ReadTable
 from repro.ir.loop import INIT_OLD_VALUE, IrregularLoop
 from repro.ir.subscript import AffineSubscript
 
@@ -90,6 +90,12 @@ def make_test_loop(
 
     y_size = int(max(write_subscript(n - 1), index_matrix.max())) + 1
     y0 = np.full(y_size, y0_value, dtype=np.float64)
+    # Term j₀ reads offset(i₀) = 2·i₀ + (4 + 2j₀ − L + shift): affine in the
+    # loop index, so the whole read side is declared symbolically.
+    slots = [
+        ReadSlot(AffineSubscript(2, 4 + 2 * j0 - l + shift))
+        for j0 in range(m)
+    ]
     return IrregularLoop(
         n=n,
         y_size=y_size,
@@ -98,6 +104,7 @@ def make_test_loop(
         init_kind=INIT_OLD_VALUE,
         y0=y0,
         name=f"figure4(N={n},M={m},L={l})",
+        read_slots=slots,
     )
 
 

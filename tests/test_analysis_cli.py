@@ -1,0 +1,83 @@
+"""The ``python -m repro analyze`` command and the elision benchmark."""
+
+import json
+
+import numpy as np
+
+from repro.__main__ import main as repro_main
+
+
+def run_cli(capsys, *argv):
+    code = repro_main(["analyze", *argv])
+    return code, capsys.readouterr().out
+
+
+def test_analyze_text_output(capsys):
+    code, out = run_cli(capsys, "chain:n=60,d=3")
+    assert code == 0
+    assert "constant-distance" in out
+    assert "inspector-elidable" in out
+    assert "analyzed 1 loop(s)" in out
+
+
+def test_analyze_cross_check(capsys):
+    code, out = run_cli(
+        capsys, "figure4:n=60,m=2,l=8", "random:n=40,seed=1", "--cross-check"
+    )
+    assert code == 0
+    assert out.count("cross-check OK") == 2
+    assert "runtime-only" in out
+
+
+def test_analyze_json_output(capsys):
+    code, out = run_cli(capsys, "chain:n=50,d=2", "--json", "--cross-check")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["failed"] == 0
+    (record,) = payload["targets"]
+    assert record["loop"] == "chain(n=50,d=2)"
+    assert record["verdict"]["kind"] == "constant-distance"
+    assert record["verdict"]["distance"] == 2
+    assert record["elidable"] is True
+    assert record["problems"] == []
+    assert record["checked_terms"] == 48
+    assert record["verdict"]["proof"]["steps"]
+
+
+def test_analyze_workloads_directory(capsys):
+    code, out = run_cli(capsys, "workloads/", "--cross-check")
+    assert code == 0
+    assert "doall-proven" in out
+    assert "runtime-only" in out
+
+
+def test_analyze_usage_errors(capsys):
+    code = repro_main(["analyze"])
+    assert code == 2
+    code = repro_main(["analyze", "--bogus", "chain"])
+    assert code == 2
+
+
+def test_bench_elision_smoke(tmp_path):
+    from repro.bench.bench_elision import run_bench_elision, write_bench_json
+    from repro.bench.schema import validate_bench_payload
+
+    result = run_bench_elision(n=400, repeats=1)
+    result.check()
+    assert {c.workload for c in result.cases} == {
+        "chain-d3",
+        "figure4-dep",
+        "figure4-indep",
+    }
+    for case in result.cases:
+        assert case.outputs_equal
+        assert case.inspector_iterations_elided == 0
+        assert np.isfinite(case.inspect_pre_seconds)
+
+    out = tmp_path / "BENCH_elision.json"
+    write_bench_json(result, out)
+    payload = json.loads(out.read_text())
+    validate_bench_payload(payload)  # raises TelemetryError on violation
+    assert len(payload["records"]) == 6
+    backends = {r["backend"] for r in payload["records"]}
+    assert backends == {"vectorized-inspector", "vectorized-symbolic"}

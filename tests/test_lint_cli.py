@@ -157,3 +157,85 @@ def test_validating_runner_wraps_arbitrary_runner_instance():
     )
     assert np.array_equal(result.y, loop.run_sequential())
     assert result.extras["race_check"]["passed"] is True
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+def test_write_baseline_then_suppress(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    code, out = run_cli(capsys, "figure4:n=60,m=2,l=7", f"--write-baseline={baseline}")
+    assert code == 0
+    assert "wrote" in out
+    payload = json.loads(baseline.read_text())
+    assert payload["version"] == 1
+    assert all(key.count("|") == 2 for key in payload["findings"])
+    assert any(key.startswith("DOALL-ABLE|") for key in payload["findings"])
+
+    # With the baseline, even --strict passes and findings are suppressed.
+    code, out = run_cli(
+        capsys, "figure4:n=60,m=2,l=7", "--strict", f"--baseline={baseline}"
+    )
+    assert code == 0
+    assert "suppressed" in out
+    assert "DOALL-ABLE" not in out
+
+    # A different loop surfaces *new* findings past the baseline.
+    code, out = run_cli(
+        capsys, "figure4:n=80,m=2,l=7", "--strict", f"--baseline={baseline}"
+    )
+    assert code == 1
+    assert "DOALL-ABLE" in out
+
+
+def test_baseline_json_output_lists_suppressed(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    run_cli(capsys, "chain:n=40,d=1", f"--write-baseline={baseline}")
+    code, out = run_cli(
+        capsys, "chain:n=40,d=1", "--json", f"--baseline={baseline}"
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["suppressed"] >= 1
+    (target,) = payload["targets"]
+    assert target["diagnostics"] == []
+    assert all(key.count("|") == 2 for key in target["suppressed"])
+
+
+def test_baseline_usage_errors(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text('{"version": 1, "findings": []}')
+    code = repro_main(
+        [
+            "lint",
+            "chain:n=20,d=1",
+            f"--baseline={baseline}",
+            f"--write-baseline={baseline}",
+        ]
+    )
+    capsys.readouterr()
+    assert code == 2
+
+    malformed = tmp_path / "bad.json"
+    malformed.write_text('{"findings": "nope"}')
+    code = repro_main(["lint", "chain:n=20,d=1", f"--baseline={malformed}"])
+    capsys.readouterr()
+    assert code == 2
+
+    missing = tmp_path / "missing.json"
+    code = repro_main(["lint", "chain:n=20,d=1", f"--baseline={missing}"])
+    capsys.readouterr()
+    assert code == 2
+
+
+def test_repo_baseline_keeps_ci_gate_green(capsys):
+    """The committed baseline must cover every finding in examples/ and
+    workloads/ — the exact invocation the CI gate runs."""
+    code, _out = run_cli(
+        capsys,
+        "examples/",
+        "workloads/",
+        "--strict",
+        "--baseline=lint_baseline.json",
+    )
+    assert code == 0

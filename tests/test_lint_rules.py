@@ -85,6 +85,7 @@ def test_registry_knows_the_built_in_rules():
         "DEAD-WAIT",
         "CHUNK-CYCLE",
         "UNREACHED-ELEMENT",
+        "SYMBOLIC-MISMATCH",
     }
     assert all(isinstance(r, LintRule) for r in all_rules())
 

@@ -1,0 +1,113 @@
+"""Property tests: the symbolic verdict agrees with the runtime inspector.
+
+The engine's contract is soundness — everything it proves holds for the
+concrete instance the runtime inspector sees.  Random affine loops
+exercise the proving rules (same-stride, congruence, interval, monotone);
+random opaque loops exercise the honest-decline path.  In both cases
+``cross_check`` (which audits the proof AND replays the inspector) must
+come back clean, and elidable verdicts must reproduce the inspector
+record bitwise.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    SLOT_TRUE,
+    VERDICT_CONSTANT_DISTANCE,
+    VERDICT_DOALL,
+    analyze_loop,
+    build_symbolic_record,
+    cross_check,
+    records_equal,
+)
+from repro.backends.cache import build_inspector_record
+from repro.ir.analysis import observed_distances
+from repro.workloads.synthetic import affine_loop, random_irregular_loop
+
+# Affine (c, d) pairs kept small so loops stay fast but signs and
+# divisibility corner cases are all reachable.
+affine_pair = st.tuples(
+    st.integers(min_value=-3, max_value=3).filter(lambda c: c != 0),
+    st.integers(min_value=-6, max_value=6),
+)
+
+
+@st.composite
+def affine_loops(draw):
+    n = draw(st.integers(min_value=2, max_value=60))
+    write = draw(affine_pair)
+    n_slots = draw(st.integers(min_value=0, max_value=3))
+    slots = [draw(affine_pair) for _ in range(n_slots)]
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return affine_loop(n, write, slots, seed=seed, name="prop-affine")
+
+
+@given(affine_loops())
+@settings(max_examples=80, deadline=None)
+def test_affine_verdict_matches_inspector(loop):
+    verdict = analyze_loop(loop)
+    # An affine write with nonzero stride is always provably injective
+    # (mixed-stride read pairs may still defeat the slot rules).
+    assert verdict.write_injective
+
+    report = cross_check(loop, verdict)
+    assert report.ok, report.describe()
+
+    observed = observed_distances(loop)
+    if verdict.kind == VERDICT_DOALL:
+        assert len(observed) == 0
+    elif verdict.kind == VERDICT_CONSTANT_DISTANCE:
+        assert observed.tolist() == [verdict.distance]
+    elif verdict.fully_classified:
+        # Mixed distances, all proven: the inspector sees exactly them.
+        claimed = sorted(
+            {s.distance for s in verdict.slots if s.kind == SLOT_TRUE}
+        )
+        assert observed.tolist() == claimed
+
+
+@given(affine_loops())
+@settings(max_examples=40, deadline=None)
+def test_affine_symbolic_record_matches_inspector_record(loop):
+    if not analyze_loop(loop).elidable:
+        return  # mixed-stride slot defeated the rules: nothing to elide
+    assert records_equal(
+        build_symbolic_record(loop), build_inspector_record(loop)
+    )
+
+
+@given(
+    st.integers(min_value=2, max_value=80),
+    st.integers(min_value=0, max_value=2**16),
+    st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_opaque_verdict_declines_honestly(n, seed, max_terms):
+    loop = random_irregular_loop(n, max_terms=max_terms, seed=seed)
+    verdict = analyze_loop(loop)
+    # A runtime write subscript proves nothing, reads or no reads: the
+    # engine must decline rather than guess.
+    assert not verdict.write_injective
+    assert not verdict.elidable
+    report = cross_check(loop, verdict)
+    assert report.ok, report.describe()
+
+
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=2, max_value=100),
+)
+@settings(max_examples=40, deadline=None)
+def test_chain_distance_is_recovered_exactly(d, n):
+    from repro.workloads.synthetic import chain_loop
+
+    loop = chain_loop(max(n, d + 1), d)
+    verdict = analyze_loop(loop)
+    assert verdict.kind == VERDICT_CONSTANT_DISTANCE
+    assert verdict.distance == d
+    assert np.array_equal(
+        build_symbolic_record(loop).iter_array,
+        build_inspector_record(loop).iter_array,
+    )

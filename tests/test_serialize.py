@@ -52,13 +52,58 @@ class TestResultToDict:
         r2 = result_to_json(runner.run(loop))
         assert r1 == r2
 
-    def test_non_scalar_extras_dropped(self):
+    def test_extras_keep_json_safe_values_drop_the_rest(self):
+        import numpy as np
+
         result = sample_results()[0]
         result.extras["array"] = [1, 2, 3]
         result.extras["note"] = "fine"
+        result.extras["nested"] = {"ok": True, "trace": object()}
+        result.extras["np"] = np.int64(7)
+        result.extras["tracer"] = object()
         record = result_to_dict(result)
-        assert "array" not in record["extras"]
+        # JSON-representable structures survive (the lint / race_check
+        # reports ride through --json); unrepresentable leaves drop out.
+        assert record["extras"]["array"] == [1, 2, 3]
         assert record["extras"]["note"] == "fine"
+        assert record["extras"]["nested"] == {"ok": True}
+        assert record["extras"]["np"] == 7
+        assert "tracer" not in record["extras"]
+        json.dumps(record)  # the whole record stays serializable
+
+
+class TestWrapperCompositionExtras:
+    """validate= and observe= must compose in either order, and their
+    reports must survive into the serialized record (regression: the
+    old scalar-only extras filter silently dropped both)."""
+
+    def _check(self, runner, loop):
+        import numpy as np
+
+        result = runner.run(loop)
+        assert np.array_equal(result.y, loop.run_sequential())
+        assert result.telemetry is not None
+        record = result_to_dict(result)
+        assert record["extras"]["race_check"]["passed"] is True
+        assert record["extras"]["race_check"]["checked_edges"] > 0
+        assert isinstance(record["extras"]["lint"], list)
+        json.dumps(record)
+
+    def test_validate_then_observe(self):
+        from repro.backends import make_runner
+
+        loop = make_test_loop(n=60, m=2, l=8)
+        self._check(
+            make_runner("vectorized", validate="static", observe=True), loop
+        )
+
+    def test_observe_then_validate(self):
+        from repro.backends import ValidatingRunner, make_runner
+        from repro.obs.instrument import InstrumentedRunner
+
+        loop = make_test_loop(n=60, m=2, l=8)
+        inner = make_runner("vectorized")
+        self._check(ValidatingRunner(InstrumentedRunner(inner)), loop)
 
 
 class TestCsv:

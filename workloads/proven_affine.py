@@ -1,0 +1,53 @@
+"""Workloads the symbolic engine proves outright (paper §2.3).
+
+Every loop here has closed-form subscripts, so the symbolic dependence
+engine produces a non-runtime-only verdict and the inspector is elidable
+(``analyze="symbolic"``).  CI lints this portfolio
+(``python -m repro lint workloads/ --strict --baseline=...``) and
+cross-checks every verdict against the runtime inspector
+(``python -m repro analyze workloads/ --cross-check``).
+
+Run: ``python workloads/proven_affine.py`` for a quick verdict dump.
+"""
+
+import repro
+from repro.workloads.synthetic import affine_loop
+
+
+def build_loops() -> dict:
+    """The proven-affine portfolio CI analyzes and lints."""
+    return {
+        # Uniform recurrence y[i] += c*y[i-3]: constant-distance DOACROSS.
+        "chain-d3": repro.chain_loop(400, 3),
+        # The paper's Figure-4 test loop, even L: injective identity
+        # write, reads at mixed distances -> injective-write verdict.
+        "figure4-dep": repro.make_test_loop(n=400, m=2, l=8),
+        # Odd L: the same shape but no read ever lands on a written
+        # element -> DOALL proven for every input.
+        "figure4-indep": repro.make_test_loop(n=400, m=2, l=7),
+        # Strided write 2i with reads off the opposite parity: the
+        # congruence domain proves the reads never touch written
+        # elements -> DOALL.
+        "stride-disjoint": affine_loop(
+            300, (2, 0), [(2, 1)], name="stride-disjoint"
+        ),
+        # Strided write with an aligned read at distance 1 (2(i-1) =
+        # 2i - 2): constant-distance DOACROSS through the stride.
+        "stride-chain": affine_loop(
+            300, (2, 0), [(2, -2)], name="stride-chain"
+        ),
+    }
+
+
+def main() -> None:
+    from repro.analysis import analyze_loop
+
+    for name, loop in build_loops().items():
+        verdict = analyze_loop(loop)
+        print(f"== {name} ==")
+        print(verdict.describe())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Workloads at the edge of what the symbolic engine can prove.
+
+The engine's abstract domains (affine, congruence, interval,
+monotonicity) cover a strict superset of the paper's linear-subscript
+case — but not everything: a non-injective closed form or a truly
+runtime subscript must fall back to the inspector.  This portfolio
+exercises both sides of that frontier; CI cross-checks every verdict
+(``python -m repro analyze workloads/ --cross-check``), which on the
+runtime-only loops validates that the engine *honestly* declines rather
+than overclaims.
+
+Run: ``python workloads/symbolic_frontier.py`` for a quick verdict dump.
+"""
+
+import repro
+from repro.ir.subscript import ExprSubscript, Index
+from repro.workloads.synthetic import affine_loop
+
+
+def build_loops() -> dict:
+    """Closed-form-but-not-affine loops plus runtime-only fallbacks."""
+    i = Index()
+    return {
+        # Identity write, read y[i // 2]: the dependence distance
+        # i - i//2 *varies* with i, so no constant-distance or DOALL
+        # proof exists — the engine must keep the inspector even though
+        # every subscript is closed-form.
+        "halving-read": affine_loop(
+            200,
+            (1, 0),
+            [ExprSubscript(i // 2)],
+            name="halving-read",
+        ),
+        # Write 4i + (i % 2): injective in truth (stride 4 dominates the
+        # mod-2 wobble), but compound mod-affine injectivity is beyond
+        # the current domains — the engine declines with runtime-only
+        # rather than overclaim, and the cross-check certifies the
+        # decline is sound.
+        "mod-stagger": affine_loop(
+            200,
+            ExprSubscript(i * 4 + i % 2),
+            [ExprSubscript(i * 4 + 2)],
+            name="mod-stagger",
+        ),
+        # Runtime permutation write: dependence is data, the verdict is
+        # runtime-only and the loop keeps its inspector (Figure 1).
+        "opaque-random": repro.random_irregular_loop(200, seed=11),
+    }
+
+
+def main() -> None:
+    from repro.analysis import analyze_loop
+
+    for name, loop in build_loops().items():
+        verdict = analyze_loop(loop)
+        print(f"== {name} ==")
+        print(verdict.describe())
+        print()
+
+
+if __name__ == "__main__":
+    main()
