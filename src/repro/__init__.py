@@ -26,8 +26,9 @@ Subpackages
 - :mod:`repro.graph` — dependence DAG, wavefronts, critical paths.
 - :mod:`repro.sparse` — CSR matrices, stencil and SPE operators, ILU(0),
   triangular solves (the Table-1 substrate).
-- :mod:`repro.backends` — simulated, real-thread, and vectorized-wavefront
-  executors behind one :class:`Runner` protocol, plus the inspector cache.
+- :mod:`repro.backends` — simulated, real-thread, vectorized-wavefront,
+  and shared-memory multiprocessing executors behind one :class:`Runner`
+  protocol, plus the inspector cache.
 - :mod:`repro.workloads` — Figure-4 and synthetic loop generators.
 - :mod:`repro.bench` — the experiment harness regenerating Figure 6 and
   Table 1, plus ablations.
@@ -40,11 +41,13 @@ from repro._version import __version__
 from repro.backends import (
     BACKENDS,
     InspectorCache,
+    MultiprocRunner,
     Runner,
     SimulatedRunner,
     ThreadedRunner,
     ValidatingRunner,
     VectorizedRunner,
+    WaitLadder,
     make_runner,
 )
 from repro.core.amortized import AmortizedDoacross
@@ -67,6 +70,7 @@ from repro.errors import (
     ScheduleError,
     SimulationDeadlockError,
     TelemetryError,
+    WaitTimeout,
 )
 from repro.ir.accesses import ReadTable
 from repro.ir.frontend import loop_from_source
@@ -109,6 +113,8 @@ __all__ = [
     "SimulatedRunner",
     "ThreadedRunner",
     "VectorizedRunner",
+    "MultiprocRunner",
+    "WaitLadder",
     "InspectorCache",
     "ValidatingRunner",
     "make_runner",
@@ -161,4 +167,5 @@ __all__ = [
     "ScheduleError",
     "SimulationDeadlockError",
     "TelemetryError",
+    "WaitTimeout",
 ]

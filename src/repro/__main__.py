@@ -26,6 +26,11 @@ Commands
 ``bench-threaded [--small] [--json] [n]``
     Threaded-backend smoke benchmark: wall clock plus the telemetry-derived
     busy-wait accounting, written to ``BENCH_threaded.json``.
+``bench-multiproc [--small] [--json] [nx]``
+    Cross-backend wall-clock race on a ≥50k-iteration sparse triangular
+    solve: threaded vs. vectorized vs. multiproc across worker counts and
+    chunk sizes, written to ``BENCH_multiproc.json`` (``--small``: smoke
+    grid for CI, correctness checks only).
 ``profile [--backend=NAME] [--loop=SPEC] [--processors=P]
         [--schedule=KIND] [--chunk=K] [--export=chrome|jsonl OUT]
         [--gantt] [--json]``
@@ -193,6 +198,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.bench_threaded import main as bench_thr_main
 
         return bench_thr_main(rest)
+    if command == "bench-multiproc":
+        from repro.bench.bench_multiproc import main as bench_mp_main
+
+        return bench_mp_main(rest)
     if command == "profile":
         from repro.obs.cli import main as profile_main
 

@@ -17,6 +17,11 @@ benchmarks select them interchangeably (``parallelize(..., backend=...)``).
   dependence level runs as NumPy array operations over all its iterations,
   giving real wall-clock parallel throughput on CPython; preprocessing is
   served by a content-addressed :class:`InspectorCache`.
+- :mod:`repro.backends.multiproc` — the doacross protocol across real OS
+  processes: a persistent worker pool busy-waits on
+  ``multiprocessing.shared_memory`` arrays (``iter``/``ready``/``ynew``)
+  with §2.3 strip-mined chunking, every wait bounded by a
+  :class:`~repro.backends.waitladder.WaitLadder`.
 - :mod:`repro.backends.cache` — the inspector cache (Figure-3 amortization
   with hit/miss counters).
 - :mod:`repro.backends.base` — the :class:`Runner` protocol and shared
@@ -25,19 +30,23 @@ benchmarks select them interchangeably (``parallelize(..., backend=...)``).
 
 from repro.backends.base import Runner, validate_execution_order
 from repro.backends.cache import InspectorCache, InspectorRecord, loop_fingerprint
+from repro.backends.multiproc import MultiprocRunner
 from repro.backends.simulated import SimulatedRunner
 from repro.backends.threaded import ThreadedRunner
 from repro.backends.validating import ValidatingRunner
 from repro.backends.vectorized import VectorizedRunner
+from repro.backends.waitladder import WaitLadder
 
 __all__ = [
     "Runner",
     "SimulatedRunner",
     "ThreadedRunner",
     "VectorizedRunner",
+    "MultiprocRunner",
     "ValidatingRunner",
     "InspectorCache",
     "InspectorRecord",
+    "WaitLadder",
     "loop_fingerprint",
     "make_runner",
     "BACKENDS",
@@ -45,7 +54,7 @@ __all__ = [
 ]
 
 #: Names accepted by ``make_runner`` / ``parallelize(backend=...)``.
-BACKENDS = ("simulated", "threaded", "vectorized")
+BACKENDS = ("simulated", "threaded", "vectorized", "multiproc")
 
 
 def make_runner(
@@ -62,13 +71,17 @@ def make_runner(
 ) -> Runner:
     """Build a :class:`Runner` by name.
 
-    ``processors`` means simulated processors for the simulated backend and
-    thread count for the threaded backend; the vectorized backend has no
-    processor knob (its parallelism is the wavefront width).  ``cache``
-    is only meaningful for the vectorized backend.
+    ``processors`` means simulated processors for the simulated backend,
+    thread count for the threaded backend, and worker-process count for
+    the multiproc backend; the vectorized backend has no processor knob
+    (its parallelism is the wavefront width).  ``cache`` serves the
+    vectorized backend's inspector records and, on the multiproc backend,
+    prefills the shared ``iter`` array so workers skip their inspector
+    phase.
 
     ``analyze="symbolic"`` enables the symbolic dependence engine on the
-    threaded and vectorized backends: when a loop's verdict is proven, the
+    threaded, vectorized, and multiproc backends: when a loop's verdict is
+    proven, the
     runtime inspector is elided (closed-form ``iter`` array / inspector
     record; see :mod:`repro.analysis`).  ``analyze="symbolic+check"`` is
     the debug mode that additionally cross-checks every proof against the
@@ -109,6 +122,10 @@ def make_runner(
     elif backend == "vectorized":
         runner = VectorizedRunner(
             cache=cache, cost_model=cost_model, analyze=analyze
+        )
+    elif backend == "multiproc":
+        runner = MultiprocRunner(
+            workers=processors, cache=cache, analyze=analyze
         )
     else:
         raise ValueError(

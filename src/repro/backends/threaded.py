@@ -39,6 +39,7 @@ from repro.backends.base import (
 from repro.core.results import RunResult
 from repro.core.sequential import sequential_time
 from repro.core.workspace import MAXINT
+from repro.errors import WaitTimeout
 from repro.ir.loop import INIT_EXTERNAL, IrregularLoop
 from repro.machine.costs import CostModel
 from repro.obs.spans import CAT_COMPUTE, CAT_PHASE, CAT_WAIT
@@ -61,7 +62,12 @@ class ThreadedRunner(Runner):
 
     name = "threaded"
 
-    def __init__(self, threads: int = 4, analyze: str | None = None):
+    def __init__(
+        self,
+        threads: int = 4,
+        analyze: str | None = None,
+        wait_timeout: float = 60.0,
+    ):
         from repro.backends.vectorized import ANALYZE_MODES
 
         if threads < 1:
@@ -71,8 +77,18 @@ class ThreadedRunner(Runner):
                 f"unknown analyze mode {analyze!r}; expected one of "
                 f"{ANALYZE_MODES}"
             )
+        if wait_timeout <= 0:
+            raise ValueError(
+                f"wait_timeout must be > 0, got {wait_timeout}"
+            )
         self.threads = threads
         self.analyze = analyze
+        #: Ceiling (seconds) on any single blocking ``ready`` wait; a
+        #: correct schedule sets every awaited flag, so exceeding this
+        #: means the schedule is corrupted and :class:`WaitTimeout` is
+        #: raised instead of hanging the pool (same contract as the
+        #: multiproc backend's WaitLadder).
+        self.wait_timeout = wait_timeout
 
     def run(
         self,
@@ -195,6 +211,20 @@ class ThreadedRunner(Runner):
         def positions_for(tid: int) -> range:
             return range(tid, n, t_count)
 
+        def await_ready(event: threading.Event, idx: int) -> None:
+            # Bounded form of the Figure-5 busy-wait: a correct schedule
+            # always sets the flag, so an expired deadline means the
+            # schedule (or iter array) is corrupted — diagnose, don't hang.
+            if not event.wait(self.wait_timeout):
+                raise WaitTimeout(
+                    f"busy-wait on element {idx} exceeded "
+                    f"{self.wait_timeout:g}s; the schedule (or its iter "
+                    f"array) is corrupted — a correct doacross schedule "
+                    f"sets every awaited ready flag",
+                    element=idx,
+                    waited_seconds=self.wait_timeout,
+                )
+
         def worker(tid: int) -> None:
             flag_checks = 0
             flag_sets = 0
@@ -244,7 +274,7 @@ class ThreadedRunner(Runner):
                                     "compute", CAT_COMPUTE, seg_start, w0,
                                     lane=tid,
                                 )
-                                event.wait()
+                                await_ready(event, int(idx))
                                 w1 = rec.now()
                                 rec.record(
                                     "wait", CAT_WAIT, w0, w1,
@@ -253,7 +283,7 @@ class ThreadedRunner(Runner):
                                 wait_seconds += w1 - w0
                                 seg_start = w1
                             else:
-                                event.wait()
+                                await_ready(event, int(idx))
                             value = ynew[idx]
                         else:
                             value = y[idx]
@@ -301,5 +331,10 @@ class ThreadedRunner(Runner):
         for t in threads:
             t.join()
         if failures:
+            # A worker that dies aborts the barrier, so sibling threads
+            # fail with BrokenBarrierError; surface the root cause.
+            for exc in failures:
+                if not isinstance(exc, threading.BrokenBarrierError):
+                    raise exc
             raise failures[0]
         return y

@@ -31,7 +31,7 @@ __all__ = ["ValidatingRunner"]
 #: Backends the race checker has a happens-before model for; anything
 #: else (custom Runner subclasses) is checked against the level model,
 #: which is the weakest order every wavefront-respecting backend refines.
-_MODELED = ("vectorized", "threaded", "simulated")
+_MODELED = ("vectorized", "threaded", "multiproc", "simulated")
 
 
 def _innermost(runner: Runner) -> Runner:
@@ -58,6 +58,8 @@ class ValidatingRunner(Runner):
         inner = _innermost(self.inner)
         if hasattr(inner, "threads"):
             return int(inner.threads)
+        if hasattr(inner, "workers"):
+            return int(inner.workers)
         if hasattr(inner, "machine"):
             return int(inner.machine.processors)
         return 16

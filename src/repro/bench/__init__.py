@@ -17,6 +17,10 @@ that regenerates it (DESIGN.md §5):
 - :mod:`repro.bench.bench_vectorized` — measured wall clock: sequential
   vs. threaded vs. vectorized backends plus the inspector-cache
   amortization curve (``python -m repro.bench.bench_vectorized``).
+- :mod:`repro.bench.bench_multiproc` — the cross-backend wall-clock race
+  on a ≥50k-iteration sparse triangular solve: threaded vs. vectorized
+  vs. multiproc over worker counts and chunk sizes
+  (``python -m repro.bench.bench_multiproc``).
 - :mod:`repro.bench.model` — closed-form performance model validated
   against the simulator.
 
@@ -26,6 +30,10 @@ use.
 """
 
 from repro.bench.amortized_table import AmortizedTableResult, run_amortized_table
+from repro.bench.bench_multiproc import (
+    MultiprocBenchResult,
+    run_bench_multiproc,
+)
 from repro.bench.bench_vectorized import (
     VectorizedBenchResult,
     run_bench_vectorized,
@@ -51,6 +59,8 @@ __all__ = [
     "KrylovFractionResult",
     "run_bench_vectorized",
     "VectorizedBenchResult",
+    "run_bench_multiproc",
+    "MultiprocBenchResult",
     "predict_figure4",
     "predict_chain_loop",
     "predict_dependence_free",

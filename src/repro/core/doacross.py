@@ -12,8 +12,8 @@ benchmarks use::
 :func:`parallelize` is the fully automatic entry point: it asks the
 "compiler" (:func:`repro.ir.transform.plan_transform`) which strategy is
 sound for the loop's static structure and dispatches accordingly — onto
-any execution backend (``backend="simulated"|"threaded"|"vectorized"``, or
-a :class:`~repro.backends.base.Runner` instance).
+any execution backend (``backend="simulated"|"threaded"|"vectorized"|
+"multiproc"``, or a :class:`~repro.backends.base.Runner` instance).
 
 Both entry points take their options keyword-only; the old positional
 forms still work behind a :class:`DeprecationWarning` shim.
@@ -254,14 +254,16 @@ def parallelize(
         Where to execute: ``"simulated"`` (default — simulated cycles, all
         strategy specializations), ``"threaded"`` (real threads,
         ``processors`` becomes the thread count), ``"vectorized"`` (batched
-        wavefronts, measured wall clock, inspector-cache amortization), or
-        any :class:`~repro.backends.base.Runner` instance.  Non-simulated
-        backends execute every strategy through the same generalized
-        protocol; the plan still records what a specializing compiler
-        would have done.
+        wavefronts, measured wall clock, inspector-cache amortization),
+        ``"multiproc"`` (real OS processes over shared memory,
+        ``processors`` becomes the worker count, ``chunk`` sizes the §2.3
+        strips), or any :class:`~repro.backends.base.Runner` instance.
+        Non-simulated backends execute every strategy through the same
+        generalized protocol; the plan still records what a specializing
+        compiler would have done.
     cache:
         Optional :class:`~repro.backends.cache.InspectorCache` shared
-        across calls (vectorized backend only).
+        across calls (vectorized and multiproc backends).
     validate:
         ``"static"`` runs the lint rules and the happens-before race
         checker (:mod:`repro.lint`) against the chosen backend's schedule
@@ -282,8 +284,8 @@ def parallelize(
         into strategy selection: a DOALL-proven loop dispatches to the
         doall specialization and a constant-distance one to the classic
         doacross *without any caller assertion*, and on the threaded /
-        vectorized backends an elidable verdict skips the runtime
-        inspector entirely.  ``"symbolic+check"`` additionally
+        vectorized / multiproc backends an elidable verdict skips the
+        runtime inspector entirely.  ``"symbolic+check"`` additionally
         cross-checks the verdict against the runtime inspector
         (:func:`repro.analysis.cross_check`), raising
         :class:`~repro.errors.ProofError` on divergence.  Not accepted
@@ -378,8 +380,15 @@ def parallelize(
                 observe=observe,
                 analyze=analyze,
             )
+        # The "cyclic"/chunk-1 defaults describe the *simulated* machine's
+        # schedule; forwarding them here would spuriously note schedule as
+        # ignored on every run and force multiproc (which honors chunk)
+        # into 1-iteration strips.  Real backends get only what the caller
+        # actually asked for and pick their own defaults otherwise.
         result = runner.run(
-            loop, schedule=opt["schedule"], chunk=opt["chunk"]
+            loop,
+            schedule=None if given["schedule"] is _UNSET else opt["schedule"],
+            chunk=None if given["chunk"] is _UNSET else opt["chunk"],
         )
         result.extras.setdefault("plan", plan.describe())
         return result, plan

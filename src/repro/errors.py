@@ -19,6 +19,7 @@ __all__ = [
     "CalibrationError",
     "TelemetryError",
     "ProofError",
+    "WaitTimeout",
 ]
 
 
@@ -111,6 +112,34 @@ class TelemetryError(ReproError):
     """A telemetry blob or benchmark artifact violates the serialized
     schema (:func:`repro.obs.telemetry.validate_telemetry`,
     :func:`repro.bench.schema.validate_bench_payload`)."""
+
+
+class WaitTimeout(ReproError):
+    """A busy-wait on a ``ready`` flag exhausted its spin/sleep/timeout
+    ladder (:class:`repro.backends.waitladder.WaitLadder`).
+
+    The Figure-5 executor busy-waits on flags that a *correct* schedule
+    always sets; an exhausted ladder therefore means the schedule (or the
+    ``iter`` array behind it) is corrupted — a cyclic order, a stale
+    inspector entry, a dead worker.  Raising instead of spinning forever is
+    the real-concurrency analogue of
+    :class:`SimulationDeadlockError`.
+
+    Constructed with a plain message (kept picklable: the multiprocessing
+    backend ships this exception across a process boundary).
+    """
+
+    def __init__(self, message: str, element: int | None = None,
+                 waited_seconds: float | None = None):
+        self.element = element
+        self.waited_seconds = waited_seconds
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0], self.element, self.waited_seconds),
+        )
 
 
 class ProofError(ReproError):

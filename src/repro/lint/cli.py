@@ -172,6 +172,11 @@ def collect_loops(
         if path.is_dir():
             hits = 0
             for file in sorted(path.rglob("*.py")):
+                # Bytecode caches shadow their source files (a stale
+                # sibling .py inside __pycache__ would be imported and
+                # linted twice, or crash on a bad import); skip them.
+                if "__pycache__" in file.parts:
+                    continue
                 if not _file_has_hook(file):
                     continue
                 for name, loop in loops_from_file(file).items():

@@ -48,6 +48,7 @@ __all__ = [
     "waits_from_iter",
     "level_happens_before",
     "threaded_happens_before",
+    "multiproc_happens_before",
     "simulated_happens_before",
     "check_dependence_coverage",
     "check_backend_schedule",
@@ -245,6 +246,58 @@ def threaded_happens_before(
     )
 
 
+def multiproc_happens_before(
+    loop: IrregularLoop,
+    workers: int,
+    chunk: int | None = None,
+    iter_array: np.ndarray | None = None,
+    order: np.ndarray | None = None,
+) -> WorkerHappensBefore:
+    """The multiproc backend's order: contiguous position chunks of size
+    ``chunk`` dealt round-robin to workers (each worker walks its chunks,
+    and the positions inside them, in increasing order), plus the
+    ``ready``-flag ladder waits.
+
+    The backend skips the flag for a true dependence whose writer sits
+    *earlier in the reader's own chunk* (the worker itself wrote ``ynew``
+    moments before), so those edges are excluded from the wait set here —
+    they are covered by same-worker program order instead, and a corrupted
+    ``iter_array`` disturbs exactly the waits the real executor would
+    drop.
+    """
+    n = loop.n
+    if chunk is None:
+        chunk = max(1, -(-n // (4 * workers)))
+    if order is None:
+        pos = np.arange(n, dtype=np.int64)
+    else:
+        pos = inverse_permutation(np.asarray(order, dtype=np.int64))
+    worker = (pos // chunk) % workers
+
+    if iter_array is None:
+        iter_array = writer_map(loop)
+    else:
+        iter_array = np.asarray(iter_array, dtype=np.int64)
+    readers = loop.reads.iteration_of_term()
+    idx = loop.reads.index
+    writer_it = iter_array[idx]
+    blocking = (writer_it >= 0) & (writer_it < readers)
+    rpos = pos[readers]
+    wpos = np.where(blocking, pos[np.clip(writer_it, 0, n - 1)], -1)
+    same_chunk_earlier = (wpos // chunk == rpos // chunk) & (wpos < rpos)
+    blocked = blocking & ~(blocking & same_chunk_earlier)
+    keys = np.unique(
+        readers[blocked] * np.int64(loop.y_size) + idx[blocked]
+    )
+    return WorkerHappensBefore(
+        worker=worker,
+        pos=pos,
+        wait_keys=keys,
+        y_size=loop.y_size,
+        label=f"multiproc({workers} workers, chunk={chunk})",
+    )
+
+
 def simulated_happens_before(
     loop: IrregularLoop,
     processors: int,
@@ -368,8 +421,9 @@ def check_backend_schedule(
     """Race-check the schedule a named backend would execute.
 
     ``backend`` is one of ``"vectorized"`` (wavefront levels),
-    ``"threaded"`` (cyclic threads + events), or ``"simulated"``
-    (iteration schedule + flags).  This is the entry point behind
+    ``"threaded"`` (cyclic threads + events), ``"multiproc"`` (round-robin
+    position chunks + ladder waits), or ``"simulated"`` (iteration
+    schedule + flags).  This is the entry point behind
     ``validate="static"``.
     """
     if backend == "vectorized":
@@ -378,6 +432,10 @@ def check_backend_schedule(
         )
     elif backend == "threaded":
         hb = threaded_happens_before(loop, processors, order=order)
+    elif backend == "multiproc":
+        hb = multiproc_happens_before(
+            loop, processors, chunk=chunk, order=order
+        )
     elif backend == "simulated":
         hb = simulated_happens_before(
             loop, processors, schedule=schedule, chunk=chunk, order=order
@@ -385,6 +443,6 @@ def check_backend_schedule(
     else:
         raise ValueError(
             f"unknown backend {backend!r} for race checking; expected "
-            f"vectorized/threaded/simulated"
+            f"vectorized/threaded/multiproc/simulated"
         )
     return check_dependence_coverage(loop, hb)

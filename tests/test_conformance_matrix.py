@@ -1,0 +1,151 @@
+"""Cross-backend conformance matrix.
+
+Every execution path — sequential oracle, simulated machine, real
+threads, vectorized wavefronts, shared-memory processes — must produce
+the *bitwise identical* ``y`` on the same loop: the executors all sum a
+given iteration's terms in the same order, so there is no associativity
+slack to hide behind (DESIGN.md §3).  The matrix crosses the five
+backends with five workload families:
+
+- ``chain`` — uniform-distance recurrence (the classic doacross shape);
+- ``stencil`` — forward substitution over ILU(0) of a five-point
+  Laplacian (the Table-1 substrate);
+- ``gather-scatter`` — runtime permutation write with random reads
+  (Figure 1: dependence known only at run time);
+- the ``proven-affine`` portfolio (``workloads/proven_affine.py``) —
+  loops the symbolic engine proves, so elision paths stay conformant;
+- the ``symbolic-frontier`` portfolio
+  (``workloads/symbolic_frontier.py``) — closed-form loops the engine
+  honestly declines, plus the runtime-only fallback.
+
+Alongside values, the matrix pins the RunResult metadata contract every
+backend must honor (loop name, y shape, processor count, a real
+wall-clock or cycle accounting).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backends import MultiprocRunner, make_runner
+from repro.core.results import RunResult
+from repro.core.sequential import run_reference
+from repro.lint.cli import loops_from_file
+from repro.sparse.ilu import ilu0
+from repro.sparse.stencils import five_point
+from repro.sparse.trisolve import lower_solve_loop
+from repro.workloads.synthetic import chain_loop, random_irregular_loop
+
+_REPO = Path(__file__).resolve().parent.parent
+
+
+def _stencil_loop(nx: int = 16, ny: int = 16):
+    A = five_point(nx, ny)
+    L, _upper = ilu0(A)
+    rhs = np.arange(1.0, A.n_rows + 1) / A.n_rows
+    return lower_solve_loop(L, rhs, name=f"stencil-trisolve-{nx}x{ny}")
+
+
+def _workloads() -> dict:
+    loops = {
+        "chain": chain_loop(240, 3),
+        "stencil": _stencil_loop(),
+        "gather-scatter": random_irregular_loop(200, seed=5),
+        "gather-scatter-external": random_irregular_loop(
+            150, seed=9, external_init=True
+        ),
+    }
+    for stem in ("proven_affine", "symbolic_frontier"):
+        portfolio = loops_from_file(_REPO / "workloads" / f"{stem}.py")
+        for name, loop in portfolio.items():
+            loops[f"{stem.replace('_', '-')}:{name}"] = loop
+    return loops
+
+
+WORKLOADS = _workloads()
+
+#: The real-concurrency and simulated execution paths; the sequential
+#: oracle is the reference every cell is compared against.
+BACKENDS = ("simulated", "threaded", "vectorized", "multiproc")
+
+
+@pytest.fixture(scope="module")
+def multiproc_runner():
+    """One persistent 2-worker pool for the whole matrix — the session
+    LRU (more workloads than ``max_sessions``) gets exercised too."""
+    runner = MultiprocRunner(workers=2)
+    yield runner
+    runner.close()
+
+
+def _runner(backend: str, multiproc_runner):
+    if backend == "multiproc":
+        return multiproc_runner
+    return make_runner(backend, processors=2)
+
+
+def _check_metadata(result: RunResult, loop, backend: str) -> None:
+    assert isinstance(result, RunResult)
+    assert result.loop_name == loop.name
+    assert result.strategy, f"{backend} returned an empty strategy label"
+    assert result.processors >= 1
+    assert result.y.shape == (loop.y_size,)
+    assert result.y.dtype == np.float64
+    if result.wall_seconds is None:
+        assert result.total_cycles > 0, (
+            f"{backend} reported neither wall clock nor cycles"
+        )
+    else:
+        assert result.wall_seconds > 0
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_sequential_reference_metadata(workload):
+    loop = WORKLOADS[workload]
+    result = run_reference(loop)
+    _check_metadata(result, loop, "sequential")
+    assert result.strategy == "sequential"
+    assert result.processors == 1
+    assert np.array_equal(result.y, loop.run_sequential())
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_matrix_cell_bitwise_equals_oracle(
+    workload, backend, multiproc_runner
+):
+    loop = WORKLOADS[workload]
+    runner = _runner(backend, multiproc_runner)
+    result = runner.run(loop)
+    reference = loop.run_sequential()
+    assert np.array_equal(result.y, reference), (
+        f"{backend} diverged from the sequential oracle on {workload}"
+    )
+    _check_metadata(result, loop, backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_matrix_cell_is_rerunnable(backend, multiproc_runner):
+    """Scratch state (flags, renamed arrays, shared-memory sessions) must
+    reset between runs: the second run is bitwise equal to the first."""
+    loop = WORKLOADS["gather-scatter"]
+    runner = _runner(backend, multiproc_runner)
+    first = runner.run(loop)
+    second = runner.run(loop)
+    assert np.array_equal(first.y, second.y)
+    assert np.array_equal(second.y, loop.run_sequential())
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", ("threaded", "vectorized", "multiproc"))
+def test_large_stencil_conformance(backend, multiproc_runner):
+    """The wall-clock backends on a 4096-iteration stencil solve — big
+    enough that chunking, wavefront batching, and the busy-wait protocol
+    all engage for real."""
+    loop = _stencil_loop(64, 64)
+    runner = _runner(backend, multiproc_runner)
+    result = runner.run(loop)
+    assert np.array_equal(result.y, loop.run_sequential())

@@ -68,6 +68,37 @@ def test_collect_loops_from_file_and_spec():
     assert len(triples) == 3
 
 
+def test_collect_loops_skips_pycache(tmp_path):
+    """A stale hook file inside ``__pycache__`` (running the suite leaves
+    bytecode caches under ``workloads/``, and editors can leave stray
+    ``.py`` siblings there) must be invisible to directory targets — it
+    would otherwise be linted twice or crash the gate on a bad import."""
+    target = tmp_path / "portfolio"
+    target.mkdir()
+    (target / "good.py").write_text(
+        "import repro\n"
+        "def build_loop():\n"
+        "    return repro.chain_loop(10, 1)\n",
+        encoding="utf-8",
+    )
+    cache = target / "__pycache__"
+    cache.mkdir()
+    # A hook file that would double-collect *and* a broken one that
+    # would crash collection if either were imported.
+    (cache / "good.py").write_text(
+        "def build_loop():\n    return None\n", encoding="utf-8"
+    )
+    (cache / "stale.py").write_text(
+        "def build_loops():\n    raise RuntimeError('stale bytecode twin')\n",
+        encoding="utf-8",
+    )
+    triples = collect_loops([str(target)])
+    assert len(triples) == 1
+    source, name, loop = triples[0]
+    assert source == str(target / "good.py")
+    assert loop.n == 10
+
+
 def test_cli_usage_errors(capsys):
     assert repro_main(["lint"]) == 2
     assert repro_main(["lint", "--bogus", "figure4"]) == 2
