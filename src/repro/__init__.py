@@ -35,6 +35,11 @@ Subpackages
 - :mod:`repro.obs` — cross-backend telemetry: phase/level/compute/wait
   spans, the unified metrics registry, Chrome-trace / JSONL / ASCII-Gantt
   exporters, and the ``observe=True`` instrumentation hook.
+- :mod:`repro.passes` — the schedule-pass framework: Figure-3
+  preprocessing stages as contract-checked composable passes producing
+  one :class:`Plan` for every backend, the consolidated
+  :class:`PlanSpec` run configuration, and the telemetry-driven
+  auto-tuner behind ``parallelize(backend="auto")``.
 """
 
 from repro._version import __version__
@@ -93,6 +98,16 @@ from repro.obs import (
     chrome_trace,
     validate_telemetry,
 )
+from repro.passes import (
+    Plan,
+    PassPipeline,
+    PlanSpec,
+    SchedulePass,
+    UnsupportedPlanOption,
+    default_pipeline,
+    execute_plan,
+    plan_loop,
+)
 from repro.workloads.synthetic import chain_loop, random_irregular_loop
 from repro.workloads.testloop import make_test_loop
 
@@ -147,6 +162,15 @@ __all__ = [
     "make_test_loop",
     "random_irregular_loop",
     "chain_loop",
+    # Schedule passes (ROADMAP item 5)
+    "PlanSpec",
+    "Plan",
+    "SchedulePass",
+    "PassPipeline",
+    "UnsupportedPlanOption",
+    "default_pipeline",
+    "plan_loop",
+    "execute_plan",
     # Observability
     "InstrumentedRunner",
     "Telemetry",

@@ -31,12 +31,18 @@ Commands
     solve: threaded vs. vectorized vs. multiproc across worker counts and
     chunk sizes, written to ``BENCH_multiproc.json`` (``--small``: smoke
     grid for CI, correctness checks only).
-``profile [--backend=NAME] [--loop=SPEC] [--processors=P]
+``bench-autotune [--small] [--json]``
+    Race ``backend="auto"`` (the telemetry-driven tuner) against every
+    fixed wall-clock backend on the chain / stencil / gather-scatter
+    families, written to ``BENCH_autotune.json``; fails if auto is
+    slower than the median fixed backend on any workload.
+``profile [--backend=NAME|auto] [--loop=SPEC] [--processors=P]
         [--schedule=KIND] [--chunk=K] [--export=chrome|jsonl OUT]
         [--gantt] [--json]``
     Run one builtin workload with telemetry on and print its phase/metric
-    breakdown; ``--export=chrome trace.json`` writes a
-    ``chrome://tracing``-loadable trace-event file.
+    breakdown plus the schedule plan (pass list, resolved backend, tuner
+    decision under ``--backend=auto``); ``--export=chrome trace.json``
+    writes a ``chrome://tracing``-loadable trace-event file.
 ``demo [--backend=simulated|threaded|vectorized]``
     Two-minute tour: run a dependence-carrying Figure-4 loop, print the
     result summary and (simulated backend) an executor-phase Gantt chart.
@@ -218,6 +224,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.bench_elision import main as bench_eli_main
 
         return bench_eli_main(rest)
+    if command == "bench-autotune":
+        from repro.bench.bench_autotune import main as bench_at_main
+
+        return bench_at_main(rest)
     if command == "verify":
         return _verify(rest)
     if command == "codegen":

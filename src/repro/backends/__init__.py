@@ -57,19 +57,33 @@ __all__ = [
 BACKENDS = ("simulated", "threaded", "vectorized", "multiproc")
 
 
+_UNSET = object()
+
+
 def make_runner(
     backend: str = "simulated",
     *,
+    spec=None,
     processors: int = 16,
     cost_model=None,
     cache: InspectorCache | None = None,
     bus: bool = False,
     coherence: bool = False,
-    validate: str | None = None,
-    observe: bool = False,
-    analyze: str | None = None,
+    validate: str | None = _UNSET,
+    observe: bool = _UNSET,
+    analyze: str | None = _UNSET,
 ) -> Runner:
-    """Build a :class:`Runner` by name.
+    """Build a :class:`Runner` by name — or from a
+    :class:`~repro.passes.spec.PlanSpec` via ``spec=``.
+
+    ``spec`` is the consolidated form: one frozen value object carrying
+    backend/processors/analyze/validate/observe/wait_timeout, checked
+    against the backend option-support matrix before anything is built.
+    The individual ``validate``/``observe``/``analyze`` keywords still
+    work but emit a :class:`DeprecationWarning` pointing at ``spec=``
+    (``processors``/``cost_model``/``cache``/``bus``/``coherence`` are
+    resources and machine configuration, not plan options, and stay
+    plain keywords).
 
     ``processors`` means simulated processors for the simulated backend,
     thread count for the threaded backend, and worker-process count for
@@ -102,6 +116,91 @@ def make_runner(
     plus the unified metrics registry, same schema on every backend — to
     ``result.telemetry``.
     """
+    if spec is not None:
+        if (
+            validate is not _UNSET
+            or observe is not _UNSET
+            or analyze is not _UNSET
+        ):
+            raise TypeError(
+                "make_runner(spec=...) cannot be combined with the legacy "
+                "validate/observe/analyze keywords; set them on the PlanSpec"
+            )
+        from repro.passes.spec import AUTO_BACKEND, check_options
+
+        if spec.backend == AUTO_BACKEND:
+            raise ValueError(
+                "backend='auto' is a per-loop decision, not a runner: use "
+                "parallelize(loop, spec=...) or repro.passes.plan_loop so "
+                "the tuner can see the loop's structure"
+            )
+        check_options(spec)
+        return _build_runner(
+            spec.backend,
+            processors=spec.processors,
+            cost_model=cost_model,
+            cache=cache,
+            bus=bus,
+            coherence=coherence,
+            validate=spec.validate,
+            observe=spec.observe,
+            analyze=spec.analyze,
+            wait_timeout=spec.wait_timeout,
+        )
+
+    shimmed = [
+        name
+        for name, value in (
+            ("validate", validate),
+            ("observe", observe),
+            ("analyze", analyze),
+        )
+        if value is not _UNSET
+    ]
+    if shimmed:
+        import warnings
+
+        warnings.warn(
+            f"the {', '.join(shimmed)} keyword option(s) on make_runner are "
+            "deprecated; pass a consolidated PlanSpec via "
+            "make_runner(spec=PlanSpec(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return _build_runner(
+        backend,
+        processors=processors,
+        cost_model=cost_model,
+        cache=cache,
+        bus=bus,
+        coherence=coherence,
+        validate=None if validate is _UNSET else validate,
+        observe=False if observe is _UNSET else observe,
+        analyze=None if analyze is _UNSET else analyze,
+    )
+
+
+def _build_runner(
+    backend: str = "simulated",
+    *,
+    processors: int = 16,
+    cost_model=None,
+    cache: InspectorCache | None = None,
+    bus: bool = False,
+    coherence: bool = False,
+    validate: str | None = None,
+    observe: bool = False,
+    analyze: str | None = None,
+    wait_timeout: float | None = None,
+) -> Runner:
+    """The warning-free constructor behind :func:`make_runner`.
+
+    Internal callers (the legacy ``parallelize`` path, plan execution,
+    the CLI, benches) use this directly so one user-facing call never
+    produces more than one :class:`DeprecationWarning`.  ``wait_timeout``
+    bounds each blocking busy-wait where the backend has one (threaded
+    events; the multiproc :class:`WaitLadder`).
+    """
     if backend == "simulated":
         from repro.machine.engine import Machine
 
@@ -118,14 +217,16 @@ def make_runner(
             )
         )
     elif backend == "threaded":
-        runner = ThreadedRunner(threads=processors, analyze=analyze)
+        kwargs = {} if wait_timeout is None else {"wait_timeout": wait_timeout}
+        runner = ThreadedRunner(threads=processors, analyze=analyze, **kwargs)
     elif backend == "vectorized":
         runner = VectorizedRunner(
             cache=cache, cost_model=cost_model, analyze=analyze
         )
     elif backend == "multiproc":
+        ladder = None if wait_timeout is None else WaitLadder(timeout=wait_timeout)
         runner = MultiprocRunner(
-            workers=processors, cache=cache, analyze=analyze
+            workers=processors, cache=cache, analyze=analyze, ladder=ladder
         )
     else:
         raise ValueError(

@@ -284,6 +284,13 @@ class InspectorCache:
         Lookup counters — the measurable form of the paper's Figure-3
         amortization claim (asserted in tests and reported by
         ``repro.bench.bench_vectorized``).
+
+    Beyond inspector records, the cache carries the auto-tuner's state
+    (:meth:`tuner_state`): per-fingerprint wall-time measurements,
+    telemetry features, and the current backend decision.  Keying both
+    under the same content address is deliberate — "same dependence
+    structure" is one notion shared by preprocessing amortization and by
+    tuning (:mod:`repro.passes.autotune`).
     """
 
     def __init__(self, capacity: int = 64):
@@ -295,6 +302,7 @@ class InspectorCache:
         self.hits = 0
         self.misses = 0
         self._entries: OrderedDict[str, InspectorRecord] = OrderedDict()
+        self._tuner: dict[str, dict] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -331,9 +339,37 @@ class InspectorCache:
             self._entries.popitem(last=False)
         return record, False
 
+    def seed(
+        self, record: InspectorRecord, fingerprint: str | None = None
+    ) -> None:
+        """Insert a pre-built record without touching the hit/miss
+        counters — how plan-time preprocessing
+        (:class:`repro.passes.builtin.InspectorPass`) warms a runner's
+        cache without skewing the amortization accounting."""
+        fp = fingerprint if fingerprint is not None else record.fingerprint
+        self._entries[fp] = record
+        self._entries.move_to_end(fp)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def tuner_state(self, fingerprint: str) -> dict:
+        """The auto-tuner's mutable slot for one dependence structure.
+
+        Layout: ``{"measurements": {backend: [wall_seconds, ...]},
+        "features": {backend: {...}}, "decision": dict | None}``.  Slots
+        are created on demand and survive :meth:`clear` of the record
+        entries only via an explicit re-fetch (tuning history is cheap;
+        inspector records are the memory hogs).
+        """
+        return self._tuner.setdefault(
+            fingerprint,
+            {"measurements": {}, "features": {}, "decision": None},
+        )
+
     def clear(self) -> None:
-        """Drop all entries (counters are kept)."""
+        """Drop all entries, tuner state included (counters are kept)."""
         self._entries.clear()
+        self._tuner.clear()
 
     def stats(self) -> dict:
         """Counters plus footprint, JSON-safe."""
@@ -345,4 +381,5 @@ class InspectorCache:
             "bytes": int(
                 sum(r.nbytes for r in self._entries.values())
             ),
+            "tuner_entries": len(self._tuner),
         }

@@ -1,0 +1,293 @@
+"""Auto-tuner benchmark: ``backend="auto"`` vs. every fixed backend.
+
+The tuner's promise (ISSUE 6 acceptance bar) is that after its explore
+phase it is *at least as fast as the median fixed backend* on each of
+the three conformance-matrix workload families — chain (uniform-distance
+recurrence), stencil (forward substitution over ILU(0) of a five-point
+Laplacian), and gather/scatter (runtime permutation writes).  No fixed
+backend wins all three, which is exactly why the tuner exists; this
+benchmark measures the claim instead of asserting it from the armchair.
+
+Protocol, per workload:
+
+1. time each fixed wall-clock backend (threaded / vectorized /
+   multiproc) ``repeats`` times through the schedule-pass pipeline and
+   keep the median;
+2. warm the tuner: one ``backend="auto"`` run per candidate against a
+   shared :class:`~repro.backends.cache.InspectorCache`, walking the
+   heuristic → explore progression and feeding measurements back;
+3. time ``repeats`` further auto runs (now exploiting the measured
+   medians) and keep the median.
+
+Every run — fixed and auto — executes with ``observe=True`` so both
+sides pay the same telemetry overhead (auto cannot opt out: telemetry
+is its training data) and is checked bitwise against the sequential
+oracle.  ``check()`` then asserts ``auto <= median(fixed)`` per
+workload.
+
+Run: ``python -m repro bench-autotune [--small] [--json]``.  Every run
+writes ``BENCH_autotune.json`` (override with ``--out=``) in the shared
+``records``/``detail`` schema, gated in CI by
+``python -m repro.bench.schema``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends.cache import InspectorCache, loop_fingerprint
+from repro.bench.reporting import format_table
+from repro.passes import PlanSpec, execute_plan, plan_loop
+from repro.passes.autotune import AUTO_CANDIDATES
+from repro.sparse.ilu import ilu0
+from repro.sparse.stencils import five_point
+from repro.sparse.trisolve import lower_solve_loop
+from repro.workloads.synthetic import chain_loop, random_irregular_loop
+
+__all__ = [
+    "AutotuneBenchResult",
+    "run_bench_autotune",
+    "write_bench_json",
+    "main",
+]
+
+#: Default artifact path (repo root in CI), sibling of the other BENCH_*.
+BENCH_JSON = "BENCH_autotune.json"
+
+#: The fixed baselines auto races against — the tuner's own candidate set.
+FIXED_BACKENDS = AUTO_CANDIDATES
+
+
+def _workloads(small: bool) -> dict:
+    if small:
+        nx = 24
+        loops = {
+            "chain": chain_loop(1500, 1),
+            "gather-scatter": random_irregular_loop(1500, seed=7),
+        }
+    else:
+        nx = 64
+        loops = {
+            "chain": chain_loop(12_000, 1),
+            "gather-scatter": random_irregular_loop(12_000, seed=7),
+        }
+    A = five_point(nx, nx)
+    L, _upper = ilu0(A)
+    rhs = np.arange(1.0, A.n_rows + 1) / A.n_rows
+    loops["stencil"] = lower_solve_loop(L, rhs, name=f"stencil-{nx}x{nx}")
+    return loops
+
+
+@dataclass
+class AutotuneBenchResult:
+    """Auto vs. fixed backends across the three workload families."""
+
+    small: bool
+    repeats: int
+    processors: int
+    #: Flat rows: ``{"workload", "backend", "wall_seconds", "ok"}``;
+    #: auto rows add ``chosen`` and ``tuner_source``.
+    rows: list[dict] = field(default_factory=list)
+    #: Per-workload depth: fixed medians, the auto median, the tuner's
+    #: final decision dict, and the resulting speedup vs. the median.
+    decisions: dict = field(default_factory=dict)
+
+    def check(self) -> None:
+        """Correctness everywhere; auto ≤ median fixed, per workload."""
+        bad = [r for r in self.rows if not r["ok"]]
+        if bad:
+            raise AssertionError(
+                f"{len(bad)} run(s) diverged from the sequential oracle: "
+                + ", ".join(f"{r['workload']}/{r['backend']}" for r in bad)
+            )
+        for workload, d in self.decisions.items():
+            if d["auto_seconds"] > d["median_fixed_seconds"]:
+                raise AssertionError(
+                    f"auto ({d['auto_seconds']:.4f}s via {d['chosen']}) is "
+                    f"slower than the median fixed backend "
+                    f"({d['median_fixed_seconds']:.4f}s) on {workload}"
+                )
+
+    def report(self) -> str:
+        ms = 1e3
+        body = [
+            (
+                r["workload"],
+                r["backend"],
+                r.get("chosen", ""),
+                r["wall_seconds"] * ms,
+                "ok" if r["ok"] else "DIVERGED",
+            )
+            for r in self.rows
+        ]
+        table = format_table(
+            ["workload", "backend", "chosen", "median wall (ms)", "check"],
+            body,
+            title=(
+                f"auto-tuner benchmark — auto vs fixed backends "
+                f"(repeats={self.repeats}, processors={self.processors})"
+            ),
+        )
+        tails = [
+            f"{w}: auto={d['auto_seconds'] * ms:.1f}ms via {d['chosen']} "
+            f"({d['tuner_source']}), median fixed="
+            f"{d['median_fixed_seconds'] * ms:.1f}ms "
+            f"-> {d['speedup_vs_median']:.2f}x"
+            for w, d in self.decisions.items()
+        ]
+        return table + "\n" + "\n".join(tails)
+
+    def as_dict(self) -> dict:
+        return {
+            "small": self.small,
+            "repeats": self.repeats,
+            "processors": self.processors,
+            "candidates": list(AUTO_CANDIDATES),
+            "rows": self.rows,
+            "decisions": self.decisions,
+        }
+
+
+def _timed_run(loop, spec, cache, reference):
+    start = time.perf_counter()
+    plan = plan_loop(loop, spec, cache=cache)
+    result = execute_plan(loop, plan, cache=cache)
+    wall = time.perf_counter() - start
+    ok = bool(np.array_equal(result.y, reference))
+    return wall, ok, result
+
+
+def _median(values: list) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def run_bench_autotune(
+    *,
+    small: bool = False,
+    repeats: int = 3,
+    processors: int = 4,
+) -> AutotuneBenchResult:
+    """Race ``backend="auto"`` against every fixed candidate on the
+    chain / stencil / gather-scatter families."""
+    result = AutotuneBenchResult(
+        small=small, repeats=repeats, processors=processors
+    )
+    for workload, loop in _workloads(small).items():
+        reference = loop.run_sequential()
+        cache = InspectorCache()
+
+        fixed_walls: dict[str, float] = {}
+        for backend in FIXED_BACKENDS:
+            spec = PlanSpec(
+                backend=backend, processors=processors, observe=True
+            )
+            walls = []
+            all_ok = True
+            for _ in range(repeats):
+                wall, ok, _run = _timed_run(loop, spec, cache, reference)
+                walls.append(wall)
+                all_ok = all_ok and ok
+            fixed_walls[backend] = _median(walls)
+            result.rows.append(
+                {
+                    "workload": workload,
+                    "backend": backend,
+                    "wall_seconds": fixed_walls[backend],
+                    "ok": all_ok,
+                }
+            )
+
+        # Warm the tuner: heuristic first sight, then one explore run per
+        # remaining candidate, all feeding the shared cache.
+        auto_spec = PlanSpec(backend="auto", processors=processors)
+        for _ in range(len(AUTO_CANDIDATES)):
+            _wall, ok, _run = _timed_run(loop, auto_spec, cache, reference)
+            assert ok, f"auto warm-up diverged on {workload}"
+
+        walls = []
+        all_ok = True
+        last = None
+        for _ in range(repeats):
+            wall, ok, last = _timed_run(loop, auto_spec, cache, reference)
+            walls.append(wall)
+            all_ok = all_ok and ok
+        auto_wall = _median(walls)
+        tuner = last.extras["tuner"]
+        result.rows.append(
+            {
+                "workload": workload,
+                "backend": "auto",
+                "chosen": tuner["backend"],
+                "tuner_source": tuner["source"],
+                "wall_seconds": auto_wall,
+                "ok": all_ok,
+            }
+        )
+        median_fixed = _median(list(fixed_walls.values()))
+        result.decisions[workload] = {
+            "fingerprint": loop_fingerprint(loop),
+            "fixed_seconds": fixed_walls,
+            "median_fixed_seconds": median_fixed,
+            "auto_seconds": auto_wall,
+            "chosen": tuner["backend"],
+            "tuner_source": tuner["source"],
+            "tuner_reason": tuner["reason"],
+            "speedup_vs_median": (
+                median_fixed / auto_wall if auto_wall else 0.0
+            ),
+        }
+    return result
+
+
+def write_bench_json(
+    result: AutotuneBenchResult, path: str | Path = BENCH_JSON
+) -> Path:
+    """Write the machine-readable artifact in the shared BENCH_* schema."""
+    path = Path(path)
+    payload = {
+        "benchmark": "bench-autotune",
+        "records": [dict(row) for row in result.rows],
+        "detail": result.as_dict(),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    small = "--small" in args
+    as_json = "--json" in args
+    out = BENCH_JSON
+    for a in args:
+        if a.startswith("--out="):
+            out = a.split("=", 1)[1]
+    result = run_bench_autotune(
+        small=small,
+        repeats=2 if small else 3,
+        processors=2 if small else 4,
+    )
+    if as_json:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(result.report())
+    written = write_bench_json(result, out)
+    if not as_json:
+        print(f"\nwrote {written}")
+    result.check()
+    if not as_json:
+        print("\ncheck: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -229,6 +229,7 @@ class PreprocessedDoacross:
 def parallelize(
     loop: IrregularLoop,
     *args,
+    spec=None,
     processors: int = _UNSET,
     cost_model: CostModel | None = _UNSET,
     assert_independent: bool = _UNSET,
@@ -237,9 +238,9 @@ def parallelize(
     chunk: int = _UNSET,
     backend: str | Runner = "simulated",
     cache=None,
-    validate: str | None = None,
-    observe: bool = False,
-    analyze: str | None = None,
+    validate: str | None = _UNSET,
+    observe: bool = _UNSET,
+    analyze: str | None = _UNSET,
 ) -> tuple[RunResult, TransformPlan]:
     """Automatically select and run the cheapest sound strategy.
 
@@ -250,6 +251,18 @@ def parallelize(
 
     Parameters
     ----------
+    spec:
+        A :class:`~repro.passes.spec.PlanSpec` — the consolidated form of
+        the per-run options below.  When given, planning and execution go
+        through the schedule-pass pipeline (:mod:`repro.passes`):
+        unsupported options raise a structured
+        :class:`~repro.passes.spec.UnsupportedPlanOption` at plan time,
+        and the resulting plan is attached as
+        ``result.extras["schedule_plan"]``.  Cannot be combined with the
+        legacy option keywords (``cache`` is a resource and composes
+        fine).  The scattered ``schedule``/``chunk``/``validate``/
+        ``observe``/``analyze`` keywords still work but emit a
+        :class:`DeprecationWarning` pointing here.
     backend:
         Where to execute: ``"simulated"`` (default — simulated cycles, all
         strategy specializations), ``"threaded"`` (real threads,
@@ -257,7 +270,10 @@ def parallelize(
         wavefronts, measured wall clock, inspector-cache amortization),
         ``"multiproc"`` (real OS processes over shared memory,
         ``processors`` becomes the worker count, ``chunk`` sizes the §2.3
-        strips), or any :class:`~repro.backends.base.Runner` instance.
+        strips), ``"auto"`` (the telemetry-driven tuner picks a measured
+        backend per dependence structure; see
+        :mod:`repro.passes.autotune`), or any
+        :class:`~repro.backends.base.Runner` instance.
         Non-simulated backends execute every strategy through the same
         generalized protocol; the plan still records what a specializing
         compiler would have done.
@@ -297,6 +313,77 @@ def parallelize(
     known_distance, schedule, chunk)`` still works but emits a
     :class:`DeprecationWarning`.
     """
+    if spec is not None:
+        legacy = {
+            "processors": processors,
+            "cost_model": cost_model,
+            "assert_independent": assert_independent,
+            "known_distance": known_distance,
+            "schedule": schedule,
+            "chunk": chunk,
+            "validate": validate,
+            "observe": observe,
+            "analyze": analyze,
+        }
+        passed = [k for k, v in legacy.items() if v is not _UNSET]
+        if args or passed or backend != "simulated":
+            raise TypeError(
+                "parallelize(spec=...) cannot be combined with the legacy "
+                f"option keywords (got {passed or [repr(backend)]}); fold "
+                "them into the PlanSpec"
+            )
+        from repro.passes.execute import run_with_spec
+
+        return run_with_spec(loop, spec, cache=cache)
+
+    shimmed = [
+        name
+        for name, value in (
+            ("schedule", schedule),
+            ("chunk", chunk),
+            ("validate", validate),
+            ("observe", observe),
+            ("analyze", analyze),
+        )
+        if value is not _UNSET
+    ]
+    if shimmed and not args:
+        warnings.warn(
+            f"the {', '.join(shimmed)} keyword option(s) on parallelize are "
+            "deprecated; pass a consolidated PlanSpec via "
+            "parallelize(loop, spec=PlanSpec(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    validate = None if validate is _UNSET else validate
+    observe = False if observe is _UNSET else observe
+    analyze = None if analyze is _UNSET else analyze
+
+    if not isinstance(backend, Runner) and backend == "auto":
+        from repro.passes.execute import run_with_spec
+        from repro.passes.spec import PlanSpec
+
+        auto_spec = PlanSpec(
+            backend="auto",
+            processors=16 if processors is _UNSET else processors,
+            schedule=None if schedule is _UNSET else schedule,
+            chunk=None if chunk is _UNSET else chunk,
+            analyze=analyze,
+            validate=validate,
+            observe=observe,
+        )
+        return run_with_spec(
+            loop,
+            auto_spec,
+            cache=cache,
+            assert_independent=(
+                False if assert_independent is _UNSET else assert_independent
+            ),
+            known_distance=(
+                None if known_distance is _UNSET else known_distance
+            ),
+        )
+
     given = {
         "processors": processors,
         "cost_model": cost_model,
@@ -369,9 +456,9 @@ def parallelize(
 
                 runner = InstrumentedRunner(runner)
         else:
-            from repro.backends import make_runner
+            from repro.backends import _build_runner
 
-            runner = make_runner(
+            runner = _build_runner(
                 backend,
                 processors=opt["processors"],
                 cost_model=opt["cost_model"],

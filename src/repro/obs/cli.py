@@ -8,12 +8,18 @@ machine-readable exports (Chrome trace-event JSON for ``chrome://tracing``
 
 Usage::
 
-    python -m repro profile [--backend=NAME] [--loop=SPEC]
+    python -m repro profile [--backend=NAME|auto] [--loop=SPEC]
         [--processors=P] [--schedule=KIND] [--chunk=K]
         [--export=chrome|jsonl OUT] [--gantt] [--json]
 
 ``SPEC`` uses the same builtin grammar as ``python -m repro lint``
 (``figure4:n=2000,l=8``, ``chain:n=500,d=1``, ``random:seed=3``).
+
+Runs are planned through the schedule-pass pipeline where the options
+allow it, and the chosen plan — pass list, resolved backend, tuner
+decision for ``--backend=auto`` — is printed with the tables and
+embedded under ``"plan"`` in ``--json`` output, so tuner choices are
+auditable from the CLI.
 """
 
 from __future__ import annotations
@@ -92,14 +98,25 @@ def main(argv: list[str] | None = None) -> int:
         print(exc)
         return 2
 
-    from repro.backends import BACKENDS, make_runner
-    from repro.core.serialize import result_to_json
-    from repro.lint.cli import builtin_loops
+    import json as json_module
 
-    if opts["backend"] not in BACKENDS:
+    from repro.backends import BACKENDS, _build_runner
+    from repro.core.serialize import result_to_dict
+    from repro.errors import ScheduleError
+    from repro.lint.cli import builtin_loops
+    from repro.passes import (
+        PlanSpec,
+        UnsupportedPlanOption,
+        execute_plan,
+        plan_loop,
+    )
+    from repro.passes.spec import AUTO_BACKEND
+
+    known = BACKENDS + (AUTO_BACKEND,)
+    if opts["backend"] not in known:
         print(
             f"unknown backend {opts['backend']!r}; "
-            f"expected one of {', '.join(BACKENDS)}"
+            f"expected one of {', '.join(known)}"
         )
         return 2
     try:
@@ -108,20 +125,45 @@ def main(argv: list[str] | None = None) -> int:
         print(exc)
         return 2
 
-    runner = make_runner(
-        opts["backend"], processors=opts["processors"], observe=True
-    )
-    run_kwargs = {}
-    if opts["schedule"] is not None:
-        run_kwargs["schedule"] = opts["schedule"]
-    if opts["chunk"] is not None:
-        run_kwargs["chunk"] = opts["chunk"]
-    result = runner.run(loop, **run_kwargs)
+    # Preferred path: plan through the schedule-pass pipeline, so the
+    # printed/exported result carries the auditable plan (pass list +
+    # tuner decision).  Option combinations the pipeline rejects fall
+    # back to the legacy runner path, which documents what it ignores.
+    plan_audit = None
+    try:
+        spec = PlanSpec(
+            backend=opts["backend"],
+            processors=opts["processors"],
+            schedule=opts["schedule"],
+            chunk=opts["chunk"],
+            observe=True,
+        )
+        plan = plan_loop(loop, spec)
+        result = execute_plan(loop, plan)
+        plan_audit = plan.describe()
+    except UnsupportedPlanOption as exc:
+        if opts["backend"] == AUTO_BACKEND:
+            print(f"cannot plan: {exc}")
+            return 2
+        runner = _build_runner(
+            opts["backend"], processors=opts["processors"], observe=True
+        )
+        run_kwargs = {}
+        if opts["schedule"] is not None:
+            run_kwargs["schedule"] = opts["schedule"]
+        if opts["chunk"] is not None:
+            run_kwargs["chunk"] = opts["chunk"]
+        result = runner.run(loop, **run_kwargs)
+    except ScheduleError as exc:
+        print(exc)
+        return 2
     telemetry = result.telemetry
     assert telemetry is not None  # observe=True guarantees it
 
     if opts["json"]:
-        print(result_to_json(result))
+        payload = result_to_dict(result)
+        payload["plan"] = plan_audit
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
     else:
         unit = "s" if telemetry.clock == CLOCK_WALL else "cycles"
         phases = telemetry.phase_totals()
@@ -158,6 +200,14 @@ def main(argv: list[str] | None = None) -> int:
         if metric_rows:
             print()
             print(format_table(["kind", "metric", "value"], metric_rows))
+        if plan_audit is not None:
+            print(
+                f"plan: {' -> '.join(plan_audit['passes'])} "
+                f"(backend={plan_audit['backend']})"
+            )
+            tuner = plan_audit.get("tuner")
+            if tuner is not None:
+                print(f"tuner: {tuner['source']} — {tuner['reason']}")
         for note in result.extras.get("ignored_options", []):
             print(
                 f"note: {note['backend']} ignored "

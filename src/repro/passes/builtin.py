@@ -1,0 +1,251 @@
+"""The built-in schedule passes: today's scattered preprocessing, as passes.
+
+Each pass wraps one piece of scheduling logic that previously lived
+inside a backend or a wrapper class, exposing it under the
+requires/provides contract of :class:`~repro.passes.base.SchedulePass`:
+
+===================  ==========================  =======================
+pass                 subsumes                    provides
+===================  ==========================  =======================
+``validate-options`` ``note_ignored_options``    ``options``
+``fingerprint``      backend-private cache keys  ``fingerprint``
+``dependence-dag``   per-backend DAG builds      ``depgraph``
+``level-schedule``   ``compute_levels`` calls    ``levels``
+``doconsider``       ``Doconsider`` wrapper      ``order``
+``coloring``         ``greedy_coloring`` (mesh)  ``coloring``
+``fixed-backend``    ``backend=`` kwarg          ``backend``
+``auto-tune``        (new)                       ``backend``, ``tuner``
+``stripmine``        multiproc chunk formula     ``chunk``
+``inspector``        vectorized ``_preprocess``  ``record``
+===================  ==========================  =======================
+
+:func:`default_passes` composes them into the standard pipeline for a
+given :class:`~repro.passes.spec.PlanSpec`; any reordering that respects
+the declared contracts produces the same plan (tested in
+``tests/test_passes.py``).
+
+Note on coloring: the color-major sweep order changes the *iterate
+sequence* of a sweep-style loop (valid for relaxation, not for exact
+replay), so ``coloring`` is analysis-only here — its output never feeds
+the doacross execution order, which must preserve exact sequential
+semantics.  It is provided for mesh workloads that consume the color
+order explicitly and is not part of the default pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.cache import build_inspector_record, loop_fingerprint
+from repro.graph.coloring import greedy_coloring
+from repro.graph.depgraph import DependenceGraph
+from repro.graph.levels import compute_levels
+from repro.passes.base import PassContext, PassPipeline, SchedulePass
+from repro.passes.spec import AUTO_BACKEND, PlanSpec, check_options
+
+__all__ = [
+    "ValidateOptionsPass",
+    "LoopFingerprintPass",
+    "DependenceDAGPass",
+    "LevelSchedulePass",
+    "DoconsiderPass",
+    "ColoringPass",
+    "FixedBackendPass",
+    "StripminePass",
+    "InspectorPass",
+    "default_passes",
+    "default_pipeline",
+]
+
+
+class ValidateOptionsPass(SchedulePass):
+    """Reject spec options the requested backend cannot honor.
+
+    This is the plan-time replacement for the legacy
+    ``extras["ignored_options"]`` notes: an unsupported option raises a
+    structured :class:`~repro.passes.spec.UnsupportedPlanOption` here,
+    before any scheduling work happens.
+    """
+
+    name = "validate-options"
+    provides = ("options",)
+
+    def run(self, ctx: PassContext) -> None:
+        check_options(ctx.spec)
+        ctx.set("options", ctx.spec.tunable_options())
+
+
+class LoopFingerprintPass(SchedulePass):
+    """Content-address the loop's dependence structure.
+
+    The digest (:func:`~repro.backends.cache.loop_fingerprint`) keys both
+    the inspector cache and the auto-tuner's persisted decisions, so
+    "same structure" means the same thing to amortization and to tuning.
+    """
+
+    name = "fingerprint"
+    provides = ("fingerprint",)
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.set("fingerprint", loop_fingerprint(ctx.loop))
+
+
+class DependenceDAGPass(SchedulePass):
+    """Materialize the true-dependence DAG in CSR form."""
+
+    name = "dependence-dag"
+    provides = ("depgraph",)
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.set("depgraph", DependenceGraph.from_loop(ctx.loop))
+
+
+class LevelSchedulePass(SchedulePass):
+    """Wavefront (level) decomposition of the dependence DAG — the §3.2
+    doconsider preprocessing, shared by every consumer instead of being
+    recomputed privately per backend."""
+
+    name = "level-schedule"
+    requires = ("depgraph",)
+    provides = ("levels",)
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.set("levels", compute_levels(ctx.get("depgraph")))
+
+
+class DoconsiderPass(SchedulePass):
+    """Choose the execution order: natural, or the wavefront order.
+
+    Publishes ``order=None`` for ``reorder="natural"`` (the backend runs
+    iterations as written) and the level schedule's order for
+    ``reorder="doconsider"`` — the same reordering
+    :class:`~repro.core.doconsider.Doconsider` applies, minus the wrapper.
+    """
+
+    name = "doconsider"
+    requires = ("levels",)
+    provides = ("order",)
+
+    def run(self, ctx: PassContext) -> None:
+        if ctx.spec.reorder == "doconsider":
+            ctx.set("order", ctx.get("levels").order)
+        else:
+            ctx.set("order", None)
+
+
+class ColoringPass(SchedulePass):
+    """Greedy-color the dependence structure (analysis only — see the
+    module docstring for why a color order can never feed the doacross)."""
+
+    name = "coloring"
+    requires = ("depgraph",)
+    provides = ("coloring",)
+
+    def run(self, ctx: PassContext) -> None:
+        graph = ctx.get("depgraph")
+        n = graph.n
+        # Symmetrize the directed CSR: neighbors = successors ∪ predecessors.
+        out_deg = graph.succ_ptr[1:] - graph.succ_ptr[:-1]
+        in_deg = graph.pred_ptr[1:] - graph.pred_ptr[:-1]
+        counts = (out_deg + in_deg).astype(np.int64)
+        adj_ptr = np.zeros(n + 1, dtype=np.int64)
+        adj_ptr[1:] = np.cumsum(counts)
+        adj = np.empty(int(adj_ptr[-1]), dtype=np.int64)
+        cursor = adj_ptr[:-1].copy()
+        for v in range(n):
+            lo, hi = int(graph.succ_ptr[v]), int(graph.succ_ptr[v + 1])
+            adj[cursor[v] : cursor[v] + (hi - lo)] = graph.succ[lo:hi]
+            cursor[v] += hi - lo
+            lo, hi = int(graph.pred_ptr[v]), int(graph.pred_ptr[v + 1])
+            adj[cursor[v] : cursor[v] + (hi - lo)] = graph.pred[lo:hi]
+        ctx.set("coloring", greedy_coloring(adj_ptr, adj))
+
+
+class FixedBackendPass(SchedulePass):
+    """Resolve the backend the trivial way: the spec names it."""
+
+    name = "fixed-backend"
+    provides = ("backend",)
+
+    def run(self, ctx: PassContext) -> None:
+        ctx.set("backend", ctx.spec.backend)
+
+
+class StripminePass(SchedulePass):
+    """Pick the strip-mine chunk size for the resolved backend.
+
+    A caller-specified ``spec.chunk`` wins; otherwise the multiproc
+    backend gets its load-balance default (four strips per worker, the
+    formula previously private to
+    :class:`~repro.backends.multiproc.MultiprocRunner`) and backends
+    without a chunk knob get ``None``.
+    """
+
+    name = "stripmine"
+    requires = ("backend",)
+    provides = ("chunk",)
+
+    def run(self, ctx: PassContext) -> None:
+        spec = ctx.spec
+        backend = ctx.get("backend")
+        if spec.chunk is not None:
+            ctx.set("chunk", spec.chunk)
+        elif backend == "multiproc":
+            n = ctx.loop.n
+            ctx.set("chunk", max(1, -(-n // (4 * spec.processors))))
+        else:
+            ctx.set("chunk", None)
+
+
+class InspectorPass(SchedulePass):
+    """Run (or fetch) the full vectorized preprocessing — the Figure-3
+    inspector plus executor-ready term layout — through the shared
+    :class:`~repro.backends.cache.InspectorCache` when the context has
+    one, so planning warms the same cache execution reads."""
+
+    name = "inspector"
+    requires = ("fingerprint",)
+    provides = ("record",)
+
+    def run(self, ctx: PassContext) -> None:
+        if ctx.cache is not None:
+            record, _hit = ctx.cache.get_or_build(
+                ctx.loop, fingerprint=ctx.get("fingerprint")
+            )
+        else:
+            record = build_inspector_record(ctx.loop)
+        ctx.set("record", record)
+
+
+def default_passes(spec: PlanSpec) -> list[SchedulePass]:
+    """The standard pass sequence for ``spec``.
+
+    The shape is identical for every backend — validate, fingerprint,
+    DAG, levels, doconsider, backend resolution, stripmine — which is the
+    point of the framework: one pipeline, five consumers.  The only
+    variation is *which* backend-resolution pass runs (``fixed-backend``
+    vs ``auto-tune``) and whether the vectorized backend's inspector
+    record is prebuilt at plan time.
+    """
+    passes: list[SchedulePass] = [
+        ValidateOptionsPass(),
+        LoopFingerprintPass(),
+        DependenceDAGPass(),
+        LevelSchedulePass(),
+        DoconsiderPass(),
+    ]
+    if spec.backend == AUTO_BACKEND:
+        from repro.passes.autotune import AutoTunePass
+
+        passes.append(AutoTunePass())
+    else:
+        passes.append(FixedBackendPass())
+    passes.append(StripminePass())
+    if spec.backend == "vectorized" and spec.analyze is None:
+        passes.append(InspectorPass())
+    return passes
+
+
+def default_pipeline(spec: PlanSpec) -> PassPipeline:
+    """:func:`default_passes` wrapped in a validated pipeline."""
+    return PassPipeline(default_passes(spec))

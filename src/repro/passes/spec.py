@@ -1,0 +1,292 @@
+"""The unified :class:`PlanSpec`: one frozen value object for every
+execution option.
+
+Before this module, the execution configuration of a run was a kwargs
+sprawl spread over :func:`repro.core.doacross.parallelize` and
+:func:`repro.backends.make_runner` — ``backend``, ``analyze``,
+``validate``, ``observe``, ``schedule``, ``chunk``, and (on the threaded
+backend only) ``wait_timeout`` — with each backend privately deciding
+which of those it honors and silently noting the rest in
+``extras["ignored_options"]``.  :class:`PlanSpec` consolidates them into
+one immutable, hashable dataclass that the pass pipeline
+(:mod:`repro.passes.base`) plans against.
+
+The crucial semantic change: under a :class:`PlanSpec`, an option a
+backend cannot honor is **rejected at plan time** with a structured
+:class:`UnsupportedPlanOption` (a :class:`~repro.errors.ScheduleError`)
+instead of being silently recorded mid-run.  The support matrix lives
+here (:data:`OPTION_SUPPORT`) so "which backend honors what" is one
+table, not five code paths; the legacy keyword path keeps the old
+note-and-continue behavior for compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import ScheduleError
+
+__all__ = [
+    "PlanSpec",
+    "UnsupportedPlanOption",
+    "OPTION_SUPPORT",
+    "SPEC_BACKENDS",
+    "AUTO_BACKEND",
+    "REORDER_KINDS",
+    "check_options",
+]
+
+#: The tuner pseudo-backend: the pass pipeline resolves it to a concrete
+#: backend (:mod:`repro.passes.autotune`) before execution.
+AUTO_BACKEND = "auto"
+
+#: Backend names a :class:`PlanSpec` accepts (the concrete executors plus
+#: the auto-tuned selector).  Kept in sync with
+#: :data:`repro.backends.BACKENDS` by a test rather than an import, so
+#: this module stays import-light.
+SPEC_BACKENDS = ("simulated", "threaded", "vectorized", "multiproc", "auto")
+
+#: Iteration-order choices for the doconsider pass.
+REORDER_KINDS = ("natural", "doconsider")
+
+#: Which tunable option each backend honors.  ``backend``, ``processors``,
+#: ``analyze``, ``validate``, ``observe``, and ``reorder`` are universal
+#: (every backend accepts them, though ``analyze`` is planning-level on
+#: the simulated backend); this matrix covers the executor options whose
+#: support genuinely differs.  An option set on a :class:`PlanSpec` but
+#: absent from its backend's row raises :class:`UnsupportedPlanOption` at
+#: plan time.
+OPTION_SUPPORT: dict[str, frozenset[str]] = {
+    "simulated": frozenset({"schedule", "chunk"}),
+    "threaded": frozenset({"wait_timeout"}),
+    "vectorized": frozenset(),
+    "multiproc": frozenset({"chunk", "wait_timeout"}),
+    # The tuner picks among the real backends; options it cannot
+    # guarantee on every candidate are rejected up front.
+    "auto": frozenset({"chunk", "wait_timeout"}),
+}
+
+_REASONS = {
+    ("simulated", "wait_timeout"): (
+        "simulated busy-waits are bounded by the event engine's deadlock "
+        "detector, not a wall-clock timeout"
+    ),
+    ("threaded", "schedule"): (
+        "the threaded backend always distributes iterations cyclically "
+        "(deadlock-freedom precondition, DESIGN.md §6)"
+    ),
+    ("threaded", "chunk"): (
+        "the threaded backend always distributes iterations cyclically "
+        "(deadlock-freedom precondition, DESIGN.md §6)"
+    ),
+    ("vectorized", "schedule"): (
+        "the vectorized backend has no per-processor schedules; its "
+        "execution order is the wavefront decomposition itself"
+    ),
+    ("vectorized", "chunk"): (
+        "the vectorized backend has no per-processor schedules; its "
+        "execution order is the wavefront decomposition itself"
+    ),
+    ("vectorized", "wait_timeout"): (
+        "batched wavefront execution never busy-waits"
+    ),
+    ("multiproc", "schedule"): (
+        "the multiproc backend always assigns contiguous chunks "
+        "round-robin (deadlock-freedom precondition); use chunk= to size "
+        "the strips"
+    ),
+    ("auto", "schedule"): (
+        "the auto-tuner selects among backends that pick their own "
+        "iteration schedules"
+    ),
+}
+
+_ANALYZE_MODES = (None, "symbolic", "symbolic+check")
+_VALIDATE_MODES = (None, "static")
+
+
+class UnsupportedPlanOption(ScheduleError):
+    """A :class:`PlanSpec` option its backend cannot honor.
+
+    Raised at plan time — before any execution — replacing the legacy
+    path's silent ``extras["ignored_options"]`` note.  Structured so
+    tooling can react without parsing the message.
+
+    Attributes
+    ----------
+    backend:
+        The backend the option was checked against.
+    option:
+        The :class:`PlanSpec` field name.
+    value:
+        The offending value.
+    reason:
+        Why the backend cannot honor it.
+    """
+
+    def __init__(self, backend: str, option: str, value, reason: str):
+        self.backend = backend
+        self.option = option
+        self.value = value
+        self.reason = reason
+        super().__init__(
+            f"backend {backend!r} does not support {option}={value!r}: "
+            f"{reason} (reject at plan time; the legacy keyword path notes "
+            f"ignored options instead)"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-safe structured form (mirrors the legacy note layout)."""
+        value = self.value
+        if not isinstance(value, (bool, int, float, str, type(None))):
+            value = repr(value)
+        return {
+            "backend": self.backend,
+            "option": self.option,
+            "value": value,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """Immutable description of *how* a loop should be executed.
+
+    One object replaces the kwargs sprawl on ``parallelize()`` /
+    ``make_runner()``; being frozen and hashable it can key caches and be
+    attached to results verbatim.
+
+    Parameters
+    ----------
+    backend:
+        One of :data:`SPEC_BACKENDS` — a concrete executor or ``"auto"``
+        (the telemetry-driven tuner picks one per structural fingerprint).
+    processors:
+        Simulated processors / thread count / worker count (backend
+        dependent; the vectorized backend's parallelism is the wavefront
+        width and ignores it by long-standing contract).
+    schedule:
+        Executor iteration schedule kind (simulated backend only).
+    chunk:
+        Iteration chunk size (simulated schedules and multiproc §2.3
+        strips).
+    reorder:
+        ``"natural"`` (default) or ``"doconsider"`` — run in the §3.2
+        wavefront order computed by the pipeline's doconsider pass.
+    analyze:
+        ``None`` / ``"symbolic"`` / ``"symbolic+check"`` — the symbolic
+        dependence engine (see :mod:`repro.analysis`).
+    validate:
+        ``None`` / ``"static"`` — lint + happens-before race check before
+        execution.
+    observe:
+        Attach a :class:`~repro.obs.telemetry.Telemetry` blob to the
+        result.  Forced on under ``backend="auto"``: telemetry is the
+        tuner's training data.
+    wait_timeout:
+        Ceiling in seconds on any single blocking busy-wait (threaded
+        events / multiproc :class:`~repro.backends.waitladder.WaitLadder`).
+
+    Malformed values raise :class:`~repro.errors.ScheduleError` at
+    construction; *well-formed but unsupported-for-the-backend* values
+    raise :class:`UnsupportedPlanOption` at plan time
+    (:func:`check_options`), so a spec for backend A can be rebased onto
+    backend B with :meth:`with_backend` and re-checked.
+    """
+
+    backend: str = "simulated"
+    processors: int = 16
+    schedule: str | None = None
+    chunk: int | None = None
+    reorder: str = "natural"
+    analyze: str | None = None
+    validate: str | None = None
+    observe: bool = False
+    wait_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in SPEC_BACKENDS:
+            raise ScheduleError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{', '.join(SPEC_BACKENDS)}"
+            )
+        if self.processors < 1:
+            raise ScheduleError(
+                f"processors must be >= 1, got {self.processors}"
+            )
+        if self.chunk is not None and self.chunk < 1:
+            raise ScheduleError(f"chunk must be >= 1, got {self.chunk}")
+        if self.schedule is not None:
+            from repro.machine.scheduler import SCHEDULE_KINDS
+
+            if self.schedule not in SCHEDULE_KINDS:
+                raise ScheduleError(
+                    f"unknown schedule kind {self.schedule!r}; expected one "
+                    f"of {'/'.join(SCHEDULE_KINDS)}"
+                )
+        if self.reorder not in REORDER_KINDS:
+            raise ScheduleError(
+                f"unknown reorder kind {self.reorder!r}; expected one of "
+                f"{'/'.join(REORDER_KINDS)}"
+            )
+        if self.analyze not in _ANALYZE_MODES:
+            raise ScheduleError(
+                f"unknown analyze mode {self.analyze!r}; expected one of "
+                f"{_ANALYZE_MODES}"
+            )
+        if self.validate not in _VALIDATE_MODES:
+            raise ScheduleError(
+                f"unknown validate mode {self.validate!r}; expected "
+                f"'static' or None"
+            )
+        if self.wait_timeout is not None and self.wait_timeout <= 0:
+            raise ScheduleError(
+                f"wait_timeout must be > 0, got {self.wait_timeout}"
+            )
+
+    # ------------------------------------------------------------------
+    def with_backend(self, backend: str) -> "PlanSpec":
+        """The same spec rebased onto ``backend`` (used by the auto-tuner
+        to materialize its decision)."""
+        return replace(self, backend=backend)
+
+    def tunable_options(self) -> dict[str, object]:
+        """The executor options that are actually *set* (non-default) and
+        therefore subject to the backend support matrix."""
+        out: dict[str, object] = {}
+        if self.schedule is not None:
+            out["schedule"] = self.schedule
+        if self.chunk is not None:
+            out["chunk"] = self.chunk
+        if self.wait_timeout is not None:
+            out["wait_timeout"] = self.wait_timeout
+        return out
+
+    def as_dict(self) -> dict:
+        """JSON-safe flat form (attached to results and bench artifacts)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def check_options(spec: PlanSpec, backend: str | None = None) -> None:
+    """Raise :class:`UnsupportedPlanOption` for the first option ``spec``
+    sets that ``backend`` (default: ``spec.backend``) cannot honor.
+
+    This is the plan-time replacement for
+    :func:`repro.backends.base.note_ignored_options`: same support
+    knowledge, opposite failure mode — loud and early instead of silent
+    and late.
+    """
+    target = spec.backend if backend is None else backend
+    supported = OPTION_SUPPORT.get(target)
+    if supported is None:
+        raise ScheduleError(
+            f"unknown backend {target!r}; expected one of "
+            f"{', '.join(SPEC_BACKENDS)}"
+        )
+    for option, value in spec.tunable_options().items():
+        if option not in supported:
+            reason = _REASONS.get(
+                (target, option),
+                f"the {target} backend has no {option} knob",
+            )
+            raise UnsupportedPlanOption(target, option, value, reason)

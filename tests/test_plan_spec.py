@@ -1,0 +1,229 @@
+"""Tests for :class:`repro.passes.PlanSpec` — the consolidated run
+configuration (ISSUE 6 satellite 1) — and the plan-time option support
+matrix that makes ``extras["ignored_options"]`` obsolete (satellite 2).
+
+Includes the regression suite for the old call sites: every pre-PlanSpec
+keyword form still runs correctly, warns toward the consolidated API,
+and produces the same values as the spec path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.backends import BACKENDS, make_runner
+from repro.core.doacross import parallelize
+from repro.errors import ScheduleError
+from repro.passes import (
+    OPTION_SUPPORT,
+    PlanSpec,
+    SPEC_BACKENDS,
+    UnsupportedPlanOption,
+    check_options,
+)
+from repro.workloads.testloop import make_test_loop
+
+
+@pytest.fixture
+def loop():
+    return make_test_loop(n=120, m=2, l=8)
+
+
+class TestValueObject:
+    def test_frozen(self):
+        spec = PlanSpec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.backend = "threaded"
+
+    def test_hashable_and_equal_by_value(self):
+        a = PlanSpec(backend="threaded", processors=4)
+        b = PlanSpec(backend="threaded", processors=4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_defaults(self):
+        spec = PlanSpec()
+        assert spec.backend == "simulated"
+        assert spec.processors == 16
+        assert spec.reorder == "natural"
+        assert spec.tunable_options() == {}
+
+    def test_with_backend_rebases_without_mutating(self):
+        spec = PlanSpec(backend="auto", chunk=4)
+        rebased = spec.with_backend("multiproc")
+        assert rebased.backend == "multiproc"
+        assert rebased.chunk == 4
+        assert spec.backend == "auto"
+
+    def test_as_dict_is_json_safe_and_complete(self):
+        import json
+
+        spec = PlanSpec(backend="threaded", wait_timeout=2.5)
+        d = spec.as_dict()
+        assert json.loads(json.dumps(d)) == d
+        assert set(d) == {
+            "backend",
+            "processors",
+            "schedule",
+            "chunk",
+            "reorder",
+            "analyze",
+            "validate",
+            "observe",
+            "wait_timeout",
+        }
+
+    def test_tunable_options_lists_only_set_knobs(self):
+        spec = PlanSpec(schedule="cyclic", chunk=3)
+        assert spec.tunable_options() == {"schedule": "cyclic", "chunk": 3}
+
+    def test_spec_backends_track_backend_registry(self):
+        assert SPEC_BACKENDS == BACKENDS + ("auto",)
+
+
+class TestConstructionValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"backend": "cuda"}, "unknown backend"),
+            ({"processors": 0}, "processors must be >= 1"),
+            ({"chunk": 0}, "chunk must be >= 1"),
+            ({"schedule": "bogus"}, "unknown schedule kind"),
+            ({"reorder": "colored"}, "unknown reorder kind"),
+            ({"analyze": "psychic"}, "unknown analyze mode"),
+            ({"validate": "dynamic"}, "unknown validate mode"),
+            ({"wait_timeout": 0}, "wait_timeout must be > 0"),
+        ],
+    )
+    def test_malformed_values_raise_at_construction(self, kwargs, match):
+        with pytest.raises(ScheduleError, match=match):
+            PlanSpec(**kwargs)
+
+    def test_well_formed_but_unsupported_passes_construction(self):
+        # Support is a backend property, checked at plan time — the same
+        # spec must be rebasable across backends.
+        spec = PlanSpec(backend="vectorized", chunk=4)
+        check_options(spec, backend="multiproc")  # fine there
+        with pytest.raises(UnsupportedPlanOption):
+            check_options(spec)
+
+
+class TestOptionSupportMatrix:
+    def test_every_backend_has_a_row(self):
+        assert set(OPTION_SUPPORT) == set(SPEC_BACKENDS)
+
+    @pytest.mark.parametrize(
+        "backend, option, value",
+        [
+            ("threaded", "schedule", "cyclic"),
+            ("threaded", "chunk", 2),
+            ("vectorized", "chunk", 2),
+            ("vectorized", "wait_timeout", 1.0),
+            ("multiproc", "schedule", "block"),
+            ("simulated", "wait_timeout", 1.0),
+            ("auto", "schedule", "cyclic"),
+        ],
+    )
+    def test_unsupported_option_raises_with_reason(self, backend, option, value):
+        spec = PlanSpec(backend=backend, **{option: value})
+        with pytest.raises(UnsupportedPlanOption) as exc_info:
+            check_options(spec)
+        err = exc_info.value
+        assert err.backend == backend
+        assert err.option == option
+        assert err.value == value
+        assert err.reason  # every rejection explains itself
+        assert err.as_dict()["reason"] == err.reason
+
+    def test_unsupported_is_a_schedule_error(self):
+        # Callers catching the repro error taxonomy keep working.
+        with pytest.raises(ScheduleError):
+            check_options(PlanSpec(backend="vectorized", chunk=2))
+
+    @pytest.mark.parametrize(
+        "backend, kwargs",
+        [
+            ("simulated", {"schedule": "cyclic", "chunk": 2}),
+            ("threaded", {"wait_timeout": 5.0}),
+            ("vectorized", {}),
+            ("multiproc", {"chunk": 3, "wait_timeout": 5.0}),
+            ("auto", {"chunk": 3, "wait_timeout": 5.0}),
+        ],
+    )
+    def test_supported_options_check_clean(self, backend, kwargs):
+        check_options(PlanSpec(backend=backend, **kwargs))
+
+
+class TestOldCallSitesRegression:
+    """Pre-PlanSpec keyword forms: still correct, now warning."""
+
+    def test_parallelize_schedule_chunk_still_works(self, loop):
+        with pytest.warns(DeprecationWarning, match="PlanSpec"):
+            result, plan = parallelize(
+                loop, processors=4, schedule="cyclic", chunk=2
+            )
+        assert np.array_equal(result.y, loop.run_sequential())
+        assert plan.describe()
+
+    def test_parallelize_observe_still_works(self, loop):
+        with pytest.warns(DeprecationWarning, match="PlanSpec"):
+            result, _ = parallelize(loop, processors=4, observe=True)
+        assert result.telemetry is not None
+        assert np.array_equal(result.y, loop.run_sequential())
+
+    def test_parallelize_validate_still_works(self, loop):
+        with pytest.warns(DeprecationWarning, match="PlanSpec"):
+            result, _ = parallelize(loop, processors=4, validate="static")
+        assert "lint" in result.extras
+        assert np.array_equal(result.y, loop.run_sequential())
+
+    def test_make_runner_legacy_kwargs_still_work(self, loop):
+        with pytest.warns(DeprecationWarning, match="PlanSpec"):
+            runner = make_runner("threaded", processors=2, observe=True)
+        result = runner.run(loop)
+        assert result.telemetry is not None
+        assert np.array_equal(result.y, loop.run_sequential())
+
+    def test_legacy_path_still_notes_ignored_options(self, loop):
+        # The old path keeps its note-and-continue contract; only the
+        # spec path upgrades to plan-time rejection.
+        runner = make_runner("threaded", processors=2)
+        result = runner.run(loop, schedule="block")
+        notes = result.extras["ignored_options"]
+        assert notes and notes[0]["option"] == "schedule"
+
+    def test_spec_and_legacy_paths_agree_on_values(self, loop):
+        reference = loop.run_sequential()
+        spec_result, _ = parallelize(
+            loop,
+            spec=PlanSpec(backend="simulated", processors=4, schedule="cyclic"),
+        )
+        with pytest.warns(DeprecationWarning, match="PlanSpec"):
+            legacy_result, _ = parallelize(
+                loop, processors=4, schedule="cyclic"
+            )
+        assert np.array_equal(spec_result.y, reference)
+        assert np.array_equal(legacy_result.y, reference)
+
+    def test_spec_path_attaches_schedule_plan(self, loop):
+        result, _ = parallelize(
+            loop, spec=PlanSpec(backend="threaded", processors=2)
+        )
+        audit = result.extras["schedule_plan"]
+        assert audit["backend"] == "threaded"
+        assert audit["passes"][0] == "validate-options"
+        assert "ignored_options" not in result.extras
+
+    def test_warning_names_each_shimmed_keyword(self, loop):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            parallelize(loop, processors=4, schedule="cyclic", observe=True)
+        messages = [str(w.message) for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+        assert len(messages) == 1
+        assert "schedule" in messages[0] and "observe" in messages[0]

@@ -131,12 +131,41 @@ class TestDeprecationShims:
         with pytest.raises(TypeError, match="at most"):
             pd.run(loop, None, "natural", False, None, 1, False, "extra")
 
-    def test_keyword_form_does_not_warn(self, loop):
+    def test_core_keywords_do_not_warn(self, loop):
         import warnings
+
+        # processors/backend/cache are not part of the PlanSpec
+        # consolidation and stay warning-free.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            parallelize(loop, processors=4)
+            parallelize(loop, processors=4, backend="vectorized")
+
+    def test_consolidated_keywords_warn_toward_planspec(self, loop):
+        with pytest.warns(DeprecationWarning, match="PlanSpec"):
+            parallelize(loop, processors=4, schedule="cyclic", chunk=2)
+        with pytest.warns(DeprecationWarning, match="PlanSpec"):
+            make_runner("threaded", processors=2, observe=True)
+
+    def test_spec_form_does_not_warn(self, loop):
+        import warnings
+
+        from repro.passes import PlanSpec
 
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            parallelize(loop, processors=4, schedule="cyclic", chunk=2)
+            result, _ = parallelize(
+                loop, spec=PlanSpec(backend="threaded", processors=4)
+            )
+        np.testing.assert_allclose(result.y, loop.run_sequential())
+
+    def test_spec_rejects_legacy_keyword_mix(self, loop):
+        from repro.passes import PlanSpec
+
+        with pytest.raises(TypeError, match="cannot be combined"):
+            parallelize(loop, spec=PlanSpec(), chunk=2)
+        with pytest.raises(TypeError, match="cannot be combined"):
+            make_runner(spec=PlanSpec(backend="threaded"), observe=True)
 
 
 class TestParallelizeDispatch:

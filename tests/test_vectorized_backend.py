@@ -132,6 +132,7 @@ class TestParallelizeBackend:
             "hits": 1,
             "misses": 1,
             "bytes": cache.stats()["bytes"],
+            "tuner_entries": 0,
         }
 
     def test_shared_cache_via_keyword(self):
