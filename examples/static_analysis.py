@@ -76,7 +76,8 @@ def main() -> None:
 
     # --- 4. validate='static' wires the same check into execution -------
     result, plan = repro.parallelize(
-        loop, backend="vectorized", validate="static"
+        loop,
+        spec=repro.PlanSpec(backend="vectorized", validate="static"),
     )
     assert np.array_equal(result.y, loop.run_sequential())
     print(f"validated run matches the sequential oracle ({plan.strategy})")

@@ -65,6 +65,18 @@ Commands
     Measured wall clock of the symbolic inspector elision: full runtime
     inspector vs. ``analyze="symbolic"`` closed-form preprocessing on
     proven-affine workloads, written to ``BENCH_elision.json``.
+``sanitize <target>... [--backend=NAME] [--processors=P] [--json]
+         [--strict] | --mutants [--min-kill=F]``
+    Dynamic execution sanitizer: run each loop under
+    ``validate="sanitize"`` (shadow-logged accesses replayed with vector
+    clocks against the loop's true dependences) and report witnessed
+    happens-before violations; targets are resolved like ``lint``
+    targets.  ``--mutants`` runs the schedule-mutation harness instead
+    and gates on the detector's kill rate (default floor 0.9).
+``bench-sanitize [--small] [--json] [nx]``
+    Sanitizer overhead benchmark: the ≥50k-row sparse triangular solve
+    with and without ``validate="sanitize"``, gated at 5× overhead,
+    written to ``BENCH_sanitize.json``.
 ``version``
     Print the package version.
 """
@@ -224,6 +236,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.bench_elision import main as bench_eli_main
 
         return bench_eli_main(rest)
+    if command == "sanitize":
+        from repro.sanitize.cli import main as sanitize_main
+
+        return sanitize_main(rest)
+    if command == "bench-sanitize":
+        from repro.bench.bench_sanitize import main as bench_san_main
+
+        return bench_san_main(rest)
     if command == "bench-autotune":
         from repro.bench.bench_autotune import main as bench_at_main
 

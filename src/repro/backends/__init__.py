@@ -108,7 +108,12 @@ def make_runner(
     :class:`~repro.backends.validating.ValidatingRunner`: every ``run``
     first lint-checks the loop and race-checks the backend's schedule,
     raising :class:`~repro.errors.RaceConditionError` before execution if
-    a true dependence is unordered.
+    a true dependence is unordered.  ``validate="sanitize"`` wraps it in
+    a :class:`~repro.sanitize.runner.SanitizingRunner` instead: the
+    backend shadow-logs its actual reads, writes, posts, and waits, and
+    after the run a vector-clock replay checks every true dependence for
+    a *witnessed* happens-before edge, raising
+    :class:`~repro.errors.SanitizerError` on any uncovered pair.
 
     ``observe=True`` wraps the (possibly validating) runner in an
     :class:`~repro.obs.instrument.InstrumentedRunner`: every ``run``
@@ -234,12 +239,17 @@ def _build_runner(
             f"{', '.join(BACKENDS)}"
         )
     if validate is not None:
-        if validate != "static":
+        if validate == "static":
+            runner = ValidatingRunner(runner)
+        elif validate == "sanitize":
+            from repro.sanitize.runner import SanitizingRunner
+
+            runner = SanitizingRunner(runner)
+        else:
             raise ValueError(
-                f"unknown validate mode {validate!r}; expected 'static' or "
-                "None"
+                f"unknown validate mode {validate!r}; expected 'static', "
+                "'sanitize', or None"
             )
-        runner = ValidatingRunner(runner)
     if observe:
         from repro.obs.instrument import InstrumentedRunner
 

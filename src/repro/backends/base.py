@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.core.results import RunResult
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.spans import SpanRecorder
+    from repro.sanitize.shadow import ShadowCapture
 
 __all__ = [
     "Runner",
@@ -65,6 +66,13 @@ class Runner(abc.ABC):
     #: unobserved — the hot paths stay hook-free.
     _obs_recorder: "SpanRecorder | None" = None
     _obs_metrics: "MetricsRegistry | None" = None
+
+    #: Sanitizer hook: a :class:`~repro.sanitize.runner.SanitizingRunner`
+    #: attaches a :class:`~repro.sanitize.shadow.ShadowCapture` here for
+    #: the duration of one ``run``; backends append shadow-access and
+    #: synchronization events to per-lane logs when (and only when) this
+    #: is set.  ``None`` means unsanitized — again, hook-free hot paths.
+    _san_capture: "ShadowCapture | None" = None
 
     @abc.abstractmethod
     def run(

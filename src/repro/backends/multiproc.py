@@ -66,7 +66,7 @@ from repro.backends.waitladder import DEFAULT_LADDER, WaitLadder
 from repro.core.results import RunResult
 from repro.core.sequential import sequential_time
 from repro.core.workspace import MAXINT
-from repro.errors import ReproError
+from repro.errors import ReproError, WaitTimeout
 from repro.ir.loop import INIT_EXTERNAL, IrregularLoop
 from repro.machine.costs import CostModel
 from repro.obs.spans import CAT_COMPUTE, CAT_PHASE, CAT_WAIT
@@ -248,6 +248,9 @@ def _task_executor(sess: dict, opts: dict, wid: int) -> dict:
     chunk, workers = opts["chunk"], opts["workers"]
     has_order, external = opts["has_order"], opts["external"]
     observe, ladder = opts["observe"], opts["ladder"]
+    sanitize = opts.get("sanitize", False)
+    events: list | None = [] if sanitize else None
+    timed_out: WaitTimeout | None = None
     pid = os.getpid()
 
     if has_order:
@@ -262,65 +265,91 @@ def _task_executor(sess: dict, opts: dict, wid: int) -> dict:
         t_phase = time.perf_counter()
         seg_start = t_phase
 
-    for lo, hi in _chunk_ranges(n, chunk, workers, wid):
-        if has_order:
-            code = _code_ordered(sess, lo, hi, pos)
-        else:
-            key = (chunk, workers, lo)
-            code = sess["codes"].get(key)
-            if code is None:
-                code = sess["codes"][key] = _code_natural(sess, lo, hi)
-        cur = 0
-        for p in range(lo, hi):
-            i = int(order[p]) if has_order else p
-            w = write[i]
-            acc = init[i] if external else y[w]
-            for k in range(ptr[i], ptr[i + 1]):
-                c = code[cur]
-                cur += 1
-                idx = index[k]
-                if c == 0:
-                    value = y[idx]
-                elif c == 3:
-                    value = acc
-                elif c == 1:
-                    value = ynew[idx]
-                else:
-                    flag_checks += 1
-                    if ready[idx]:
+    try:
+        for lo, hi in _chunk_ranges(n, chunk, workers, wid):
+            if has_order:
+                code = _code_ordered(sess, lo, hi, pos)
+            else:
+                key = (chunk, workers, lo)
+                code = sess["codes"].get(key)
+                if code is None:
+                    code = sess["codes"][key] = _code_natural(sess, lo, hi)
+            cur = 0
+            for p in range(lo, hi):
+                i = int(order[p]) if has_order else p
+                w = write[i]
+                acc = init[i] if external else y[w]
+                for k in range(ptr[i], ptr[i + 1]):
+                    c = code[cur]
+                    cur += 1
+                    idx = index[k]
+                    if c == 0:
+                        if events is not None:
+                            events.append(("r", i, int(idx), 0))
+                        value = y[idx]
+                    elif c == 3:
+                        value = acc
+                    elif c == 1:
+                        # Same-chunk renamed read: this worker wrote it
+                        # earlier, so program order is the hb edge.
+                        if events is not None:
+                            events.append(("r", i, int(idx), 1))
                         value = ynew[idx]
                     else:
-                        busy_waits += 1
-                        element = int(idx)
-                        if observe:
-                            # Blocking wait: close the running compute
-                            # span, record the wait (threaded-backend
-                            # tiling invariant, same span vocabulary).
-                            w0 = time.perf_counter()
-                            spans.append(
-                                ("compute", CAT_COMPUTE, seg_start, w0,
-                                 {"pid": pid})
-                            )
-                            ladder.wait(
-                                lambda: ready[idx], element=element
-                            )
-                            w1 = time.perf_counter()
-                            spans.append(
-                                ("wait", CAT_WAIT, w0, w1,
-                                 {"pid": pid, "element": element})
-                            )
-                            wait_seconds += w1 - w0
-                            seg_start = w1
+                        flag_checks += 1
+                        if events is not None:
+                            # Log the acquire *before* blocking: the
+                            # per-chunk order is unchanged on success,
+                            # and a timed-out ladder leaves the
+                            # unsatisfied acquire in the shadow log for
+                            # the sanitizer to name.
+                            events.append(("a", int(idx)))
+                        if ready[idx]:
+                            value = ynew[idx]
                         else:
-                            wait_seconds += ladder.wait(
-                                lambda: ready[idx], element=element
-                            )
-                        value = ynew[idx]
-                acc += coeff[k] * value
-            ynew[w] = acc
-            ready[w] = 1
-            flag_sets += 1
-        iterations += hi - lo
+                            busy_waits += 1
+                            element = int(idx)
+                            if observe:
+                                # Blocking wait: close the running compute
+                                # span, record the wait (threaded-backend
+                                # tiling invariant, same span vocabulary).
+                                w0 = time.perf_counter()
+                                spans.append(
+                                    ("compute", CAT_COMPUTE, seg_start, w0,
+                                     {"pid": pid})
+                                )
+                                ladder.wait(
+                                    lambda: ready[idx], element=element
+                                )
+                                w1 = time.perf_counter()
+                                spans.append(
+                                    ("wait", CAT_WAIT, w0, w1,
+                                     {"pid": pid, "element": element})
+                                )
+                                wait_seconds += w1 - w0
+                                seg_start = w1
+                            else:
+                                wait_seconds += ladder.wait(
+                                    lambda: ready[idx], element=element
+                                )
+                            value = ynew[idx]
+                        if events is not None:
+                            events.append(("r", i, int(idx), 1))
+                    acc += coeff[k] * value
+                ynew[w] = acc
+                ready[w] = 1
+                if events is not None:
+                    events.append(("w", i, int(w)))
+                    events.append(("p", int(w)))
+                flag_sets += 1
+            iterations += hi - lo
+    except WaitTimeout as exc:
+        if events is None:
+            raise
+        # Sanitizing: ship the partial shadow log home with the timeout
+        # riding in the payload — the "err" path would discard the log,
+        # and the log usually explains the hang better than the timeout.
+        timed_out = exc
 
     payload: dict = {
         "wid": wid,
@@ -337,6 +366,10 @@ def _task_executor(sess: dict, opts: dict, wid: int) -> dict:
         spans.append(("compute", CAT_COMPUTE, seg_start, t_end, {"pid": pid}))
         spans.append(("executor", CAT_PHASE, t_phase, t_end, {"pid": pid}))
         payload["spans"] = spans
+    if events is not None:
+        payload["sanitize"] = {"pid": pid, "events": events}
+        if timed_out is not None:
+            payload["wait_timeout"] = timed_out
     return payload
 
 
@@ -711,6 +744,7 @@ class MultiprocRunner(Runner):
         if order is not None:
             sess.views["order"][:] = order
 
+        san = self._san_capture
         opts = {
             "chunk": c_size,
             "workers": self.workers,
@@ -718,6 +752,7 @@ class MultiprocRunner(Runner):
             "external": external,
             "observe": observe,
             "ladder": self.ladder,
+            "sanitize": san is not None,
         }
 
         # Phase 1: inspector — prefilled from the cache or the symbolic
@@ -743,7 +778,25 @@ class MultiprocRunner(Runner):
         # Phase 2: executor.  On WaitTimeout the session stays dirty and
         # is scrubbed on the next run; the pool itself survives.
         self._broadcast(("executor", sess.key, opts))
-        self._apply(self._collect("executor"), rec, met)
+        payloads = self._collect("executor")
+        self._apply(payloads, rec, met)
+        if san is not None:
+            timeout_exc: WaitTimeout | None = None
+            for payload in payloads:
+                if payload is None:
+                    continue
+                blob = payload.get("sanitize")
+                if blob is not None:
+                    san.ingest(
+                        payload["wid"], blob["events"], pid=blob["pid"]
+                    )
+                if timeout_exc is None:
+                    timeout_exc = payload.get("wait_timeout")
+            if timeout_exc is not None:
+                # Same contract as the unsanitized "err" path: the post
+                # phase never runs, the session stays dirty and is
+                # scrubbed wholesale by the next run.
+                raise timeout_exc
 
         # Phase 3: postprocess/reset — scratch reusable afterwards.
         self._broadcast(("post", sess.key, opts))

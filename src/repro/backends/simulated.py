@@ -282,8 +282,11 @@ class SimulatedRunner(Runner):
             np.full(loop.y_size, -1, dtype=np.int32) if coherence else None
         )
 
+        san = self._san_capture
+
         def run_body(st, lo: int, hi: int):
             """Execute positions ``lo..hi`` (generator; yields engine ops)."""
+            events = None if san is None else san.lane(st.proc)
             pending = 0
             for p in range(lo, hi):
                 i = p if order is None else order[p]
@@ -310,6 +313,9 @@ class SimulatedRunner(Runner):
                             yield Compute(pending)
                             pending = 0
                         yield WaitFlag(int(idx))
+                        if events is not None:
+                            events.append(("a", int(idx)))
+                            events.append(("r", int(i), int(idx), 1))
                         value = ynew[idx]
                         if coherence and owner[idx] != st.proc:
                             # Invalidation miss: the line is dirty in the
@@ -319,6 +325,8 @@ class SimulatedRunner(Runner):
                             owner[idx] = st.proc
                     else:
                         # Antidependence or never written: old value, no wait.
+                        if events is not None:
+                            events.append(("r", int(i), int(idx), 0))
                         value = y[idx]
                     acc += r_coeff[k] * value
                     pending += term_consume
@@ -328,6 +336,9 @@ class SimulatedRunner(Runner):
                 if pending:
                     yield Compute(pending)
                     pending = 0
+                if events is not None:
+                    events.append(("w", int(i), int(w)))
+                    events.append(("p", int(w)))
                 yield SetFlag(int(w))
                 st.iterations += 1
 

@@ -207,6 +207,7 @@ class ThreadedRunner(Runner):
         failure_lock = threading.Lock()
         rec = self._obs_recorder
         met = self._obs_metrics
+        san = self._san_capture
 
         def positions_for(tid: int) -> range:
             return range(tid, n, t_count)
@@ -230,6 +231,7 @@ class ThreadedRunner(Runner):
             flag_sets = 0
             busy_waits = 0
             wait_seconds = 0.0
+            events = None if san is None else san.lane(tid)
             try:
                 # Phase 1: inspector — each thread fills its slice of iter
                 # (skipped entirely when the symbolic proof prefilled it).
@@ -246,6 +248,8 @@ class ThreadedRunner(Runner):
                         "inspector", CAT_PHASE, t_phase, rec.now(),
                         lane=tid, elided=prefill_iter,
                     )
+                if events is not None:
+                    events.append(("b", 0))
                 barrier.wait()
 
                 # Phase 2: executor (Figure 5).  When observed, alternate
@@ -265,6 +269,13 @@ class ThreadedRunner(Runner):
                         elif writer < i:
                             flag_checks += 1
                             event = ready[idx]
+                            if events is not None:
+                                # Log the acquire *before* blocking: on a
+                                # successful wait the per-lane order is
+                                # unchanged, and a timed-out wait leaves
+                                # the unsatisfied acquire in the shadow
+                                # log for the sanitizer to name.
+                                events.append(("a", int(idx)))
                             if rec is not None and not event.is_set():
                                 # Blocking busy-wait: close the running
                                 # compute span, record the wait.
@@ -284,17 +295,26 @@ class ThreadedRunner(Runner):
                                 seg_start = w1
                             else:
                                 await_ready(event, int(idx))
+                            if events is not None:
+                                events.append(("r", i, int(idx), 1))
                             value = ynew[idx]
                         else:
+                            if events is not None:
+                                events.append(("r", i, int(idx), 0))
                             value = y[idx]
                         acc += r_coeff[k] * value
                     ynew[w] = acc
                     ready[w].set()
+                    if events is not None:
+                        events.append(("w", i, int(w)))
+                        events.append(("p", int(w)))
                     flag_sets += 1
                 if rec is not None:
                     t_end = rec.now()
                     rec.record("compute", CAT_COMPUTE, seg_start, t_end, lane=tid)
                     rec.record("executor", CAT_PHASE, t_phase, t_end, lane=tid)
+                if events is not None:
+                    events.append(("b", 1))
                 barrier.wait()
 
                 # Phase 3: postprocessor — reset scratch, copy back.

@@ -318,13 +318,41 @@ class VectorizedRunner(Runner):
 
         rec = self._obs_recorder
         met = self._obs_metrics
+        san = self._san_capture
+        n_levels = record.schedule.n_levels
+        if san is not None:
+            # Shadow lanes are wavefront levels; the synthetic token
+            # -(k+1) posted by level k and acquired by level k+1 is the
+            # log's rendering of "levels execute strictly in order".
+            san.meta["levels"] = n_levels
         if rec is not None:
             t_exec = rec.now()
 
-        for k in range(record.schedule.n_levels):
+        for k in range(n_levels):
             if rec is not None:
                 t_level = rec.now()
             p0, p1 = int(level_ptr[k]), int(level_ptr[k + 1])
+            if san is not None:
+                lane = san.lane(k)
+                if k > 0:
+                    lane.append(("a", -k))
+                tt0, tt1 = int(exec_ptr[p0]), int(exec_ptr[p1])
+                keep = ~intra[tt0:tt1]
+                ei = env_index[tt0:tt1][keep]
+                iters = np.repeat(
+                    exec_order[p0:p1], np.diff(exec_ptr[p0 : p1 + 1])
+                )[keep]
+                srcs = (ei >= y_size).astype(np.int64)
+                if len(ei):
+                    lane.append(
+                        ("R", iters, np.where(srcs == 1, ei - y_size, ei),
+                         srcs)
+                    )
+                lane.append(
+                    ("W", exec_order[p0:p1].copy(), exec_write[p0:p1].copy())
+                )
+                if k + 1 < n_levels:
+                    lane.append(("p", -(k + 1)))
             if external:
                 acc = init[p0:p1].copy()
             else:

@@ -41,6 +41,7 @@ from repro.backends import make_runner
 from repro.backends.cache import InspectorCache, build_inspector_record
 from repro.bench.reporting import format_table
 from repro.ir.loop import IrregularLoop
+from repro.passes.spec import PlanSpec
 from repro.workloads.synthetic import chain_loop
 from repro.workloads.testloop import make_test_loop
 
@@ -203,16 +204,17 @@ def _bench_case(
     # End-to-end cold runs; fresh cache per trial so neither path hits.
     def run_full():
         runner = make_runner(
-            "vectorized", cache=InspectorCache(), observe=True
+            spec=PlanSpec(backend="vectorized", observe=True),
+            cache=InspectorCache(),
         )
         return runner.run(loop)
 
     def run_elided():
         runner = make_runner(
-            "vectorized",
+            spec=PlanSpec(
+                backend="vectorized", observe=True, analyze="symbolic"
+            ),
             cache=InspectorCache(),
-            observe=True,
-            analyze="symbolic",
         )
         return runner.run(loop)
 

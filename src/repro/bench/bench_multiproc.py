@@ -246,9 +246,14 @@ def run_bench_multiproc(
     # compute/wait lanes, flag counters) — outside the timed race, since
     # span recording is not free.
     from repro.backends import make_runner
+    from repro.passes.spec import PlanSpec
 
     observed = make_runner(
-        "multiproc", processors=worker_counts[-1], observe=True
+        spec=PlanSpec(
+            backend="multiproc",
+            processors=worker_counts[-1],
+            observe=True,
+        )
     )
     try:
         out = observed.run(loop)

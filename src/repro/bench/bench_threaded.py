@@ -27,6 +27,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.backends import make_runner
+from repro.passes.spec import PlanSpec
 from repro.bench.reporting import format_table
 from repro.obs.spans import CAT_COMPUTE, CAT_PHASE, CAT_WAIT
 from repro.workloads.testloop import make_test_loop
@@ -127,7 +128,9 @@ def run_bench_threaded(
     would report a trivially zero wait fraction.
     """
     loop = make_test_loop(n=n, m=m, l=l)
-    runner = make_runner("threaded", processors=threads, observe=True)
+    runner = make_runner(
+        spec=PlanSpec(backend="threaded", processors=threads, observe=True)
+    )
     result = runner.run(loop)
     if not np.array_equal(result.y, loop.run_sequential()):
         raise AssertionError("threaded backend diverged from the oracle")

@@ -286,8 +286,14 @@ def parallelize(
         *before* executing; an uncovered true dependence raises
         :class:`~repro.errors.RaceConditionError`, and the findings are
         attached as ``result.extras["lint"]`` /
-        ``result.extras["race_check"]``.  ``None`` (default) skips
-        validation.
+        ``result.extras["race_check"]``.  ``"sanitize"`` checks the run
+        *dynamically* instead: the backend shadow-logs its actual reads,
+        writes, posts, and waits, and a vector-clock replay
+        (:mod:`repro.sanitize`) verifies every true dependence against a
+        witnessed happens-before edge, raising
+        :class:`~repro.errors.SanitizerError` on any uncovered pair and
+        attaching the clean report as ``result.extras["sanitize"]``.
+        ``None`` (default) skips validation.
     observe:
         ``True`` attaches a :class:`~repro.obs.telemetry.Telemetry` blob
         (phase spans + unified metrics, one schema on every backend) to
@@ -439,9 +445,10 @@ def parallelize(
         verdict=verdict,
     )
 
-    if validate not in (None, "static"):
+    if validate not in (None, "static", "sanitize"):
         raise ValueError(
-            f"unknown validate mode {validate!r}; expected 'static' or None"
+            f"unknown validate mode {validate!r}; expected 'static', "
+            "'sanitize', or None"
         )
 
     if isinstance(backend, Runner) or backend != "simulated":
@@ -451,6 +458,10 @@ def parallelize(
                 from repro.backends.validating import ValidatingRunner
 
                 runner = ValidatingRunner(runner)
+            elif validate == "sanitize":
+                from repro.sanitize.runner import SanitizingRunner
+
+                runner = SanitizingRunner(runner)
             if observe:
                 from repro.obs.instrument import InstrumentedRunner
 
@@ -515,21 +526,29 @@ def parallelize(
         chunk=opt["chunk"],
     )
     runner = pd.runner()
-    if plan.strategy == STRATEGY_DOALL:
-        result = runner.run_doall(
-            loop, schedule=opt["schedule"], chunk=opt["chunk"]
-        )
-    elif plan.strategy == STRATEGY_CLASSIC_DOACROSS:
-        result = runner.run_classic(
-            loop,
-            plan.uniform_distance,
-            schedule=opt["schedule"],
-            chunk=opt["chunk"],
-        )
-    elif plan.strategy == STRATEGY_LINEAR:
-        result = pd.run(loop, linear=True)
+
+    def _dispatch() -> RunResult:
+        if plan.strategy == STRATEGY_DOALL:
+            return runner.run_doall(
+                loop, schedule=opt["schedule"], chunk=opt["chunk"]
+            )
+        if plan.strategy == STRATEGY_CLASSIC_DOACROSS:
+            return runner.run_classic(
+                loop,
+                plan.uniform_distance,
+                schedule=opt["schedule"],
+                chunk=opt["chunk"],
+            )
+        if plan.strategy == STRATEGY_LINEAR:
+            return pd.run(loop, linear=True)
+        return pd.run(loop)
+
+    if validate == "sanitize":
+        from repro.sanitize.runner import sanitize_simulated_run
+
+        result = sanitize_simulated_run(runner, loop, _dispatch)
     else:
-        result = pd.run(loop)
+        result = _dispatch()
     if validate == "static":
         result.extras["lint"] = [d.as_dict() for d in lint_findings]
         result.extras["race_check"] = race_report.as_dict()

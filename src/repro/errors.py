@@ -14,6 +14,7 @@ __all__ = [
     "OutputDependenceError",
     "ScheduleError",
     "RaceConditionError",
+    "SanitizerError",
     "MatrixFormatError",
     "SingularMatrixError",
     "CalibrationError",
@@ -85,6 +86,29 @@ class RaceConditionError(ScheduleError):
     ----------
     report:
         The :class:`~repro.lint.hb.RaceReport` listing uncovered edges.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        super().__init__(report.summary())
+
+
+class SanitizerError(ScheduleError):
+    """The execution sanitizer (``validate="sanitize"``) witnessed a run
+    whose shadow-access log violates the §2.2 post/wait protocol.
+
+    Where :class:`RaceConditionError` reports a *planned* order the static
+    happens-before checker cannot cover, this error reports an *actual*
+    execution in which a read of a renamed value was not ordered after its
+    write by any witnessed post/wait (or barrier) edge — or in which a
+    wait was acquired that no post ever satisfied.
+
+    Attributes
+    ----------
+    report:
+        The :class:`~repro.sanitize.detector.SanitizeReport` whose
+        violations name the iterations, the element, the lanes involved,
+        and the missing synchronization edge.
     """
 
     def __init__(self, report):

@@ -29,6 +29,11 @@ Options
                          fails only on *new* diagnostics
 ``--write-baseline=FILE`` record the current findings as the baseline
                          and exit 0 (mutually exclusive with --baseline)
+``--prune-baseline``     with ``--baseline=FILE``: rewrite FILE keeping
+                         only the recorded findings the current run still
+                         produces, dropping stale entries (fixed findings
+                         whose baseline keys would otherwise shadow any
+                         future regression), and exit 0
 
 A baseline file is JSON — ``{"version": 1, "findings": [key, ...]}``
 with one ``rule|loop|location`` key per accepted finding.  Suppressed
@@ -56,11 +61,12 @@ from repro.lint.diagnostics import (
     format_diagnostics,
 )
 from repro.lint.driver import run_lints
-from repro.lint.rules import rule_ids
+from repro.lint.rules import LegacyKwargsRule, rule_ids
 
 __all__ = [
     "main",
     "collect_loops",
+    "collect_sources",
     "loops_from_file",
     "builtin_loops",
     "baseline_key",
@@ -162,6 +168,26 @@ def _file_has_hook(path: Path) -> bool:
     return any(hook in text for hook in _HOOKS)
 
 
+def collect_sources(targets: list[str]) -> list[Path]:
+    """Resolve targets to the ``.py`` files they name, for the
+    source-level rules (``LEGACY-KWARGS``).  Builtin specs contribute no
+    sources; directories contribute every ``*.py`` under them — *all* of
+    them, not just loop-hook files, since a deprecated call site is a
+    finding wherever it lives."""
+    sources: list[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            sources.extend(
+                file
+                for file in sorted(path.rglob("*.py"))
+                if "__pycache__" not in file.parts
+            )
+        elif path.is_file() and path.suffix == ".py":
+            sources.append(path)
+    return sources
+
+
 def collect_loops(
     targets: list[str],
 ) -> list[tuple[str, str, IrregularLoop]]:
@@ -206,7 +232,9 @@ def main(argv: list[str]) -> int:
     backend: str | None = None
     only: list[str] | None = None
     baseline: set[str] | None = None
+    baseline_path: Path | None = None
     write_baseline: Path | None = None
+    prune_baseline = False
     targets: list[str] = []
     try:
         for arg in argv:
@@ -214,8 +242,11 @@ def main(argv: list[str]) -> int:
                 as_json = True
             elif arg == "--strict":
                 strict = True
+            elif arg == "--prune-baseline":
+                prune_baseline = True
             elif arg.startswith("--baseline="):
-                baseline = load_baseline(Path(arg.split("=", 1)[1]))
+                baseline_path = Path(arg.split("=", 1)[1])
+                baseline = load_baseline(baseline_path)
             elif arg.startswith("--write-baseline="):
                 write_baseline = Path(arg.split("=", 1)[1])
             elif arg.startswith("--schedule="):
@@ -244,6 +275,11 @@ def main(argv: list[str]) -> int:
             raise ValueError(
                 "--baseline and --write-baseline are mutually exclusive"
             )
+        if prune_baseline and baseline is None:
+            raise ValueError(
+                "--prune-baseline needs --baseline=FILE to know which "
+                "file to rewrite"
+            )
         if not targets:
             raise ValueError(
                 "no targets; give a .py file, a directory, or a builtin "
@@ -258,16 +294,14 @@ def main(argv: list[str]) -> int:
     all_keys: set[str] = set()
     total_suppressed = 0
     worst = ""
-    for source, name, loop in loops:
-        diagnostics = run_lints(
-            loop,
-            schedule=schedule,
-            chunk=chunk,
-            processors=processors,
-            strip_block=strip_block,
-            only=only,
-            backend=backend,
-        )
+
+    def ingest(
+        source: str,
+        name: str,
+        diagnostics: list[Diagnostic],
+        quiet_when_clean: bool = False,
+    ) -> None:
+        nonlocal total_suppressed, worst
         all_keys.update(baseline_key(d) for d in diagnostics)
         suppressed: list[Diagnostic] = []
         if baseline is not None:
@@ -278,6 +312,8 @@ def main(argv: list[str]) -> int:
                 d for d in diagnostics if baseline_key(d) not in baseline
             ]
             total_suppressed += len(suppressed)
+        if quiet_when_clean and not diagnostics and not suppressed:
+            return
         records.append(
             {
                 "source": source,
@@ -287,12 +323,61 @@ def main(argv: list[str]) -> int:
             }
         )
         worst = _worse(worst, diagnostics)
-        if not as_json and write_baseline is None:
+        if not as_json and write_baseline is None and not prune_baseline:
             print(f"== {name} ({source}) ==")
             print(format_diagnostics(diagnostics))
             if suppressed:
                 print(f"({len(suppressed)} baselined finding(s) suppressed)")
             print()
+
+    for source, name, loop in loops:
+        ingest(
+            source,
+            name,
+            run_lints(
+                loop,
+                schedule=schedule,
+                chunk=chunk,
+                processors=processors,
+                strip_block=strip_block,
+                only=only,
+                backend=backend,
+            ),
+        )
+
+    # Source-level rules run per target file, not per harvested loop:
+    # a deprecated call site is a finding whether or not the file also
+    # defines a loop hook.
+    if only is None or LegacyKwargsRule.rule_id in only:
+        scanner = LegacyKwargsRule()
+        for file in collect_sources(targets):
+            try:
+                text = file.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            ingest(
+                str(file),
+                file.name,
+                list(scanner.scan(str(file), text)),
+                quiet_when_clean=True,
+            )
+
+    if prune_baseline:
+        assert baseline is not None and baseline_path is not None
+        kept = baseline & all_keys
+        stale = sorted(baseline - all_keys)
+        baseline_path.write_text(
+            json.dumps({"version": 1, "findings": sorted(kept)}, indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"pruned {len(stale)} stale finding key(s) from "
+            f"{baseline_path} ({len(kept)} kept)"
+        )
+        for key in stale:
+            print(f"  - {key}")
+        return 0
 
     if write_baseline is not None:
         write_baseline.write_text(

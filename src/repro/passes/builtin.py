@@ -51,6 +51,7 @@ __all__ = [
     "DoconsiderPass",
     "ColoringPass",
     "FixedBackendPass",
+    "SanitizePass",
     "StripminePass",
     "InspectorPass",
     "default_passes",
@@ -171,6 +172,27 @@ class FixedBackendPass(SchedulePass):
         ctx.set("backend", ctx.spec.backend)
 
 
+class SanitizePass(SchedulePass):
+    """Plan the dynamic sanitizer's workload for ``validate="sanitize"``.
+
+    The sanitizer itself runs *during* execution (shadow logging) and
+    *after* it (vector-clock replay, :mod:`repro.sanitize`); what belongs
+    in the plan is the contract it will enforce — the set of true
+    read-after-write pairs that must each be covered by a witnessed
+    happens-before edge.  Publishing the pair count here makes the
+    sanitize workload part of ``plan.describe()`` and lets callers see
+    up front that a dependence-free loop has nothing to check.
+    """
+
+    name = "sanitize"
+    provides = ("sanitize",)
+
+    def run(self, ctx: PassContext) -> None:
+        from repro.sanitize.detector import required_pairs
+
+        ctx.set("sanitize", {"pairs": len(required_pairs(ctx.loop))})
+
+
 class StripminePass(SchedulePass):
     """Pick the strip-mine chunk size for the resolved backend.
 
@@ -241,6 +263,8 @@ def default_passes(spec: PlanSpec) -> list[SchedulePass]:
     else:
         passes.append(FixedBackendPass())
     passes.append(StripminePass())
+    if spec.validate == "sanitize":
+        passes.append(SanitizePass())
     if spec.backend == "vectorized" and spec.analyze is None:
         passes.append(InspectorPass())
     return passes

@@ -57,10 +57,10 @@ REORDER_KINDS = ("natural", "doconsider")
 #: absent from its backend's row raises :class:`UnsupportedPlanOption` at
 #: plan time.
 OPTION_SUPPORT: dict[str, frozenset[str]] = {
-    "simulated": frozenset({"schedule", "chunk"}),
-    "threaded": frozenset({"wait_timeout"}),
-    "vectorized": frozenset(),
-    "multiproc": frozenset({"chunk", "wait_timeout"}),
+    "simulated": frozenset({"schedule", "chunk", "sanitize"}),
+    "threaded": frozenset({"wait_timeout", "sanitize"}),
+    "vectorized": frozenset({"sanitize"}),
+    "multiproc": frozenset({"chunk", "wait_timeout", "sanitize"}),
     # The tuner picks among the real backends; options it cannot
     # guarantee on every candidate are rejected up front.
     "auto": frozenset({"chunk", "wait_timeout"}),
@@ -99,10 +99,14 @@ _REASONS = {
         "the auto-tuner selects among backends that pick their own "
         "iteration schedules"
     ),
+    ("auto", "sanitize"): (
+        "the sanitizer's shadow logging inflates the telemetry the tuner "
+        "trains on; sanitize against a concrete backend instead"
+    ),
 }
 
 _ANALYZE_MODES = (None, "symbolic", "symbolic+check")
-_VALIDATE_MODES = (None, "static")
+_VALIDATE_MODES = (None, "static", "sanitize")
 
 
 class UnsupportedPlanOption(ScheduleError):
@@ -177,8 +181,14 @@ class PlanSpec:
         ``None`` / ``"symbolic"`` / ``"symbolic+check"`` — the symbolic
         dependence engine (see :mod:`repro.analysis`).
     validate:
-        ``None`` / ``"static"`` — lint + happens-before race check before
-        execution.
+        ``None`` / ``"static"`` / ``"sanitize"``.  ``"static"`` lint +
+        happens-before race checks the backend's schedule *before*
+        execution; ``"sanitize"`` shadow-logs the actual memory accesses
+        and synchronization events *during* execution and replays them
+        against the loop's true dependences with vector clocks
+        (:mod:`repro.sanitize`), raising
+        :class:`~repro.errors.SanitizerError` on any read not covered by
+        a witnessed happens-before edge.
     observe:
         Attach a :class:`~repro.obs.telemetry.Telemetry` blob to the
         result.  Forced on under ``backend="auto"``: telemetry is the
@@ -237,7 +247,7 @@ class PlanSpec:
         if self.validate not in _VALIDATE_MODES:
             raise ScheduleError(
                 f"unknown validate mode {self.validate!r}; expected "
-                f"'static' or None"
+                f"'static', 'sanitize', or None"
             )
         if self.wait_timeout is not None and self.wait_timeout <= 0:
             raise ScheduleError(
@@ -260,6 +270,11 @@ class PlanSpec:
             out["chunk"] = self.chunk
         if self.wait_timeout is not None:
             out["wait_timeout"] = self.wait_timeout
+        if self.validate == "sanitize":
+            # Dynamic sanitizing needs backend cooperation (shadow-log
+            # instrumentation), so unlike the static modes it goes
+            # through the support matrix.
+            out["sanitize"] = True
         return out
 
     def as_dict(self) -> dict:

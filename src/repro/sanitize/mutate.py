@@ -1,0 +1,607 @@
+"""Schedule-mutation harness: proof of detector power.
+
+A race detector that never fires is indistinguishable from one that
+cannot fire.  This module provides the evidence: a deterministic
+:class:`ProtocolInterpreter` that *models* the §2.2 post/wait protocol
+in each backend shape (chunked workers, cyclic threads, wavefront
+levels) and emits exactly the shadow logs a conforming backend would —
+then a registry of :data:`MUTANTS` that corrupt the protocol the way a
+buggy executor would: dropped waits, dropped posts, reversed chunk
+round-robin, stale ``iter`` entries, skipped shm scrubs,
+posts-before-writes, merged wavefront levels, skipped barriers.
+
+The interpreter distinguishes the **planned** schedule (which drives
+wait-*elision* decisions, exactly as a real backend bakes elisions in at
+plan time) from the **actual** schedule it executes — so mutants that
+change only the actual order (e.g. ``reverse-round-robin``) invalidate
+elisions that were sound under the plan, which is precisely the class of
+bug static checking cannot see.
+
+:func:`run_mutation_suite` asserts two things at once:
+
+- every unmutated interpretation is **clean** (no false positives), and
+- the detector **kills** (reports at least one violation for) at least
+  ``min_kill`` of the mutants.
+
+The resulting kill rate is a CI gate (the dynamic dual of the
+corrupted-schedule happens-before tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.ir.analysis import CAT_TRUE, classify_reads, writer_map
+from repro.sanitize.detector import SanitizeReport, detect
+from repro.sanitize.events import SRC_NEW, SRC_OLD
+from repro.sanitize.shadow import ShadowCapture
+
+__all__ = [
+    "InterpreterConfig",
+    "ProtocolInterpreter",
+    "Mutant",
+    "MUTANTS",
+    "MutantResult",
+    "MutationReport",
+    "run_mutation_suite",
+]
+
+
+@dataclass
+class InterpreterConfig:
+    """Knobs of one protocol interpretation.  The default configuration
+    is a conforming execution; mutants flip individual knobs."""
+
+    mode: str = "chunked"  # "chunked" | "threaded" | "levels"
+    lanes: int = 3
+    chunk: int = 4
+    # --- mutation knobs (all off by default) ---
+    #: Suppress the first N acquire events a conforming run would emit.
+    drop_waits: int = 0
+    #: Suppress the first N post events a conforming run would emit.
+    drop_posts: int = 0
+    #: Each worker executes its chunk list in reverse order while
+    #: wait-elision decisions still assume the planned (ascending) order.
+    reverse_round_robin: bool = False
+    #: Corrupt the ``iter`` array for the first N true-dependence
+    #: elements: their entries revert to "unwritten", so readers take
+    #: the stale input value without waiting.
+    stale_iter: int = 0
+    #: Model a skipped shm scrub: the ready flags of the first N
+    #: true-dependence elements are left set from a previous session, so
+    #: readers skip the wait entirely.
+    skip_scrub: int = 0
+    #: Emit each post before its write instead of after it.
+    post_before_write: bool = False
+    #: (levels mode) Execute level k+1's iterations inside level k —
+    #: all gathers before all scatters, as the vectorized kernel would.
+    merge_level_at: int | None = None
+    #: (threaded mode) This lane skips the phase barrier.
+    skip_barrier_lane: int | None = None
+    #: (levels mode) Suppress the chain handoff post out of this level.
+    drop_chain_link_at: int | None = None
+
+
+class ProtocolInterpreter:
+    """Deterministically interpret the post/wait protocol over a loop,
+    emitting the shadow log a backend of the given shape would."""
+
+    def __init__(self, loop, config: InterpreterConfig):
+        self.loop = loop
+        self.cfg = config
+        self.writer_of = writer_map(loop)
+        # Elements that carry at least one cross-iteration true
+        # dependence, in ascending order — the targets the scoped
+        # mutants (stale_iter, skip_scrub) corrupt so the corruption is
+        # guaranteed to matter.
+        readers, writers, categories = classify_reads(loop)
+        mask = categories == CAT_TRUE
+        self.dep_elements = np.unique(
+            np.asarray(loop.reads.index)[mask]
+        )
+        # (writer, reader, element) per cross-iteration true-dep term,
+        # for mutants that must target pairs with a known lane shape.
+        self.dep_triples = np.stack(
+            [
+                writers[mask],
+                readers[mask],
+                np.asarray(loop.reads.index, dtype=np.int64)[mask],
+            ],
+            axis=1,
+        ) if mask.any() else np.empty((0, 3), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def interpret(self) -> ShadowCapture:
+        capture = ShadowCapture()
+        cfg = self.cfg
+        if cfg.mode == "chunked":
+            self._run_chunked(capture)
+        elif cfg.mode == "threaded":
+            self._run_threaded(capture)
+        elif cfg.mode == "levels":
+            self._run_levels(capture)
+        else:  # pragma: no cover - config error
+            raise ValueError(f"unknown interpreter mode {cfg.mode!r}")
+        return capture
+
+    # ------------------------------------------------------------------
+    def _corrupted_iter(self) -> np.ndarray:
+        """The ``iter`` array as the (possibly mutated) run sees it."""
+        arr = self.writer_of.copy()
+        if self.cfg.stale_iter:
+            for e in self.dep_elements[: self.cfg.stale_iter]:
+                arr[e] = -1
+        return arr
+
+    def _stale_flags(
+        self, elide: Callable[[int, int], bool] | None = None
+    ) -> set:
+        """Elements whose ready flags a skipped scrub leaves set.
+
+        Only dependences whose wait would actually be *taken* (not
+        elided into program order) are affected — a stale flag on a
+        program-order-covered pair is harmless, so corrupting it would
+        model a bug no execution can exhibit."""
+        if not self.cfg.skip_scrub:
+            return set()
+        chosen: set = set()
+        for w, r, e in self.dep_triples:
+            if elide is not None and elide(int(w), int(r)):
+                continue
+            chosen.add(int(e))
+            if len(chosen) >= self.cfg.skip_scrub:
+                break
+        return chosen
+
+    def _emit_iteration(
+        self,
+        events: List[tuple],
+        i: int,
+        iter_arr: np.ndarray,
+        stale_flags: set,
+        budget: Dict[str, int],
+        elide_wait: Callable[[int, int], bool],
+        cross_lane: Callable[[int, int], bool],
+    ) -> None:
+        """One iteration of the Figure-5 executor body.
+
+        ``cross_lane`` tells the drop-wait mutant which waits *matter*:
+        dropping a wait whose pair is covered by program order anyway
+        would make an equivalent mutant (undetectable by any sound
+        detector), so only cross-lane waits are droppable."""
+        cfg = self.cfg
+        indices, _ = self.loop.reads.terms_of(i)
+        for idx in indices:
+            idx = int(idx)
+            writer = int(iter_arr[idx])
+            if writer == i:
+                continue  # intra-iteration: the accumulator, not memory
+            if 0 <= writer < i:
+                if idx in stale_flags:
+                    pass  # flag left set by a previous session: no wait
+                elif elide_wait(writer, i):
+                    pass  # planned-ownership elision: program order
+                elif (
+                    budget["waits"] < cfg.drop_waits
+                    and cross_lane(writer, i)
+                ):
+                    budget["waits"] += 1  # mutated executor skips the wait
+                else:
+                    events.append(("a", idx))
+                events.append(("r", i, idx, SRC_NEW))
+            else:
+                events.append(("r", i, idx, SRC_OLD))
+        w = int(self.loop.write[i])
+        post = True
+        if budget["posts"] < cfg.drop_posts:
+            budget["posts"] += 1
+            post = False
+        if post and cfg.post_before_write:
+            events.append(("p", w))
+            events.append(("w", i, w))
+        else:
+            events.append(("w", i, w))
+            if post:
+                events.append(("p", w))
+
+    # ------------------------------------------------------------------
+    def _run_chunked(self, capture: ShadowCapture) -> None:
+        """Multiproc shape: chunks round-robined over workers; waits on
+        cross-owner dependences are elided when the *planned* owner of
+        the writer's chunk matches the reader's (program order on that
+        worker covers them)."""
+        cfg = self.cfg
+        n = self.loop.n
+        n_chunks = -(-n // cfg.chunk)
+        iter_arr = self._corrupted_iter()
+        budget = {"waits": 0, "posts": 0}
+
+        def chunk_of(i: int) -> int:
+            return i // cfg.chunk
+
+        def planned_lane(c: int) -> int:
+            return c % cfg.lanes
+
+        def elide(writer: int, reader: int) -> bool:
+            cw, cr = chunk_of(writer), chunk_of(reader)
+            return planned_lane(cw) == planned_lane(cr) and cw <= cr
+
+        stale = self._stale_flags(elide)
+
+        def cross(writer: int, reader: int) -> bool:
+            return planned_lane(chunk_of(writer)) != planned_lane(
+                chunk_of(reader)
+            )
+
+        for lane in range(cfg.lanes):
+            events = capture.lane(lane)
+            chunks = [c for c in range(n_chunks) if planned_lane(c) == lane]
+            if cfg.reverse_round_robin:
+                chunks = chunks[::-1]
+            for c in chunks:
+                lo, hi = c * cfg.chunk, min((c + 1) * cfg.chunk, n)
+                for i in range(lo, hi):
+                    self._emit_iteration(
+                        events, i, iter_arr, stale, budget, elide, cross
+                    )
+
+    def _run_threaded(self, capture: ShadowCapture) -> None:
+        """Threaded shape: cyclic iteration assignment, a phase barrier
+        between inspector and executor, waits never elided."""
+        cfg = self.cfg
+        n = self.loop.n
+        iter_arr = self._corrupted_iter()
+        stale = self._stale_flags()
+        budget = {"waits": 0, "posts": 0}
+
+        def never(_w: int, _r: int) -> bool:
+            return False
+
+        def cross(writer: int, reader: int) -> bool:
+            return writer % cfg.lanes != reader % cfg.lanes
+
+        for lane in range(cfg.lanes):
+            events = capture.lane(lane)
+            if lane != cfg.skip_barrier_lane:
+                events.append(("b", 0))
+            for i in range(lane, n, cfg.lanes):
+                self._emit_iteration(
+                    events, i, iter_arr, stale, budget, never, cross
+                )
+            if lane != cfg.skip_barrier_lane:
+                events.append(("b", 1))
+
+    def _run_levels(self, capture: ShadowCapture) -> None:
+        """Vectorized shape: lanes are wavefront levels chained by
+        synthetic handoff tokens, with bulk per-level events."""
+        cfg = self.cfg
+        loop = self.loop
+        iter_arr = self._corrupted_iter()
+        level_of = np.zeros(loop.n, dtype=np.int64)
+        for i in range(loop.n):
+            indices, _ = loop.reads.terms_of(i)
+            lv = 0
+            for idx in indices:
+                writer = int(self.writer_of[idx])
+                if 0 <= writer < i:
+                    lv = max(lv, int(level_of[writer]) + 1)
+            level_of[i] = lv
+        n_levels = int(level_of.max()) + 1 if loop.n else 1
+
+        merged = cfg.merge_level_at
+        lane_of_level = list(range(n_levels))
+        if merged is not None and merged + 1 < n_levels:
+            lane_of_level[merged + 1] = merged
+
+        members: Dict[int, List[int]] = {}
+        for i in range(loop.n):
+            members.setdefault(lane_of_level[int(level_of[i])], []).append(i)
+
+        capture.meta["levels"] = n_levels
+        for k in range(n_levels):
+            events = capture.lane(k)
+            if k > 0:
+                events.append(("a", -k))
+            iters = members.get(k, [])
+            r_it: List[int] = []
+            r_el: List[int] = []
+            r_src: List[int] = []
+            w_it: List[int] = []
+            w_el: List[int] = []
+            for i in iters:
+                indices, _ = loop.reads.terms_of(i)
+                for idx in indices:
+                    idx = int(idx)
+                    writer = int(iter_arr[idx])
+                    if writer == i:
+                        continue
+                    r_it.append(i)
+                    r_el.append(idx)
+                    r_src.append(
+                        SRC_NEW if 0 <= writer < i else SRC_OLD
+                    )
+                w_it.append(i)
+                w_el.append(int(loop.write[i]))
+            if r_it:
+                events.append(
+                    (
+                        "R",
+                        np.asarray(r_it, dtype=np.int64),
+                        np.asarray(r_el, dtype=np.int64),
+                        np.asarray(r_src, dtype=np.int64),
+                    )
+                )
+            if w_it:
+                events.append(
+                    (
+                        "W",
+                        np.asarray(w_it, dtype=np.int64),
+                        np.asarray(w_el, dtype=np.int64),
+                    )
+                )
+            if k + 1 < n_levels and cfg.drop_chain_link_at != k:
+                events.append(("p", -(k + 1)))
+
+
+# ----------------------------------------------------------------------
+# Mutant registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One deliberately injected protocol bug."""
+
+    name: str
+    description: str
+    mode: str
+    expect: Tuple[str, ...]
+    apply: Callable[[InterpreterConfig], None]
+    #: Restrict to workloads whose name contains one of these substrings
+    #: (``None``: all).  Some bugs need a dependence shape every backend
+    #: sees but not every toy workload has (e.g. reverse-round-robin
+    #: needs a dependence spanning several chunks).
+    only: Tuple[str, ...] | None = None
+
+
+def _set(**kwargs) -> Callable[[InterpreterConfig], None]:
+    def mutate(cfg: InterpreterConfig) -> None:
+        for k, v in kwargs.items():
+            setattr(cfg, k, v)
+
+    return mutate
+
+
+MUTANTS: Tuple[Mutant, ...] = (
+    Mutant(
+        "drop-wait-threaded",
+        "executor reads ynew without awaiting the ready flag",
+        "threaded",
+        ("no-hb-edge",),
+        _set(drop_waits=3, lanes=4),
+    ),
+    Mutant(
+        "drop-post-threaded",
+        "writer never sets its ready flag",
+        "threaded",
+        ("unsatisfied-acquire", "no-hb-edge"),
+        _set(drop_posts=2),
+    ),
+    Mutant(
+        "post-before-write",
+        "flag set before the value lands in ynew",
+        "threaded",
+        ("no-hb-edge",),
+        _set(post_before_write=True, lanes=4),
+    ),
+    Mutant(
+        "split-barrier",
+        "one thread skips the inspector/executor phase barrier",
+        "threaded",
+        ("unsatisfied-barrier",),
+        _set(skip_barrier_lane=1),
+    ),
+    Mutant(
+        "stale-iter",
+        "corrupt iter entries send readers to the stale input value",
+        "threaded",
+        ("stale-read",),
+        _set(stale_iter=2),
+    ),
+    Mutant(
+        "drop-wait-chunked",
+        "worker reads ynew without awaiting the ready flag",
+        "chunked",
+        ("no-hb-edge",),
+        _set(drop_waits=3),
+    ),
+    Mutant(
+        "reverse-round-robin",
+        "workers drain their chunk lists in reverse while planned-"
+        "ownership wait elisions assume ascending order",
+        "chunked",
+        ("no-hb-edge",),
+        _set(reverse_round_robin=True, chunk=2, lanes=2),
+        only=("irregular",),
+    ),
+    Mutant(
+        "skip-scrub",
+        "shm session scrub skipped: ready flags left set from the "
+        "previous run",
+        "chunked",
+        ("no-hb-edge",),
+        _set(skip_scrub=2),
+    ),
+    Mutant(
+        "stale-iter-chunked",
+        "corrupt iter entries in the shared session",
+        "chunked",
+        ("stale-read",),
+        _set(stale_iter=2),
+    ),
+    Mutant(
+        "merge-levels",
+        "two adjacent wavefront levels fused: their cross deps become "
+        "same-level and unordered",
+        "levels",
+        ("no-hb-edge",),
+        _set(merge_level_at=1),
+    ),
+    Mutant(
+        "break-level-chain",
+        "a level handoff token is never posted",
+        "levels",
+        ("unsatisfied-acquire", "no-hb-edge"),
+        _set(drop_chain_link_at=1),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class MutantResult:
+    name: str
+    mode: str
+    workload: str
+    killed: bool
+    expected: Tuple[str, ...]
+    matched_expected: bool
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "workload": self.workload,
+            "killed": self.killed,
+            "expected": list(self.expected),
+            "matched_expected": self.matched_expected,
+            "counts": dict(self.counts),
+        }
+
+
+@dataclass
+class MutationReport:
+    results: List[MutantResult] = field(default_factory=list)
+    baselines: List[Tuple[str, str, bool]] = field(default_factory=list)
+
+    @property
+    def kill_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.killed for r in self.results) / len(self.results)
+
+    @property
+    def baseline_clean(self) -> bool:
+        return all(ok for _, _, ok in self.baselines)
+
+    def passed(self, min_kill: float = 0.9) -> bool:
+        return self.baseline_clean and self.kill_rate >= min_kill
+
+    def summary(self) -> str:
+        killed = sum(r.killed for r in self.results)
+        lines = [
+            f"mutation suite: {killed}/{len(self.results)} mutant(s) "
+            f"killed (kill rate {self.kill_rate:.0%}); baselines "
+            f"{'clean' if self.baseline_clean else 'NOT CLEAN'}"
+        ]
+        for r in self.results:
+            mark = "KILLED" if r.killed else "SURVIVED"
+            note = "" if r.matched_expected else " (unexpected kind)"
+            lines.append(
+                f"  [{mark}] {r.name} ({r.mode}, {r.workload})"
+                f"{note}: {r.counts or '-'}"
+            )
+        for mode, workload, ok in self.baselines:
+            if not ok:
+                lines.append(
+                    f"  [FALSE POSITIVE] unmutated {mode} on {workload}"
+                )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kill_rate": self.kill_rate,
+            "baseline_clean": self.baseline_clean,
+            "mutants": [r.as_dict() for r in self.results],
+            "baselines": [
+                {"mode": m, "workload": w, "clean": ok}
+                for m, w, ok in self.baselines
+            ],
+        }
+
+
+def _default_workloads() -> List[Tuple[str, Any]]:
+    from repro.workloads.synthetic import chain_loop, random_irregular_loop
+
+    return [
+        ("chain-48-d1", chain_loop(48, 1)),
+        ("chain-60-d3", chain_loop(60, 3)),
+        ("irregular-100-s5", random_irregular_loop(100, seed=5)),
+    ]
+
+
+def run_mutation_suite(
+    workloads: List[Tuple[str, Any]] | None = None,
+    mutants: Tuple[Mutant, ...] = MUTANTS,
+) -> MutationReport:
+    """Interpret every mutant over every workload it applies to.
+
+    A mutant counts as *killed* if the detector reports at least one
+    violation on **every** workload (a detector that only fires on easy
+    shapes does not get credit); an unmutated interpretation of each
+    mode over each workload must stay clean.
+    """
+    if workloads is None:
+        workloads = _default_workloads()
+    report = MutationReport()
+
+    for mode in ("chunked", "threaded", "levels"):
+        for wl_name, loop in workloads:
+            capture = ProtocolInterpreter(
+                loop, InterpreterConfig(mode=mode)
+            ).interpret()
+            verdict = detect(capture, loop)
+            report.baselines.append((mode, wl_name, verdict.ok))
+
+    for mutant in mutants:
+        killed_everywhere = True
+        matched = True
+        merged_counts: Dict[str, int] = {}
+        names = []
+        for wl_name, loop in workloads:
+            if mutant.only is not None and not any(
+                tag in wl_name for tag in mutant.only
+            ):
+                continue
+            cfg = InterpreterConfig(mode=mutant.mode)
+            mutant.apply(cfg)
+            capture = ProtocolInterpreter(loop, cfg).interpret()
+            verdict: SanitizeReport = detect(capture, loop)
+            names.append(wl_name)
+            if verdict.ok:
+                killed_everywhere = False
+            else:
+                for k, v in verdict.counts.items():
+                    merged_counts[k] = merged_counts.get(k, 0) + v
+                if not any(k in mutant.expect for k in verdict.counts):
+                    matched = False
+        report.results.append(
+            MutantResult(
+                name=mutant.name,
+                mode=mutant.mode,
+                workload="+".join(names),
+                killed=killed_everywhere,
+                expected=mutant.expect,
+                matched_expected=matched,
+                counts=merged_counts,
+            )
+        )
+    return report

@@ -1,0 +1,83 @@
+"""Vector clocks over shadow-log lanes.
+
+A lane's *own* component never needs storing: replay processes each
+lane's events in order, so a lane's own time is simply "index of the
+current event, plus one".  What must be stored is the *cross-lane*
+knowledge a lane accumulates by acquiring posted tokens or passing
+barriers.  :class:`VectorClock` is therefore a sparse mapping
+``lane_id -> timestamp`` holding only components a lane has learned
+about; missing components are implicitly zero.
+
+Happens-before for a read-after-write pair is then one lookup: the write
+by lane ``w`` at time ``t`` happens before the reader's clock ``vc``
+iff ``vc.get(w) >= t`` (or the reader *is* lane ``w`` and its own time
+exceeds ``t`` — the replay handles that case positionally).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Mapping, Tuple
+
+__all__ = ["VectorClock"]
+
+Lane = Hashable
+
+
+class VectorClock:
+    """A sparse vector clock: ``lane -> last known timestamp``.
+
+    Instances are mutable during replay (joins happen in place) but
+    cheap to snapshot (:meth:`copy`) at the synchronization points where
+    the detector needs a checkpoint.
+    """
+
+    __slots__ = ("_c",)
+
+    def __init__(self, components: Mapping[Lane, int] | None = None):
+        self._c: Dict[Lane, int] = dict(components) if components else {}
+
+    def get(self, lane: Lane) -> int:
+        """The clock's component for ``lane`` (0 if never learned)."""
+        return self._c.get(lane, 0)
+
+    def covers(self, lane: Lane, timestamp: int) -> bool:
+        """True iff this clock has witnessed ``lane`` advance to at
+        least ``timestamp`` — i.e. the event at ``timestamp`` on
+        ``lane`` happens-before the point this clock describes."""
+        return self._c.get(lane, 0) >= timestamp
+
+    def advance(self, lane: Lane, timestamp: int) -> None:
+        """Raise ``lane``'s component to at least ``timestamp``."""
+        if timestamp > self._c.get(lane, 0):
+            self._c[lane] = timestamp
+
+    def join(self, other: "VectorClock") -> None:
+        """Component-wise maximum, in place (the acquire-side merge)."""
+        c = self._c
+        for lane, t in other._c.items():
+            if t > c.get(lane, 0):
+                c[lane] = t
+
+    def copy(self) -> "VectorClock":
+        vc = VectorClock()
+        vc._c = dict(self._c)
+        return vc
+
+    def items(self) -> Iterator[Tuple[Lane, int]]:
+        return iter(self._c.items())
+
+    def as_dict(self) -> Dict[Lane, int]:
+        return dict(self._c)
+
+    def __len__(self) -> int:
+        return len(self._c)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._c == other._c
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}:{v}" for k, v in sorted(
+            self._c.items(), key=lambda kv: str(kv[0])))
+        return f"VectorClock({{{inner}}})"

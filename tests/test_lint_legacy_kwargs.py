@@ -1,0 +1,162 @@
+"""The ``LEGACY-KWARGS`` source-level lint rule and ``--prune-baseline``."""
+
+import json
+
+from repro.__main__ import main as repro_main
+from repro.lint.rules import LegacyKwargsRule, rule_ids
+
+
+def run_cli(capsys, *argv):
+    code = repro_main(["lint", *argv])
+    return code, capsys.readouterr().out
+
+
+LEGACY_SOURCE = '''\
+import repro
+from repro.backends import make_runner
+
+def run_legacy(loop):  # scanned by AST, never executed by the harvest
+    result, _ = repro.parallelize(loop, validate="static", observe=True)
+    runner = make_runner("threaded", analyze="symbolic")
+    clean = make_runner(spec=repro.PlanSpec(backend="threaded"))
+    other = configure(validate="static")  # not an entry point: ignored
+    return result
+
+def build_loop():
+    return repro.chain_loop(40, 1)
+'''
+
+
+class TestLegacyKwargsRule:
+    def test_registered(self):
+        assert "LEGACY-KWARGS" in rule_ids()
+
+    def test_scan_flags_deprecated_keywords(self):
+        findings = list(
+            LegacyKwargsRule().scan("demo.py", LEGACY_SOURCE)
+        )
+        assert len(findings) == 2
+        by_line = {f.location: f for f in findings}
+        par = by_line["demo.py:5"]
+        assert "parallelize()" in par.message
+        assert "validate, observe" in par.message
+        assert "spec=PlanSpec(validate=..., observe=...)" in par.suggestion
+        run = by_line["demo.py:6"]
+        assert "make_runner()" in run.message
+        assert "analyze" in run.message
+
+    def test_scan_ignores_spec_calls_and_other_functions(self):
+        clean = (
+            "import repro\n"
+            "r, _ = repro.parallelize(loop, spec=repro.PlanSpec())\n"
+            "x = configure(validate='static')\n"
+            "y = repro.parallelize(loop, processors=4)\n"
+        )
+        assert list(LegacyKwargsRule().scan("c.py", clean)) == []
+
+    def test_scan_skips_unparseable_source(self):
+        assert list(LegacyKwargsRule().scan("bad.py", "def f(:")) == []
+
+    def test_make_runner_schedule_kwarg_is_not_flagged(self):
+        # make_runner never took schedule/chunk; only the three shimmed
+        # options count for it.
+        src = "make_runner('simulated', schedule='cyclic')\n"
+        assert list(LegacyKwargsRule().scan("s.py", src)) == []
+
+    def test_loop_level_check_is_a_no_op(self):
+        assert list(LegacyKwargsRule().check(None)) == []
+
+
+class TestLegacyKwargsCLI:
+    def test_cli_reports_legacy_call_sites(self, tmp_path, capsys):
+        target = tmp_path / "legacy.py"
+        target.write_text(LEGACY_SOURCE)
+        code, out = run_cli(capsys, str(target))
+        assert code == 0  # warnings alone don't fail the gate
+        assert "LEGACY-KWARGS" in out
+        assert "legacy.py:5" in out
+        code, _ = run_cli(capsys, str(target), "--strict")
+        assert code == 1
+
+    def test_rules_filter_selects_source_scan(self, tmp_path, capsys):
+        target = tmp_path / "legacy.py"
+        target.write_text(LEGACY_SOURCE)
+        code, out = run_cli(capsys, str(target), "--rules=LEGACY-KWARGS")
+        assert "LEGACY-KWARGS" in out
+        code, out = run_cli(capsys, str(target), "--rules=DOALL-ABLE")
+        assert "LEGACY-KWARGS" not in out
+
+    def test_internal_targets_are_clean(self, capsys):
+        # Dogfooding: the shipped examples and workloads must not trip
+        # the rule they motivated.
+        code, out = run_cli(
+            capsys,
+            "examples/",
+            "workloads/",
+            "--rules=LEGACY-KWARGS",
+            "--strict",
+        )
+        assert code == 0
+        assert "LEGACY-KWARGS" not in out
+
+    def test_findings_are_baselineable(self, tmp_path, capsys):
+        target = tmp_path / "legacy.py"
+        target.write_text(LEGACY_SOURCE)
+        baseline = tmp_path / "base.json"
+        code, out = run_cli(
+            capsys, str(target), f"--write-baseline={baseline}"
+        )
+        assert code == 0
+        keys = json.loads(baseline.read_text())["findings"]
+        assert any(k.startswith("LEGACY-KWARGS|") for k in keys)
+        code, out = run_cli(
+            capsys, str(target), "--strict", f"--baseline={baseline}"
+        )
+        assert code == 0
+        assert "LEGACY-KWARGS" not in out
+
+
+class TestPruneBaseline:
+    def test_prunes_stale_entries_keeps_live_ones(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        code, _ = run_cli(
+            capsys, "figure4:n=60,m=2,l=7", f"--write-baseline={baseline}"
+        )
+        assert code == 0
+        payload = json.loads(baseline.read_text())
+        live = set(payload["findings"])
+        assert live
+        payload["findings"].append("DEAD-WAIT|gone-loop|term slot(s) 9")
+        baseline.write_text(json.dumps(payload))
+
+        code, out = run_cli(
+            capsys,
+            "figure4:n=60,m=2,l=7",
+            f"--baseline={baseline}",
+            "--prune-baseline",
+        )
+        assert code == 0
+        assert "pruned 1 stale finding key(s)" in out
+        assert "DEAD-WAIT|gone-loop|term slot(s) 9" in out
+        after = json.loads(baseline.read_text())
+        assert set(after["findings"]) == live
+        assert after["version"] == 1
+
+    def test_noop_prune_rewrites_identical_set(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        run_cli(capsys, "chain:n=40,d=1", f"--write-baseline={baseline}")
+        before = set(json.loads(baseline.read_text())["findings"])
+        code, out = run_cli(
+            capsys,
+            "chain:n=40,d=1",
+            f"--baseline={baseline}",
+            "--prune-baseline",
+        )
+        assert code == 0
+        assert "pruned 0 stale finding key(s)" in out
+        assert set(json.loads(baseline.read_text())["findings"]) == before
+
+    def test_prune_requires_baseline(self, capsys):
+        code = repro_main(["lint", "chain:n=40,d=1", "--prune-baseline"])
+        capsys.readouterr()
+        assert code == 2

@@ -86,6 +86,7 @@ def test_registry_knows_the_built_in_rules():
         "CHUNK-CYCLE",
         "UNREACHED-ELEMENT",
         "SYMBOLIC-MISMATCH",
+        "LEGACY-KWARGS",
     }
     assert all(isinstance(r, LintRule) for r in all_rules())
 

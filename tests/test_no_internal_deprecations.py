@@ -1,0 +1,138 @@
+"""No repro-internal caller may hit its own deprecation shims.
+
+The legacy ``validate=``/``observe=``/``analyze=``/``schedule=``/
+``chunk=`` keywords on ``parallelize``/``make_runner`` warn and forward
+to the consolidated :class:`~repro.passes.spec.PlanSpec` path.  The shims
+exist for *external* callers; internal code (CLIs, benches, passes) must
+be migrated, not shimmed — otherwise every bench run spams warnings and
+the deprecation can never be completed.
+
+Each test runs an internal entry point with ``DeprecationWarning``
+escalated to an error *for warnings attributed to repro modules* (the
+shims use ``stacklevel=2``, so a warning's origin is its caller: an
+internal call site is attributed to ``repro.*``, an external one to the
+test module).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import warnings
+
+import pytest
+
+
+@contextlib.contextmanager
+def _no_internal_deprecations():
+    with warnings.catch_warnings():
+        warnings.filterwarnings(
+            "error",
+            category=DeprecationWarning,
+            module=r"repro(\..*)?",
+        )
+        yield
+
+
+class TestBenchesUseSpecPath:
+    def test_bench_threaded(self):
+        from repro.bench.bench_threaded import run_bench_threaded
+
+        with _no_internal_deprecations():
+            result = run_bench_threaded(n=300, threads=2)
+        assert result.wall_seconds > 0
+
+    def test_bench_elision(self):
+        from repro.bench.bench_elision import run_bench_elision
+
+        with _no_internal_deprecations():
+            result = run_bench_elision(n=400, repeats=1)
+        assert len(result.cases) == 3
+
+    @pytest.mark.slow
+    def test_bench_multiproc(self):
+        from repro.bench.bench_multiproc import run_bench_multiproc
+
+        with _no_internal_deprecations():
+            result = run_bench_multiproc(
+                nx=24, threads=2, worker_counts=(2,)
+            )
+        assert result.rows
+
+    def test_bench_sanitize(self):
+        from repro.bench.bench_sanitize import run_bench_sanitize
+
+        with _no_internal_deprecations():
+            result = run_bench_sanitize(nx=16, threads=2)
+        result.check()  # small n: correctness + cleanliness only
+        assert result.overhead("threaded") > 0
+
+
+class TestCLIsUseSpecPath:
+    def test_profile_cli(self):
+        from repro.obs.cli import main
+
+        with _no_internal_deprecations():
+            with contextlib.redirect_stdout(io.StringIO()):
+                code = main(
+                    [
+                        "--loop=chain:n=200,d=1",
+                        "--backend=threaded",
+                        "--processors=2",
+                    ]
+                )
+        assert code == 0
+
+    def test_analyze_cli(self):
+        from repro.analysis.cli import main
+
+        with _no_internal_deprecations():
+            with contextlib.redirect_stdout(io.StringIO()):
+                code = main(["chain:n=100,d=2"])
+        assert code == 0
+
+    def test_sanitize_cli(self):
+        from repro.sanitize.cli import main
+
+        with _no_internal_deprecations():
+            with contextlib.redirect_stdout(io.StringIO()):
+                code = main(
+                    ["chain:n=60,d=2", "--backend=threaded",
+                     "--processors=2"]
+                )
+        assert code == 0
+
+
+class TestSpecPathIsWarningFree:
+    def test_parallelize_spec(self):
+        import numpy as np
+
+        from repro.core.doacross import parallelize
+        from repro.passes.spec import PlanSpec
+        from repro.workloads.synthetic import chain_loop
+
+        loop = chain_loop(80, 2)
+        with _no_internal_deprecations():
+            result, _plan = parallelize(
+                loop,
+                spec=PlanSpec(
+                    backend="threaded", processors=2, validate="sanitize"
+                ),
+            )
+        assert np.allclose(result.y, loop.run_sequential())
+
+    def test_legacy_keyword_still_warns_caller(self):
+        # The shim itself must stay: external callers get exactly one
+        # DeprecationWarning attributed to *their* frame.
+        from repro.backends import make_runner
+        from repro.workloads.synthetic import chain_loop
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            runner = make_runner("threaded", processors=2, observe=True)
+            runner.run(chain_loop(40, 1))
+        deps = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deps) == 1
+        assert "PlanSpec" in str(deps[0].message)

@@ -1,0 +1,127 @@
+"""The schedule-mutation harness: detector power, proven not assumed.
+
+``run_mutation_suite`` is the CI gate; these tests pin the pieces it is
+built from — that the protocol interpreter's unmutated logs are clean in
+every backend shape (no false positives), that each registered mutant is
+killed with the violation kind its description promises, and that the
+report's pass/fail arithmetic is honest.
+"""
+
+import pytest
+
+from repro.sanitize.detector import detect
+from repro.sanitize.mutate import (
+    MUTANTS,
+    InterpreterConfig,
+    MutationReport,
+    MutantResult,
+    ProtocolInterpreter,
+    run_mutation_suite,
+)
+from repro.workloads.synthetic import chain_loop, random_irregular_loop
+
+
+@pytest.fixture(scope="module")
+def suite_report():
+    return run_mutation_suite()
+
+
+class TestInterpreterConformance:
+    @pytest.mark.parametrize("mode", ["chunked", "threaded", "levels"])
+    def test_unmutated_logs_are_clean(self, mode):
+        for loop in (chain_loop(48, 1), random_irregular_loop(100, seed=5)):
+            capture = ProtocolInterpreter(
+                loop, InterpreterConfig(mode=mode)
+            ).interpret()
+            report = detect(capture, loop)
+            assert report.ok, (
+                f"false positive: {mode} on {loop.name}: "
+                f"{report.summary()}"
+            )
+            assert report.pairs_checked > 0
+
+    def test_levels_mode_marks_the_capture_for_the_fast_path(self):
+        capture = ProtocolInterpreter(
+            chain_loop(24, 1), InterpreterConfig(mode="levels")
+        ).interpret()
+        assert capture.meta["levels"] == 24  # distance-1 chain: n levels
+
+    def test_unknown_mode_is_rejected(self):
+        interp = ProtocolInterpreter(
+            chain_loop(8, 1), InterpreterConfig(mode="nope")
+        )
+        with pytest.raises(ValueError, match="unknown interpreter mode"):
+            interp.interpret()
+
+
+class TestMutantRegistry:
+    def test_registry_covers_all_three_shapes(self):
+        modes = {m.mode for m in MUTANTS}
+        assert modes == {"chunked", "threaded", "levels"}
+        assert len(MUTANTS) == 11
+        assert len({m.name for m in MUTANTS}) == 11
+
+    @pytest.mark.parametrize("mutant", MUTANTS, ids=lambda m: m.name)
+    def test_each_mutant_is_killed_with_the_expected_kind(self, mutant):
+        loops = [
+            ("chain-48-d1", chain_loop(48, 1)),
+            ("irregular-100-s5", random_irregular_loop(100, seed=5)),
+        ]
+        for name, loop in loops:
+            if mutant.only is not None and not any(
+                tag in name for tag in mutant.only
+            ):
+                continue
+            cfg = InterpreterConfig(mode=mutant.mode)
+            mutant.apply(cfg)
+            capture = ProtocolInterpreter(loop, cfg).interpret()
+            report = detect(capture, loop)
+            assert not report.ok, f"{mutant.name} survived on {name}"
+            assert any(k in mutant.expect for k in report.counts), (
+                f"{mutant.name} on {name}: got {report.counts}, "
+                f"expected one of {mutant.expect}"
+            )
+
+
+class TestSuiteGate:
+    def test_full_suite_meets_the_ci_gate(self, suite_report):
+        assert suite_report.baseline_clean
+        assert suite_report.kill_rate >= 0.9
+        assert suite_report.passed(min_kill=0.9)
+        assert all(r.matched_expected for r in suite_report.results)
+
+    def test_only_filter_restricts_workloads(self, suite_report):
+        rrr = next(
+            r for r in suite_report.results if r.name == "reverse-round-robin"
+        )
+        # The mutant needs a multi-chunk dependence shape: it runs on
+        # the irregular workload only.
+        assert "irregular" in rrr.workload
+        assert "chain" not in rrr.workload
+
+    def test_summary_and_dict_round_trip(self, suite_report):
+        text = suite_report.summary()
+        assert "kill rate 100%" in text
+        assert "[KILLED]" in text
+        d = suite_report.as_dict()
+        assert d["baseline_clean"] is True
+        assert len(d["mutants"]) == len(MUTANTS)
+
+    def test_pass_arithmetic(self):
+        report = MutationReport(
+            results=[
+                MutantResult("a", "threaded", "w", True, ("x",), True),
+                MutantResult("b", "threaded", "w", False, ("x",), True),
+            ],
+            baselines=[("threaded", "w", True)],
+        )
+        assert report.kill_rate == 0.5
+        assert not report.passed(min_kill=0.9)
+        assert report.passed(min_kill=0.5)
+        report.baselines.append(("chunked", "w", False))
+        assert not report.passed(min_kill=0.5)  # false positive vetoes
+        assert "FALSE POSITIVE" in report.summary()
+
+    def test_empty_report_never_passes(self):
+        assert MutationReport().kill_rate == 0.0
+        assert not MutationReport().passed()
