@@ -77,6 +77,26 @@ Commands
     Sanitizer overhead benchmark: the ≥50k-row sparse triangular solve
     with and without ``validate="sanitize"``, gated at 5× overhead,
     written to ``BENCH_sanitize.json``.
+``bench-all [--quick] [--only=a,b] [--list] [--history=PATH]
+        [--no-history] [--out-dir=DIR]``
+    Run every registered benchmark through one orchestrator, write each
+    ``BENCH_*.json`` artifact with a provenance stamp (git SHA, ISO
+    date, machine fingerprint), and append normalized rows to the
+    append-only ``BENCH_history.jsonl`` (``--quick``: reduced CI sizes).
+``perf compare [--history=PATH] [--window=N] [--threshold=F]
+        [--min-effect=S] [--min-baseline=N] [--json] [--report]``
+    Statistical regression gate over the benchmark history: per
+    (benchmark, backend, n) key, the newest commit's median against a
+    MAD-outlier-rejected baseline window; exits 1 on regression
+    (``--report``: print but always exit 0 — the CI soft-fail mode).
+``doctor [SPEC] [--backend=NAME] [--processors=P] [--telemetry=FILE]
+        [--json]``
+    The telemetry-driven perf doctor: run a builtin loop observed (or
+    load a saved spans ``.jsonl`` / bench artifact) and print structured
+    findings — busy-wait share vs the §3 amortization argument, load
+    imbalance, narrow wavefronts, inspector-dominant runs, cold caches —
+    each with a machine-readable recommendation the auto-tuner can
+    consume as a prior.
 ``version``
     Print the package version.
 """
@@ -248,6 +268,18 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.bench_autotune import main as bench_at_main
 
         return bench_at_main(rest)
+    if command == "bench-all":
+        from repro.perf.cli import bench_all_main
+
+        return bench_all_main(rest)
+    if command == "perf":
+        from repro.perf.cli import main as perf_main
+
+        return perf_main(rest)
+    if command == "doctor":
+        from repro.perf.cli import doctor_main
+
+        return doctor_main(rest)
     if command == "verify":
         return _verify(rest)
     if command == "codegen":

@@ -259,6 +259,7 @@ def _task_executor(sess: dict, opts: dict, wid: int) -> dict:
         pos[order[:n]] = np.arange(n, dtype=np.int64)
 
     flag_checks = flag_sets = busy_waits = iterations = 0
+    wait_escalations = 0
     wait_seconds = 0.0
     spans: list = []
     if observe:
@@ -318,7 +319,7 @@ def _task_executor(sess: dict, opts: dict, wid: int) -> dict:
                                     ("compute", CAT_COMPUTE, seg_start, w0,
                                      {"pid": pid})
                                 )
-                                ladder.wait(
+                                slept = ladder.wait(
                                     lambda: ready[idx], element=element
                                 )
                                 w1 = time.perf_counter()
@@ -329,9 +330,15 @@ def _task_executor(sess: dict, opts: dict, wid: int) -> dict:
                                 wait_seconds += w1 - w0
                                 seg_start = w1
                             else:
-                                wait_seconds += ladder.wait(
+                                slept = ladder.wait(
                                     lambda: ready[idx], element=element
                                 )
+                                wait_seconds += slept
+                            if slept > 0:
+                                # Past the spin rung: this stall was long
+                                # enough to sleep on (the doctor's
+                                # wait-escalation evidence).
+                                wait_escalations += 1
                             value = ynew[idx]
                         if events is not None:
                             events.append(("r", i, int(idx), 1))
@@ -357,6 +364,7 @@ def _task_executor(sess: dict, opts: dict, wid: int) -> dict:
             "flag_checks": flag_checks,
             "flag_sets": flag_sets,
             "busy_waits": busy_waits,
+            "wait_escalations": wait_escalations,
             "wait_seconds": wait_seconds,
             "iterations": iterations,
         },

@@ -254,13 +254,14 @@ def write_bench_json(
 ) -> Path:
     """Write the machine-readable artifact in the shared BENCH_* schema."""
     path = Path(path)
+    from repro.bench.registry import write_artifact
+
     payload = {
         "benchmark": "bench-autotune",
         "records": [dict(row) for row in result.rows],
         "detail": result.as_dict(),
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    return path
+    return write_artifact(payload, path)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -290,13 +290,14 @@ def write_bench_json(
                 "preprocess_seconds": case.symbolic_pre_seconds,
             }
         )
+    from repro.bench.registry import write_artifact
+
     payload = {
         "benchmark": "bench-elision",
         "records": records,
         "detail": result.as_dict(),
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    return path
+    return write_artifact(payload, path)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -282,14 +282,15 @@ def write_bench_json(
     for row in result.rows:
         record = {"n": result.n, **row}
         records.append(record)
+    from repro.bench.registry import write_artifact
+
     payload = {
         "benchmark": "bench-multiproc",
         "records": records,
         "detail": result.as_dict(),
         "telemetry": result.telemetry,
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    return path
+    return write_artifact(payload, path)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -279,14 +279,15 @@ def write_bench_json(
     ]
     for row in result.rows:
         records.append({"n": result.n, **row})
+    from repro.bench.registry import write_artifact
+
     payload = {
         "benchmark": "bench-sanitize",
         "records": records,
         "detail": result.as_dict(),
         "telemetry": result.telemetry,
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    return path
+    return write_artifact(payload, path)
 
 
 def main(argv: list[str] | None = None) -> int:

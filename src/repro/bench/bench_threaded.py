@@ -52,6 +52,7 @@ class ThreadedBenchResult:
     l: int
     threads: int
     wall_seconds: float
+    bare_wall_seconds: float
     executor_seconds: float
     compute_seconds: float
     wait_seconds: float
@@ -59,6 +60,15 @@ class ThreadedBenchResult:
     flag_sets: int
     busy_waits: int
     telemetry: dict
+
+    @property
+    def observe_overhead(self) -> float:
+        """Relative wall-time cost of observation: ``observed/bare - 1``
+        (the span-overhead budget this bench tracks; tested <10% on the
+        50k-row trisolve)."""
+        if self.bare_wall_seconds <= 0:
+            return 0.0
+        return self.wall_seconds / self.bare_wall_seconds - 1.0
 
     @property
     def wait_fraction(self) -> float:
@@ -86,6 +96,8 @@ class ThreadedBenchResult:
             ["quantity", "value"],
             [
                 ("wall (ms)", self.wall_seconds * ms),
+                ("bare wall (ms)", self.bare_wall_seconds * ms),
+                ("observe overhead", self.observe_overhead),
                 ("executor lane time (ms)", self.executor_seconds * ms),
                 ("compute (ms)", self.compute_seconds * ms),
                 ("busy-wait (ms)", self.wait_seconds * ms),
@@ -108,6 +120,8 @@ class ThreadedBenchResult:
             "l": self.l,
             "threads": self.threads,
             "wall_seconds": self.wall_seconds,
+            "bare_wall_seconds": self.bare_wall_seconds,
+            "observe_overhead": self.observe_overhead,
             "executor_seconds": self.executor_seconds,
             "compute_seconds": self.compute_seconds,
             "wait_seconds": self.wait_seconds,
@@ -128,6 +142,11 @@ def run_bench_threaded(
     would report a trivially zero wait fraction.
     """
     loop = make_test_loop(n=n, m=m, l=l)
+    # Observed-vs-bare column: same loop, same thread count, recorder off —
+    # the denominator of the span-overhead budget.
+    bare = make_runner(
+        spec=PlanSpec(backend="threaded", processors=threads)
+    ).run(loop)
     runner = make_runner(
         spec=PlanSpec(backend="threaded", processors=threads, observe=True)
     )
@@ -151,6 +170,7 @@ def run_bench_threaded(
         l=l,
         threads=threads,
         wall_seconds=float(result.wall_seconds),
+        bare_wall_seconds=float(bare.wall_seconds),
         executor_seconds=total(CAT_PHASE, "executor"),
         compute_seconds=total(CAT_COMPUTE),
         wait_seconds=total(CAT_WAIT),
@@ -167,7 +187,8 @@ def write_bench_json(
     """Write the machine-readable artifact: flat ``records`` rows (the
     stable cross-PR schema shared with ``BENCH_vectorized.json``), the
     ``detail`` dict, and the run's full ``telemetry`` blob."""
-    path = Path(path)
+    from repro.bench.registry import write_artifact
+
     payload = {
         "benchmark": "bench-threaded",
         "records": [
@@ -175,14 +196,15 @@ def write_bench_json(
                 "n": result.n,
                 "backend": "threaded",
                 "wall_seconds": result.wall_seconds,
+                "bare_wall_seconds": result.bare_wall_seconds,
+                "observe_overhead": result.observe_overhead,
                 "wait_fraction": result.wait_fraction,
             }
         ],
         "detail": result.as_dict(),
         "telemetry": result.telemetry,
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    return path
+    return write_artifact(payload, path)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -65,6 +65,9 @@ class VectorizedBenchResult:
     threaded_seconds: float
     vectorized_cold_seconds: float
     vectorized_warm_seconds: float
+    #: Warm wall time with ``observe=True`` — the observed-vs-bare column
+    #: backing the span-overhead budget (tested <10%).
+    vectorized_observed_seconds: float
     cold_preprocess_seconds: float
     warm_cache_hit: bool
     cache_stats: dict
@@ -73,6 +76,17 @@ class VectorizedBenchResult:
     #: Serialized :class:`~repro.obs.telemetry.Telemetry` of one observed
     #: warm run (level spans + cache metrics), or ``None``.
     telemetry: dict | None = None
+
+    @property
+    def observe_overhead(self) -> float:
+        """Relative wall-time cost of observation on a warm run:
+        ``observed/bare - 1``."""
+        if self.vectorized_warm_seconds <= 0:
+            return 0.0
+        return (
+            self.vectorized_observed_seconds / self.vectorized_warm_seconds
+            - 1.0
+        )
 
     @property
     def speedup_vs_threaded(self) -> float:
@@ -116,6 +130,10 @@ class VectorizedBenchResult:
                  self.threaded_seconds / self.vectorized_cold_seconds),
                 ("vectorized (warm)", self.vectorized_warm_seconds * ms,
                  self.speedup_vs_sequential, self.speedup_vs_threaded),
+                ("vectorized (observed)",
+                 self.vectorized_observed_seconds * ms,
+                 self.sequential_seconds / self.vectorized_observed_seconds,
+                 self.threaded_seconds / self.vectorized_observed_seconds),
             ],
             title=(
                 f"vectorized wavefront benchmark — figure4(N={self.n},"
@@ -149,6 +167,8 @@ class VectorizedBenchResult:
             "threaded_seconds": self.threaded_seconds,
             "vectorized_cold_seconds": self.vectorized_cold_seconds,
             "vectorized_warm_seconds": self.vectorized_warm_seconds,
+            "vectorized_observed_seconds": self.vectorized_observed_seconds,
+            "observe_overhead": self.observe_overhead,
             "cold_preprocess_seconds": self.cold_preprocess_seconds,
             "warm_cache_hit": self.warm_cache_hit,
             "speedup_vs_threaded": self.speedup_vs_threaded,
@@ -170,6 +190,7 @@ def bench_records(result: VectorizedBenchResult) -> list[dict]:
         ("threaded", result.threaded_seconds),
         ("vectorized-cold", result.vectorized_cold_seconds),
         ("vectorized-warm", result.vectorized_warm_seconds),
+        ("vectorized-observed", result.vectorized_observed_seconds),
     ]
     return [
         {
@@ -191,15 +212,15 @@ def write_bench_json(
     schema) and the full ``detail`` dict (cache stats, amortization
     curve) for deeper digging.
     """
-    path = Path(path)
+    from repro.bench.registry import write_artifact
+
     payload = {
         "benchmark": "bench-vectorized",
         "records": bench_records(result),
         "detail": result.as_dict(),
         "telemetry": result.telemetry,
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    return path
+    return write_artifact(payload, path)
 
 
 def _best_of(repeats: int, fn):
@@ -248,11 +269,21 @@ def run_bench_vectorized(
     if not np.array_equal(warm.y, reference):
         raise AssertionError("warm vectorized run diverged from the oracle")
 
-    # One extra observed warm run so the artifact carries the unified
-    # telemetry blob (level spans + cache metrics) for downstream tooling.
+    # Observed warm runs: the artifact carries the unified telemetry blob
+    # (level spans + cache metrics) and the observed-vs-bare column the
+    # span-overhead budget test pins.
     from repro.obs.instrument import InstrumentedRunner
 
-    observed = InstrumentedRunner(runner).run(loop)
+    instrumented = InstrumentedRunner(runner)
+    # Compare run wall times (result.wall_seconds), not end-to-end call
+    # times: telemetry assembly happens after the run's clock stops and
+    # is not part of the observation overhead the budget bounds.
+    observed = instrumented.run(loop)
+    observed_seconds = observed.wall_seconds
+    for _ in range(repeats - 1):
+        candidate = instrumented.run(loop)
+        if candidate.wall_seconds < observed_seconds:
+            observed, observed_seconds = candidate, candidate.wall_seconds
     telemetry = observed.telemetry.as_dict()
 
     amortization = []
@@ -275,6 +306,7 @@ def run_bench_vectorized(
         threaded_seconds=threaded_seconds,
         vectorized_cold_seconds=cold.wall_seconds,
         vectorized_warm_seconds=warm_seconds,
+        vectorized_observed_seconds=observed_seconds,
         cold_preprocess_seconds=cold.extras["preprocess_seconds"],
         warm_cache_hit=warm.extras["cache_hit"],
         cache_stats=runner.cache.stats(),

@@ -1,0 +1,119 @@
+"""The benchmark registry: one entry point and one artifact writer.
+
+Every tracked benchmark registers a :class:`BenchSpec` here, so the
+``python -m repro bench-all`` orchestrator can run the whole suite
+through one loop instead of CI enumerating modules by hand, and every
+per-bench CLI writes its ``BENCH_*.json`` through :func:`write_artifact`,
+so all artifacts carry an identical provenance stamp (git SHA, ISO date,
+machine fingerprint — :func:`repro.perf.history.run_metadata`) instead of
+six slightly different hand-rolled ``json.dumps`` calls.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from importlib import import_module
+from pathlib import Path
+
+from repro.perf.history import run_metadata
+
+__all__ = ["BenchSpec", "REGISTRY", "bench_by_name", "write_artifact"]
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark.
+
+    Attributes
+    ----------
+    name:
+        Registry key, also the CLI dispatch name (``bench-threaded``).
+    module:
+        Dotted module path with a ``main(argv) -> int`` entry point that
+        accepts ``--small`` and ``--out=PATH``.
+    artifact:
+        Default ``BENCH_*.json`` artifact filename the bench writes.
+    quick_args:
+        Extra argv for the reduced-size run ``bench-all --quick`` does.
+    description:
+        One line for ``bench-all --list``.
+    """
+
+    name: str
+    module: str
+    artifact: str
+    quick_args: tuple = ("--small",)
+    description: str = ""
+
+    def main(self, argv: list[str]) -> int:
+        return import_module(self.module).main(argv)
+
+
+REGISTRY: tuple[BenchSpec, ...] = (
+    BenchSpec(
+        name="bench-vectorized",
+        module="repro.bench.bench_vectorized",
+        artifact="BENCH_vectorized.json",
+        description="wavefront-batched NumPy backend vs sequential oracle",
+    ),
+    BenchSpec(
+        name="bench-threaded",
+        module="repro.bench.bench_threaded",
+        artifact="BENCH_threaded.json",
+        description="real-thread protocol smoke with busy-wait accounting",
+    ),
+    BenchSpec(
+        name="bench-elision",
+        module="repro.bench.bench_elision",
+        artifact="BENCH_elision.json",
+        description="symbolic inspector elision vs runtime inspector",
+    ),
+    BenchSpec(
+        name="bench-multiproc",
+        module="repro.bench.bench_multiproc",
+        artifact="BENCH_multiproc.json",
+        description="shared-memory multiprocessing backend on the trisolve",
+    ),
+    BenchSpec(
+        name="bench-autotune",
+        module="repro.bench.bench_autotune",
+        artifact="BENCH_autotune.json",
+        description="auto backend vs every fixed backend",
+    ),
+    BenchSpec(
+        name="bench-sanitize",
+        module="repro.bench.bench_sanitize",
+        artifact="BENCH_sanitize.json",
+        description="sanitizer overhead on clean runs",
+    ),
+)
+
+
+def bench_by_name(name: str) -> BenchSpec:
+    for spec in REGISTRY:
+        if spec.name == name:
+            return spec
+    known = ", ".join(s.name for s in REGISTRY)
+    raise KeyError(f"unknown benchmark {name!r}; registered: {known}")
+
+
+def write_artifact(
+    payload: dict, path: str | Path, meta: dict | None = None
+) -> Path:
+    """Stamp ``payload`` with provenance metadata, validate it, write it.
+
+    The single artifact-writing path for every registered bench: adds the
+    ``meta`` block (:func:`~repro.perf.history.run_metadata` unless one
+    is supplied), schema-checks the result — a bench that would write an
+    artifact CI later rejects should fail right here — and writes
+    pretty-printed JSON with a trailing newline.
+    """
+    from repro.bench.schema import validate_bench_payload
+
+    payload = dict(payload)
+    payload["meta"] = meta if meta is not None else run_metadata()
+    validate_bench_payload(payload)
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

@@ -16,7 +16,17 @@ The contract (:func:`validate_bench_payload`):
 - ``detail`` — a dict of benchmark-specific depth;
 - ``telemetry`` — optional; when present it must pass
   :func:`~repro.obs.telemetry.validate_telemetry`, i.e. the same schema
-  every backend's ``RunResult.telemetry`` carries.
+  every backend's ``RunResult.telemetry`` carries;
+- ``meta`` — optional provenance stamp (required on artifacts written
+  through :func:`repro.bench.registry.write_artifact`): git SHA, ISO
+  date, machine fingerprint.
+
+The append-only ``BENCH_history.jsonl`` trajectory has its own row
+contract (:func:`validate_history_row`): every row is one flat
+measurement carrying the stable grouping keys (``benchmark``,
+``backend``, ``n``), a ``wall_seconds`` number, and the same provenance
+fields.  The CLI validates ``.jsonl`` files row by row, so the CI gate
+covers both artifact kinds with one command.
 """
 
 from __future__ import annotations
@@ -28,7 +38,12 @@ from pathlib import Path
 from repro.errors import TelemetryError
 from repro.obs.telemetry import validate_telemetry
 
-__all__ = ["validate_bench_payload", "main"]
+__all__ = [
+    "validate_bench_payload",
+    "validate_meta",
+    "validate_history_row",
+    "main",
+]
 
 
 def _fail(message: str) -> None:
@@ -65,7 +80,55 @@ def validate_bench_payload(payload: object) -> dict:
     telemetry = payload.get("telemetry")
     if telemetry is not None:
         validate_telemetry(telemetry)
+
+    meta = payload.get("meta")
+    if meta is not None:
+        validate_meta(meta, where="'meta'")
     return payload  # type: ignore[return-value]
+
+
+def validate_meta(meta: object, where: str = "meta") -> dict:
+    """Check one provenance stamp (the ``meta`` block / history-row
+    provenance fields share this shape)."""
+    if not isinstance(meta, dict):
+        _fail(f"{where} must be a dict")
+    sha = meta.get("git_sha")
+    if not isinstance(sha, str) or not sha:
+        _fail(f"{where}.git_sha must be a non-empty string")
+    date = meta.get("date")
+    if not isinstance(date, str) or not date:
+        _fail(f"{where}.date must be a non-empty ISO-8601 string")
+    machine = meta.get("machine")
+    if not isinstance(machine, dict):
+        _fail(f"{where}.machine must be a dict")
+    cpus = machine.get("cpu_count")
+    if not isinstance(cpus, int) or isinstance(cpus, bool) or cpus < 1:
+        _fail(f"{where}.machine.cpu_count must be a positive int")
+    if not isinstance(machine.get("python"), str):
+        _fail(f"{where}.machine.python must be a string")
+    return meta  # type: ignore[return-value]
+
+
+def validate_history_row(row: object, pos: int | None = None) -> dict:
+    """Check one ``BENCH_history.jsonl`` row; return it or raise
+    :class:`~repro.errors.TelemetryError` naming the first violation."""
+    where = f"history row {pos}" if pos is not None else "history row"
+    if not isinstance(row, dict):
+        _fail(f"{where} is not a dict")
+    if not isinstance(row.get("benchmark"), str) or not row["benchmark"]:
+        _fail(f"{where}: 'benchmark' must be a non-empty string")
+    if not isinstance(row.get("backend"), str) or not row["backend"]:
+        _fail(f"{where}: 'backend' must be a non-empty string")
+    n = row.get("n")
+    if n is not None and (not isinstance(n, int) or isinstance(n, bool)):
+        _fail(f"{where}: 'n' must be an int or null")
+    wall = row.get("wall_seconds")
+    if not isinstance(wall, (int, float)) or isinstance(wall, bool):
+        _fail(f"{where}: 'wall_seconds' must be a number")
+    if wall < 0:
+        _fail(f"{where}: 'wall_seconds' is negative ({wall})")
+    validate_meta(row, where=where)
+    return row  # type: ignore[return-value]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -76,7 +139,10 @@ def main(argv: list[str] | None = None) -> int:
     """
     args = sys.argv[1:] if argv is None else argv
     if not args:
-        print("usage: python -m repro.bench.schema BENCH_file.json ...")
+        print(
+            "usage: python -m repro.bench.schema "
+            "BENCH_file.json|BENCH_history.jsonl ..."
+        )
         return 2
     status = 0
     for name in args:
@@ -84,6 +150,26 @@ def main(argv: list[str] | None = None) -> int:
         if not path.is_file():
             print(f"{name}: MISSING")
             status = 1
+            continue
+        if path.suffix == ".jsonl":
+            try:
+                rows = [
+                    validate_history_row(json.loads(line), pos=pos + 1)
+                    for pos, line in enumerate(
+                        path.read_text(encoding="utf-8").splitlines()
+                    )
+                    if line.strip()
+                ]
+            except (json.JSONDecodeError, TelemetryError) as exc:
+                print(f"{name}: INVALID — {exc}")
+                status = 1
+                continue
+            if not rows:
+                print(f"{name}: INVALID — history file has no rows")
+                status = 1
+                continue
+            keys = {(r["benchmark"], r["backend"]) for r in rows}
+            print(f"{name}: ok — {len(rows)} history row(s), {len(keys)} key(s)")
             continue
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
@@ -93,9 +179,10 @@ def main(argv: list[str] | None = None) -> int:
             status = 1
             continue
         extra = " (+telemetry)" if payload.get("telemetry") else ""
+        stamp = " (+meta)" if payload.get("meta") else ""
         print(
             f"{name}: ok — {payload['benchmark']}, "
-            f"{len(payload['records'])} record(s){extra}"
+            f"{len(payload['records'])} record(s){extra}{stamp}"
         )
     return status
 

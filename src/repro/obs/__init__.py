@@ -30,6 +30,7 @@ backends that run on real hardware, under one schema:
 from repro.obs.export import (
     chrome_trace,
     gantt,
+    read_spans_jsonl,
     spans_jsonl,
     write_chrome_trace,
     write_spans_jsonl,
@@ -59,6 +60,7 @@ from repro.obs.telemetry import (
     PHASE_NAMES,
     TELEMETRY_SCHEMA_VERSION,
     Telemetry,
+    telemetry_from_dict,
     validate_telemetry,
 )
 
@@ -79,6 +81,7 @@ __all__ = [
     "MetricsRegistry",
     # telemetry
     "Telemetry",
+    "telemetry_from_dict",
     "validate_telemetry",
     "TELEMETRY_SCHEMA_VERSION",
     "CLOCK_WALL",
@@ -93,5 +96,6 @@ __all__ = [
     "write_chrome_trace",
     "spans_jsonl",
     "write_spans_jsonl",
+    "read_spans_jsonl",
     "gantt",
 ]

@@ -193,7 +193,12 @@ def main(argv: list[str] | None = None) -> int:
                 "histogram",
                 name,
                 f"n={h['count']} sum={h['sum']:g} "
-                f"min={h['min']:g} max={h['max']:g}",
+                f"min={h['min']:g} max={h['max']:g}"
+                + (
+                    f" p50={h['p50']:g} p95={h['p95']:g} p99={h['p99']:g}"
+                    if "p50" in h
+                    else ""
+                ),
             )
             for name, h in metrics["histograms"].items()
         ]

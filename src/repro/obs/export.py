@@ -9,7 +9,10 @@ Three consumers of the one span model:
   microsecond (recorded in ``otherData.time_unit`` so the axis is never
   ambiguous).
 - :func:`spans_jsonl` / :func:`write_spans_jsonl` emit one JSON object per
-  span — the grep/jq-friendly sink for ad-hoc analysis.
+  span — the grep/jq-friendly sink for ad-hoc analysis; and
+  :func:`read_spans_jsonl` loads one back into a
+  :class:`~repro.obs.telemetry.Telemetry` (the ``repro doctor`` input
+  path), so the JSONL format round-trips.
 - :func:`gantt` renders the wall-clock analogue of the simulated
   :meth:`~repro.machine.trace.Tracer.gantt` chart: one row per lane,
   ``#`` compute, ``.`` busy-wait, ``~`` queued — so a threaded run and a
@@ -29,13 +32,14 @@ from repro.obs.spans import (
     WHOLE_RUN_LANE,
     Span,
 )
-from repro.obs.telemetry import CLOCK_WALL, Telemetry
+from repro.obs.telemetry import CLOCK_WALL, Telemetry, telemetry_from_dict
 
 __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "spans_jsonl",
     "write_spans_jsonl",
+    "read_spans_jsonl",
     "gantt",
 ]
 
@@ -136,6 +140,51 @@ def write_spans_jsonl(telemetry: Telemetry, path: str | Path) -> Path:
     path = Path(path)
     path.write_text(spans_jsonl(telemetry), encoding="utf-8")
     return path
+
+
+def read_spans_jsonl(source: str | Path) -> Telemetry:
+    """Load a :func:`spans_jsonl` export back into a validated
+    :class:`Telemetry` — the write format's inverse, and the path by which
+    ``repro doctor`` diagnoses a previously saved run.
+
+    ``source`` is a path or raw JSONL text.  Raises ``ValueError`` on a
+    missing/duplicate header record or unknown record kinds, and
+    :class:`~repro.errors.TelemetryError` if the reassembled blob fails
+    schema validation.
+    """
+    text = source if isinstance(source, str) and "\n" in source else None
+    if text is None:
+        text = Path(source).read_text(encoding="utf-8")
+    header: dict | None = None
+    spans: list[dict] = []
+    for pos, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        kind = obj.get("record")
+        if kind == "telemetry":
+            if header is not None:
+                raise ValueError(
+                    f"line {pos + 1}: duplicate telemetry header record"
+                )
+            header = obj
+        elif kind == "span":
+            spans.append({k: v for k, v in obj.items() if k != "record"})
+        else:
+            raise ValueError(
+                f"line {pos + 1}: unknown record kind {kind!r}"
+            )
+    if header is None:
+        raise ValueError("no telemetry header record in JSONL input")
+    return telemetry_from_dict(
+        {
+            "schema_version": header.get("schema_version"),
+            "backend": header.get("backend"),
+            "clock": header.get("clock"),
+            "metrics": header.get("metrics"),
+            "spans": spans,
+        }
+    )
 
 
 # ----------------------------------------------------------------------

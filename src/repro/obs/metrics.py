@@ -15,8 +15,10 @@ Three instrument kinds, matching how each quantity behaves:
   ``wait_cycles``, ``busy_waits``); ``count()`` adds.
 - **gauge** — point-in-time values (``processors``, ``levels``,
   ``inspector_cache_entries``); ``gauge()`` overwrites.
-- **histogram** — distributions summarized as count/sum/min/max
-  (``level_width``); ``observe()`` folds one sample in.
+- **histogram** — distributions summarized as count/sum/min/max plus
+  p50/p95/p99 (``level_width``); ``observe()`` folds one sample in and
+  retains it so :meth:`MetricsRegistry.percentiles` can answer arbitrary
+  quantile queries.
 
 Thread-safe: the threaded backend reports from worker threads.
 """
@@ -25,7 +27,23 @@ from __future__ import annotations
 
 import threading
 
-__all__ = ["MetricsRegistry"]
+__all__ = ["MetricsRegistry", "PERCENTILE_KEYS"]
+
+#: The quantiles serialized into every histogram summary (as ``"p50"`` ...).
+PERCENTILE_KEYS = (50.0, 95.0, 99.0)
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolated quantile ``q`` (percent) of pre-sorted samples."""
+    if not ordered:
+        raise ValueError("no samples")
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (q / 100.0) * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
 class MetricsRegistry:
@@ -35,6 +53,11 @@ class MetricsRegistry:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, dict[str, float]] = {}
+        # Raw histogram samples, kept so percentiles() can answer any
+        # quantile; one float per observe() call (histograms here count
+        # wavefronts/phases, not per-iteration events, so retention is
+        # O(levels), not O(n)).
+        self._samples: dict[str, list[float]] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -50,20 +73,41 @@ class MetricsRegistry:
 
     def observe(self, name: str, value: float) -> None:
         """Fold one sample into histogram ``name``."""
+        self.observe_many(name, (value,))
+
+    def observe_many(self, name: str, values) -> None:
+        """Fold many samples into histogram ``name`` in one lock acquire
+        (the vectorized backend reports all its wavefront widths at once)."""
+        values = [float(v) for v in values]
+        if not values:
+            return
         with self._lock:
+            self._samples.setdefault(name, []).extend(values)
             h = self.histograms.get(name)
             if h is None:
-                self.histograms[name] = {
-                    "count": 1,
-                    "sum": value,
-                    "min": value,
-                    "max": value,
+                h = self.histograms[name] = {
+                    "count": 0,
+                    "sum": 0.0,
+                    "min": values[0],
+                    "max": values[0],
                 }
-            else:
-                h["count"] += 1
-                h["sum"] += value
-                h["min"] = min(h["min"], value)
-                h["max"] = max(h["max"], value)
+            h["count"] += len(values)
+            h["sum"] += sum(values)
+            h["min"] = min(h["min"], min(values))
+            h["max"] = max(h["max"], max(values))
+
+    def percentiles(
+        self, name: str, q: tuple[float, ...] = PERCENTILE_KEYS
+    ) -> dict[str, float]:
+        """Quantiles of histogram ``name``'s retained samples as
+        ``{"p50": ..., ...}`` (linear interpolation).  Empty dict when the
+        histogram has no retained samples — e.g. one deserialized from a
+        summary blob."""
+        with self._lock:
+            samples = sorted(self._samples.get(name, ()))
+        if not samples:
+            return {}
+        return {f"p{g:g}": _quantile(samples, g) for g in q}
 
     # ------------------------------------------------------------------
     def merge(self, other: "MetricsRegistry") -> None:
@@ -73,6 +117,7 @@ class MetricsRegistry:
             counters = dict(other.counters)
             gauges = dict(other.gauges)
             histograms = {k: dict(v) for k, v in other.histograms.items()}
+            samples = {k: list(v) for k, v in other._samples.items()}
         for name, value in counters.items():
             self.count(name, value)
         for name, value in gauges.items():
@@ -87,19 +132,46 @@ class MetricsRegistry:
                     mine["sum"] += h["sum"]
                     mine["min"] = min(mine["min"], h["min"])
                     mine["max"] = max(mine["max"], h["max"])
+            for name, vals in samples.items():
+                self._samples.setdefault(name, []).extend(vals)
 
     def as_dict(self) -> dict:
-        """JSON-safe snapshot: numbers only, plain dicts."""
+        """JSON-safe snapshot: numbers only, plain dicts.
+
+        Histograms with retained samples additionally carry p50/p95/p99
+        summary quantiles; histograms restored from a serialized summary
+        (no samples) keep whatever summary keys they arrived with."""
 
         def num(v: float) -> float | int:
             return int(v) if isinstance(v, bool) or v == int(v) else float(v)
 
+        hist_names = list(self.histograms)
+        quantiles = {name: self.percentiles(name) for name in hist_names}
         with self._lock:
             return {
                 "counters": {k: num(v) for k, v in sorted(self.counters.items())},
                 "gauges": {k: num(v) for k, v in sorted(self.gauges.items())},
                 "histograms": {
-                    k: {kk: num(vv) for kk, vv in v.items()}
+                    k: {
+                        kk: num(vv)
+                        for kk, vv in {**v, **quantiles.get(k, {})}.items()
+                    }
                     for k, v in sorted(self.histograms.items())
                 },
             }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        """Rebuild a registry from an :meth:`as_dict` snapshot.
+
+        Counters, gauges, and histogram *summaries* round-trip exactly;
+        raw samples are not serialized, so :meth:`percentiles` on the
+        restored registry returns the empty dict (the serialized p50/p95/
+        p99 keys inside each histogram are preserved verbatim instead)."""
+        reg = cls()
+        reg.counters = {k: v for k, v in data.get("counters", {}).items()}
+        reg.gauges = {k: v for k, v in data.get("gauges", {}).items()}
+        reg.histograms = {
+            k: dict(v) for k, v in data.get("histograms", {}).items()
+        }
+        return reg

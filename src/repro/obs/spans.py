@@ -24,7 +24,11 @@ threaded/vectorized backends, simulated cycles for the simulated backend.
 :class:`SpanRecorder` is the collection point backends write into.  It is
 thread-safe (the threaded backend records from worker threads) and
 deliberately tiny: recording a span is one lock acquire and one list
-append, cheap enough to leave enabled for whole benchmark runs.
+append, cheap enough to leave enabled for whole benchmark runs.  Hot
+loops that would otherwise record tens of thousands of spans (the
+threaded executor's per-blocking-wait compute/wait splits) buffer raw
+rows locally and hand them over in one :meth:`record_batch` call;
+``Span`` objects are materialized lazily, outside the timed region.
 """
 
 from __future__ import annotations
@@ -137,6 +141,12 @@ class SpanRecorder:
     def __init__(self) -> None:
         self.spans: list[Span] = []
         self._lock = threading.Lock()
+        # Raw (name, cat, start, end, lane, attrs|None) rows from
+        # record_batch(), materialized into Span objects on first read —
+        # keeps Span construction out of the workers' timed region.
+        self._pending: list[tuple] = []
+        # (lane, start, end, waits) tiles from record_wait_segments().
+        self._pending_segments: list[tuple] = []
 
     @staticmethod
     def now() -> float:
@@ -163,6 +173,74 @@ class SpanRecorder:
         with self._lock:
             self.spans.extend(spans)
 
+    def record_batch(self, rows: list[tuple]) -> None:
+        """Hand over many spans as raw ``(name, cat, start, end, lane,
+        attrs_or_None)`` rows in one lock acquire.
+
+        The hot-loop contract: callers append plain tuples to a thread-local
+        list (no locking, no object construction) and flush once per worker.
+        Rows become :class:`Span` objects lazily — the first
+        :meth:`normalized` (or :meth:`drain_pending`) call pays the
+        construction cost, which the instrumented wrapper only issues after
+        the wall clock has been read.  Zero/negative-length rows are dropped
+        at materialization, matching :meth:`record`."""
+        with self._lock:
+            self._pending.extend(rows)
+
+    def record_wait_segments(
+        self,
+        lane: int,
+        start: float,
+        end: float,
+        waits: list[tuple],
+    ) -> None:
+        """Compact form of the executor's alternating compute/wait tiling.
+
+        ``waits`` is a list of ``(w0, w1, element)`` blocking-wait triples
+        inside ``[start, end)``, in time order.  Materialization expands
+        them into the usual alternating ``compute``/``wait`` spans that
+        exactly tile ``[start, end)`` — the backend's hot loop only pays
+        one 3-tuple append per blocking wait, and the expansion (two Span
+        constructions per wait) runs outside the timed region."""
+        with self._lock:
+            self._pending_segments.append((lane, start, end, waits))
+
+    def drain_pending(self) -> None:
+        """Materialize buffered :meth:`record_batch` rows and
+        :meth:`record_wait_segments` tiles into ``spans``."""
+        with self._lock:
+            pending, self._pending = self._pending, []
+            segments, self._pending_segments = self._pending_segments, []
+            out = self.spans.append
+            for name, cat, start, end, lane, attrs in pending:
+                if end <= start:
+                    continue
+                out(
+                    Span(
+                        name=name,
+                        cat=cat,
+                        start=start,
+                        end=end,
+                        lane=lane,
+                        attrs={} if attrs is None else attrs,
+                    )
+                )
+            for lane, start, end, waits in segments:
+                seg = start
+                for w0, w1, elem in waits:
+                    if w0 > seg:
+                        out(Span("compute", CAT_COMPUTE, seg, w0, lane, {}))
+                    if w1 > w0:
+                        out(
+                            Span(
+                                "wait", CAT_WAIT, w0, w1, lane,
+                                {"element": int(elem)},
+                            )
+                        )
+                    seg = w1
+                if end > seg:
+                    out(Span("compute", CAT_COMPUTE, seg, end, lane, {}))
+
     @contextmanager
     def span(
         self, name: str, cat: str = CAT_PHASE, lane: int = WHOLE_RUN_LANE, **attrs
@@ -178,6 +256,7 @@ class SpanRecorder:
         """All spans shifted so the earliest start sits at t=0, sorted by
         start time (the form :class:`~repro.obs.telemetry.Telemetry`
         stores)."""
+        self.drain_pending()
         with self._lock:
             spans = list(self.spans)
         if not spans:

@@ -34,6 +34,7 @@ __all__ = [
     "CLOCK_CYCLES",
     "PHASE_NAMES",
     "Telemetry",
+    "telemetry_from_dict",
     "validate_telemetry",
 ]
 
@@ -91,6 +92,29 @@ class Telemetry:
         """Distinct non-whole-run lanes, ascending."""
         return sorted({s.lane for s in self.spans if s.lane >= 0})
 
+    def category_totals_by_lane(self, cat: str) -> dict[int, float]:
+        """Summed span duration of category ``cat`` per non-whole-run
+        lane (the doctor's raw material: per-lane wait and compute
+        totals feed the §3 amortization and load-imbalance checks)."""
+        totals: dict[int, float] = {}
+        for s in self.spans:
+            if s.cat == cat and s.lane >= 0:
+                totals[s.lane] = totals.get(s.lane, 0.0) + s.duration
+        return totals
+
+    def wait_fractions(self) -> dict[int, float]:
+        """Per-lane ``wait / (wait + compute)`` ratio — the measured form
+        of the paper's busy-wait share.  Lanes with no compute or wait
+        spans are omitted."""
+        wait = self.category_totals_by_lane("wait")
+        compute = self.category_totals_by_lane("compute")
+        out: dict[int, float] = {}
+        for lane in sorted(set(wait) | set(compute)):
+            busy = wait.get(lane, 0.0) + compute.get(lane, 0.0)
+            if busy > 0:
+                out[lane] = wait.get(lane, 0.0) / busy
+        return out
+
     def one_line(self) -> str:
         phases = self.phase_totals()
         unit = "s" if self.clock == CLOCK_WALL else "cyc"
@@ -115,10 +139,37 @@ class Telemetry:
         }
 
 
+def telemetry_from_dict(blob: dict) -> Telemetry:
+    """Rebuild a :class:`Telemetry` from its :meth:`Telemetry.as_dict`
+    form (validated first) — the read side of the benchmark-artifact and
+    JSONL serialization, used by ``repro doctor`` to diagnose saved runs."""
+    validate_telemetry(blob)
+    return Telemetry(
+        backend=blob["backend"],
+        clock=blob["clock"],
+        spans=[
+            Span(
+                name=s["name"],
+                cat=s["cat"],
+                start=float(s["start"]),
+                end=float(s["end"]),
+                lane=int(s["lane"]),
+                attrs=dict(s["attrs"]),
+            )
+            for s in blob["spans"]
+        ],
+        metrics=MetricsRegistry.from_dict(blob["metrics"]),
+        schema_version=int(blob["schema_version"]),
+    )
+
+
 # ----------------------------------------------------------------------
 _SPAN_KEYS = {"name", "cat", "start", "end", "lane", "attrs"}
 _METRIC_KEYS = {"counters", "gauges", "histograms"}
 _HISTOGRAM_KEYS = {"count", "sum", "min", "max"}
+#: Optional per-histogram summary quantiles (present when the producing
+#: registry retained raw samples).
+_HISTOGRAM_OPTIONAL_KEYS = {"p50", "p95", "p99"}
 
 
 def _fail(message: str) -> None:
@@ -188,10 +239,15 @@ def validate_telemetry(blob: object) -> dict:
             if not isinstance(name, str) or not isinstance(value, (int, float)):
                 _fail(f"metrics.{kind}[{name!r}] must map str -> number")
     for name, h in metrics["histograms"].items():
-        if not isinstance(h, dict) or set(h.keys()) != _HISTOGRAM_KEYS:
+        if (
+            not isinstance(h, dict)
+            or _HISTOGRAM_KEYS - h.keys()
+            or h.keys() - _HISTOGRAM_KEYS - _HISTOGRAM_OPTIONAL_KEYS
+        ):
             _fail(
                 f"metrics.histograms[{name!r}] must have keys "
-                f"{sorted(_HISTOGRAM_KEYS)}"
+                f"{sorted(_HISTOGRAM_KEYS)} (optionally "
+                f"{sorted(_HISTOGRAM_OPTIONAL_KEYS)})"
             )
         if any(not isinstance(v, (int, float)) for v in h.values()):
             _fail(f"metrics.histograms[{name!r}] values must be numbers")

@@ -18,7 +18,11 @@ that observation into a closed loop:
 3. **Policy** — explore-then-exploit.  The first run of a structure uses
    a width heuristic (wide wavefronts → vectorized); subsequent runs
    measure each remaining candidate once; after that the tuner exploits
-   the argmin of median measured wall time.
+   the argmin of median measured wall time.  Perf-doctor hints
+   (:func:`record_doctor_hints`, fed by ``PlanSpec(diagnose=True)`` runs
+   on a shared cache) jump the queue: the hinted backend is measured
+   first, and once timed the tuner exploits without exploring the rest
+   of the field.
 4. **Persistence** — measurements and the current decision live on the
    :class:`~repro.backends.cache.InspectorCache` (:meth:`tuner_state`),
    so sharing a cache across ``parallelize`` calls shares the learning
@@ -43,6 +47,7 @@ __all__ = [
     "AutoTunePass",
     "features_from_telemetry",
     "record_run_outcome",
+    "record_doctor_hints",
     "default_tuner_store",
 ]
 
@@ -174,6 +179,31 @@ def record_run_outcome(
         state["features"][backend] = features_from_telemetry(telemetry)
 
 
+def record_doctor_hints(
+    store: InspectorCache, fingerprint: str, findings
+) -> None:
+    """Turn perf-doctor findings into a tuner prior for ``fingerprint``.
+
+    The first finding (they arrive most-severe-first) whose
+    recommendation names a backend becomes the hint; the tuner then
+    tries that backend before its width heuristic and, once the hinted
+    backend is measured, exploits without timing the remaining
+    candidates.  No backend recommendation ⇒ no hint recorded.
+    """
+    for finding in findings:
+        backend = finding.recommendation.get("backend")
+        if backend is None:
+            continue
+        state = store.tuner_state(fingerprint)
+        state["hints"] = {
+            "backend": backend,
+            "kind": finding.kind,
+            "severity": finding.severity,
+            "summary": finding.summary,
+        }
+        return
+
+
 class AutoTunePass(SchedulePass):
     """Provide ``backend`` by explore-then-exploit over prior telemetry."""
 
@@ -196,8 +226,32 @@ class AutoTunePass(SchedulePass):
             if b in self.candidates
         ] or list(self.candidates)
         unmeasured = [b for b in priority if not measurements.get(b)]
+        hint = (state.get("hints") or {}).get("backend")
+        if hint not in priority:
+            hint = None
 
-        if unmeasured and not any(measurements.get(b) for b in priority):
+        if hint is not None and unmeasured:
+            # A perf-doctor hint shortcuts exploration: try the hinted
+            # backend first, and once it is measured exploit the best
+            # median immediately instead of timing the rest of the field.
+            kind = state["hints"].get("kind", "finding")
+            if not measurements.get(hint):
+                choice = hint
+                reason = (
+                    f"perf doctor ({kind}) recommends {choice}; "
+                    f"measuring it ahead of the width heuristic"
+                )
+            else:
+                measured = [b for b in priority if measurements.get(b)]
+                medians = {b: _median(measurements[b]) for b in measured}
+                choice = min(medians, key=medians.get)
+                reason = (
+                    f"perf doctor ({kind}) hint lets the tuner exploit "
+                    f"median wall {medians[choice]:.6f}s without timing "
+                    f"{'/'.join(unmeasured)}"
+                )
+            source = "hint"
+        elif unmeasured and not any(measurements.get(b) for b in priority):
             choice = unmeasured[0]
             source = "heuristic"
             reason = (

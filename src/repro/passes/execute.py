@@ -69,8 +69,9 @@ def execute_plan(
         processors=spec.processors,
         cache=cache,
         validate=spec.validate,
-        # Telemetry is the tuner's training data: auto runs always observe.
-        observe=spec.observe or auto,
+        # Telemetry is the tuner's training data: auto runs always
+        # observe; diagnosis reads telemetry, so diagnose implies observe.
+        observe=spec.observe or auto or spec.diagnose,
         # The simulated backend models the inspector as a costed phase;
         # its analyze handling is planning-level (verdict below).
         analyze=spec.analyze if backend != "simulated" else None,
@@ -117,6 +118,18 @@ def execute_plan(
         record_run_outcome(
             store, plan.fingerprint, backend, wall, telemetry=result.telemetry
         )
+
+    if spec.diagnose and result.telemetry is not None:
+        from repro.passes.autotune import record_doctor_hints
+        from repro.perf.doctor import diagnose_result
+
+        findings = diagnose_result(result)
+        result.extras["doctor"] = [f.as_dict() for f in findings]
+        if cache is not None and plan.fingerprint is not None:
+            # A shared cache is the tuner's memory: the doctor's backend
+            # recommendation becomes a prior for later auto runs of this
+            # structure (a private store would discard it immediately).
+            record_doctor_hints(cache, plan.fingerprint, findings)
     return result
 
 

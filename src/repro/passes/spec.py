@@ -193,6 +193,13 @@ class PlanSpec:
         Attach a :class:`~repro.obs.telemetry.Telemetry` blob to the
         result.  Forced on under ``backend="auto"``: telemetry is the
         tuner's training data.
+    diagnose:
+        Run the perf doctor (:mod:`repro.perf.doctor`) over the run's
+        telemetry and attach its findings under ``extras["doctor"]``.
+        Implies ``observe`` (the doctor reads telemetry), and — when a
+        shared :class:`~repro.backends.cache.InspectorCache` is passed —
+        records the findings' backend recommendations as auto-tuner
+        hints.
     wait_timeout:
         Ceiling in seconds on any single blocking busy-wait (threaded
         events / multiproc :class:`~repro.backends.waitladder.WaitLadder`).
@@ -212,6 +219,7 @@ class PlanSpec:
     analyze: str | None = None
     validate: str | None = None
     observe: bool = False
+    diagnose: bool = False
     wait_timeout: float | None = None
 
     def __post_init__(self) -> None:

@@ -1,0 +1,242 @@
+"""The statistical regression gate over the benchmark history.
+
+``python -m repro perf compare`` answers one question per
+(benchmark, backend, n) key: *is the newest measurement slower than the
+recent past, beyond noise?*  The statistics are deliberately robust —
+CI wall clocks are jittery, and a gate that pages on noise trains people
+to ignore it:
+
+- the **candidate** is the median of the trailing run (all rows sharing
+  the newest git SHA for that key) — median-of-k repeats, so a single
+  hiccup is not a candidate;
+- the **baseline** is the median of the preceding window after
+  MAD-based outlier rejection (samples further than
+  ``4 * 1.4826 * MAD`` from the window median are dropped) — one
+  historically slow run cannot drag the baseline;
+- a key regresses only if the relative excess clears ``threshold``
+  *and* the absolute excess clears ``min_effect_seconds`` — a 2x
+  slowdown of a 50µs microbench is below any machine's resolution and
+  should not page anyone.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+__all__ = [
+    "Comparison",
+    "group_history",
+    "reject_outliers",
+    "compare_history",
+    "format_comparisons",
+]
+
+#: Baseline window length (rows per key, before outlier rejection).
+DEFAULT_WINDOW = 20
+#: Relative slowdown that flags a regression (0.30 = 30% slower).
+DEFAULT_THRESHOLD = 0.30
+#: Minimum-effect floor (seconds): relative excess below this absolute
+#: difference is noise by definition.
+DEFAULT_MIN_EFFECT = 0.005
+#: Keys need at least this many baseline rows to be judged at all.
+DEFAULT_MIN_BASELINE = 3
+
+_MAD_SCALE = 1.4826  # MAD -> sigma for normal data
+_MAD_CUTOFF = 4.0
+
+
+@dataclass
+class Comparison:
+    """The verdict for one (benchmark, backend, n) key."""
+
+    benchmark: str
+    backend: str
+    n: int | None
+    baseline_median: float
+    candidate_median: float
+    baseline_count: int
+    candidate_count: int
+    rejected_outliers: int
+    regressed: bool
+    skipped: bool = False
+    reason: str = ""
+
+    @property
+    def rel_excess(self) -> float:
+        if self.baseline_median <= 0:
+            return 0.0
+        return self.candidate_median / self.baseline_median - 1.0
+
+    @property
+    def key(self) -> str:
+        n = "-" if self.n is None else self.n
+        return f"{self.benchmark}/{self.backend}/n={n}"
+
+    def as_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "backend": self.backend,
+            "n": self.n,
+            "baseline_median": self.baseline_median,
+            "candidate_median": self.candidate_median,
+            "baseline_count": self.baseline_count,
+            "candidate_count": self.candidate_count,
+            "rejected_outliers": self.rejected_outliers,
+            "rel_excess": self.rel_excess,
+            "regressed": self.regressed,
+            "skipped": self.skipped,
+            "reason": self.reason,
+        }
+
+
+def group_history(
+    rows: list[dict],
+) -> dict[tuple[str, str, int | None], list[dict]]:
+    """History rows bucketed by the stable grouping key, file order
+    (= append = chronological order) preserved within each bucket."""
+    groups: dict[tuple[str, str, int | None], list[dict]] = {}
+    for row in rows:
+        n = row.get("n")
+        key = (row.get("benchmark", "?"), row.get("backend", "?"), n)
+        groups.setdefault(key, []).append(row)
+    return groups
+
+
+def reject_outliers(samples: list[float]) -> tuple[list[float], int]:
+    """Drop samples beyond ``4 * 1.4826 * MAD`` of the median.
+
+    Returns ``(kept, rejected_count)``.  With fewer than 4 samples, or a
+    zero MAD (identical samples), nothing is dropped — there is no
+    spread to judge against.
+    """
+    if len(samples) < 4:
+        return list(samples), 0
+    med = statistics.median(samples)
+    mad = statistics.median(abs(s - med) for s in samples)
+    if mad == 0:
+        return list(samples), 0
+    cut = _MAD_CUTOFF * _MAD_SCALE * mad
+    kept = [s for s in samples if abs(s - med) <= cut]
+    return kept, len(samples) - len(kept)
+
+
+def compare_history(
+    rows: list[dict],
+    window: int = DEFAULT_WINDOW,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_effect_seconds: float = DEFAULT_MIN_EFFECT,
+    min_baseline: int = DEFAULT_MIN_BASELINE,
+) -> list[Comparison]:
+    """Judge every (benchmark, backend, n) key in ``rows``.
+
+    The candidate is the trailing block of rows sharing the key's newest
+    git SHA; everything before it (up to ``window`` rows) is the
+    baseline.  Keys whose baseline is shorter than ``min_baseline``
+    return a skipped :class:`Comparison` — a trajectory two rows deep
+    has no "recent past" to regress against.
+    """
+    out: list[Comparison] = []
+    for (benchmark, backend, n), bucket in sorted(
+        group_history(rows).items(), key=lambda kv: str(kv[0])
+    ):
+        last_sha = bucket[-1].get("git_sha", "unknown")
+        split = len(bucket)
+        while split > 0 and bucket[split - 1].get("git_sha") == last_sha:
+            split -= 1
+        candidate = [float(r["wall_seconds"]) for r in bucket[split:]]
+        baseline_rows = bucket[max(0, split - window) : split]
+        baseline_all = [float(r["wall_seconds"]) for r in baseline_rows]
+        baseline, rejected = reject_outliers(baseline_all)
+
+        if len(baseline) < min_baseline or not candidate:
+            out.append(
+                Comparison(
+                    benchmark=benchmark,
+                    backend=backend,
+                    n=n,
+                    baseline_median=(
+                        statistics.median(baseline) if baseline else 0.0
+                    ),
+                    candidate_median=(
+                        statistics.median(candidate) if candidate else 0.0
+                    ),
+                    baseline_count=len(baseline),
+                    candidate_count=len(candidate),
+                    rejected_outliers=rejected,
+                    regressed=False,
+                    skipped=True,
+                    reason=(
+                        f"baseline too short "
+                        f"({len(baseline)} < {min_baseline})"
+                        if candidate
+                        else "no candidate rows"
+                    ),
+                )
+            )
+            continue
+
+        base_med = statistics.median(baseline)
+        cand_med = statistics.median(candidate)
+        abs_excess = cand_med - base_med
+        rel_excess = abs_excess / base_med if base_med > 0 else 0.0
+        regressed = (
+            rel_excess > threshold and abs_excess > min_effect_seconds
+        )
+        out.append(
+            Comparison(
+                benchmark=benchmark,
+                backend=backend,
+                n=n,
+                baseline_median=base_med,
+                candidate_median=cand_med,
+                baseline_count=len(baseline),
+                candidate_count=len(candidate),
+                rejected_outliers=rejected,
+                regressed=regressed,
+                reason=(
+                    f"median {cand_med:.6g}s vs baseline {base_med:.6g}s "
+                    f"({rel_excess:+.1%})"
+                ),
+            )
+        )
+    return out
+
+
+def format_comparisons(comparisons: list[Comparison]) -> str:
+    """Human-readable report: regressions first, then ok, then skipped."""
+    from repro.bench.reporting import format_table
+
+    def bucket_rank(c: Comparison) -> int:
+        return 0 if c.regressed else (2 if c.skipped else 1)
+
+    rows = []
+    for c in sorted(comparisons, key=lambda c: (bucket_rank(c), c.key)):
+        status = (
+            "REGRESSED" if c.regressed else ("skipped" if c.skipped else "ok")
+        )
+        rows.append(
+            (
+                c.key,
+                status,
+                f"{c.baseline_median * 1e3:.3f}",
+                f"{c.candidate_median * 1e3:.3f}",
+                f"{c.rel_excess:+.1%}",
+                f"{c.baseline_count}/{c.candidate_count}",
+                c.reason,
+            )
+        )
+    if not rows:
+        return "(no history keys to compare)"
+    return format_table(
+        [
+            "key",
+            "status",
+            "baseline (ms)",
+            "candidate (ms)",
+            "excess",
+            "base/cand",
+            "detail",
+        ],
+        rows,
+    )

@@ -1,0 +1,139 @@
+"""Benchmark history: provenance stamping and the append-only trajectory.
+
+Each ``BENCH_*.json`` artifact is a snapshot; the *trajectory* — the thing
+a regression gate can interrogate — lives in ``BENCH_history.jsonl``: one
+flat JSON row per (benchmark, backend, n) measurement, stamped with the
+git SHA, an ISO-8601 UTC timestamp, and a machine fingerprint (CPU count,
+Python version, platform), appended and never rewritten.
+
+This module owns the provenance vocabulary (:func:`run_metadata`) used by
+both the per-bench artifacts (via
+:func:`repro.bench.registry.write_artifact`) and the history rows, the
+normalization from artifact payloads to history rows
+(:func:`history_rows`), and the append/load primitives.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+__all__ = [
+    "HISTORY_PATH",
+    "HISTORY_SCHEMA_VERSION",
+    "git_sha",
+    "machine_fingerprint",
+    "run_metadata",
+    "history_rows",
+    "append_history",
+    "load_history",
+]
+
+#: Default append-only trajectory file (repo root in CI).
+HISTORY_PATH = "BENCH_history.jsonl"
+
+HISTORY_SCHEMA_VERSION = 1
+
+
+def git_sha(cwd: str | Path | None = None) -> str:
+    """The current commit SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=cwd,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def machine_fingerprint() -> dict:
+    """Where a measurement ran: enough to tell two CI runners apart."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+    }
+
+
+def run_metadata(cwd: str | Path | None = None) -> dict:
+    """The provenance block stamped into every artifact and history row."""
+    return {
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "git_sha": git_sha(cwd),
+        "date": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "machine": machine_fingerprint(),
+    }
+
+
+def history_rows(payload: dict, meta: dict | None = None) -> list[dict]:
+    """Normalize one benchmark artifact payload into flat history rows.
+
+    One row per ``records`` entry: the stable cross-PR keys (benchmark,
+    backend, n, wall_seconds) plus the provenance stamp.  Extra record
+    keys ride along untouched (``wait_fraction``, ``speedup``...), so the
+    history keeps whatever depth each bench reports without the gate
+    depending on it.
+    """
+    meta = meta if meta is not None else payload.get("meta") or run_metadata()
+    rows = []
+    for record in payload.get("records", []):
+        row = dict(record)
+        row["benchmark"] = payload.get("benchmark", "unknown")
+        row.setdefault("n", None)
+        row["git_sha"] = meta.get("git_sha", "unknown")
+        row["date"] = meta.get("date", "")
+        row["machine"] = dict(meta.get("machine", {}))
+        row["schema_version"] = meta.get(
+            "schema_version", HISTORY_SCHEMA_VERSION
+        )
+        rows.append(row)
+    return rows
+
+
+def append_history(
+    rows: list[dict], path: str | Path = HISTORY_PATH
+) -> Path:
+    """Append ``rows`` to the JSONL trajectory (created if missing)."""
+    path = Path(path)
+    with path.open("a", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(path: str | Path = HISTORY_PATH) -> list[dict]:
+    """All history rows in file (= chronological append) order.
+
+    Blank lines are skipped; a malformed line raises ``ValueError``
+    naming its position — an append-only file that stops parsing midway
+    is corruption worth failing loudly on, not skipping.
+    """
+    path = Path(path)
+    rows: list[dict] = []
+    for pos, line in enumerate(path.read_text(encoding="utf-8").splitlines()):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}: line {pos + 1} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(row, dict):
+            raise ValueError(
+                f"{path}: line {pos + 1} is not a JSON object"
+            )
+        rows.append(row)
+    return rows

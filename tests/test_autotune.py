@@ -22,6 +22,7 @@ from repro.passes import (
     plan_loop,
     record_run_outcome,
 )
+from repro.passes.autotune import record_doctor_hints
 from repro.passes.autotune import AUTO_CANDIDATES, _MAX_SAMPLES, TunerDecision
 from repro.workloads.testloop import make_test_loop
 
@@ -218,3 +219,95 @@ class TestAutoEndToEnd:
         )
         assert np.array_equal(result.y, loop.run_sequential())
         assert result.extras["schedule_plan"]["backend"] in AUTO_CANDIDATES
+
+
+# ---------------------------------------------------------------------------
+# Perf-doctor hints as tuner priors
+# ---------------------------------------------------------------------------
+
+
+class TestDoctorHints:
+    def _hint(self, cache, fp, backend="vectorized"):
+        from repro.perf.findings import Finding
+
+        record_doctor_hints(
+            cache,
+            fp,
+            [
+                Finding(
+                    kind="wait_bound",
+                    severity="critical",
+                    summary="lanes mostly busy-wait",
+                    evidence={"mean_wait_fraction": 0.9},
+                    recommendation={"backend": backend},
+                )
+            ],
+        )
+
+    def test_hint_recorded_from_first_backend_recommendation(self, cache):
+        self._hint(cache, "fp-1")
+        hints = cache.tuner_state("fp-1")["hints"]
+        assert hints["backend"] == "vectorized"
+        assert hints["kind"] == "wait_bound"
+
+    def test_finding_without_backend_records_nothing(self, cache):
+        from repro.perf.findings import Finding
+
+        record_doctor_hints(
+            cache,
+            "fp-1",
+            [
+                Finding(
+                    kind="cache_cold",
+                    severity="info",
+                    summary="cold cache",
+                    evidence={},
+                    recommendation={"cache": "share"},
+                )
+            ],
+        )
+        assert "hints" not in cache.tuner_state("fp-1")
+
+    def test_hinted_backend_is_measured_first(self, loop, cache):
+        # The width heuristic would rank vectorized first on this wide
+        # loop; a threaded hint overrides it.
+        self._hint(cache, loop_fingerprint(loop), backend="threaded")
+        plan = plan_loop(loop, PlanSpec(backend="auto"), cache=cache)
+        assert plan.backend == "threaded"
+        assert plan.tuner.source == "hint"
+        assert "doctor" in plan.tuner.reason
+
+    def test_hint_shortcuts_remaining_exploration(self, loop, cache):
+        # With a hint, explore stops after the hinted backend is timed —
+        # the tuner exploits without measuring the other two candidates.
+        fp = loop_fingerprint(loop)
+        self._hint(cache, fp, backend="threaded")
+        first = plan_loop(loop, PlanSpec(backend="auto"), cache=cache)
+        record_run_outcome(cache, fp, first.backend, 0.01)
+        second = plan_loop(loop, PlanSpec(backend="auto"), cache=cache)
+        assert second.backend == "threaded"
+        assert second.tuner.source == "hint"
+        assert "without timing" in second.tuner.reason
+        # Unhinted, the same state would still be exploring.
+        del cache.tuner_state(fp)["hints"]
+        unhinted = plan_loop(loop, PlanSpec(backend="auto"), cache=cache)
+        assert unhinted.tuner.source == "explore"
+
+    def test_diagnose_run_with_cache_plants_hint(self, cache):
+        # End to end: a PlanSpec(diagnose=True) run on a wait-bound loop
+        # leaves a hint the next auto plan consumes.
+        from repro import chain_loop
+
+        chain = chain_loop(300, 1)
+        result, _ = parallelize(
+            chain,
+            spec=PlanSpec(backend="threaded", processors=8, diagnose=True),
+            cache=cache,
+        )
+        kinds = [f["kind"] for f in result.extras["doctor"]]
+        assert "wait_bound" in kinds
+        hints = cache.tuner_state(loop_fingerprint(chain)).get("hints")
+        assert hints is not None
+        plan = plan_loop(chain, PlanSpec(backend="auto"), cache=cache)
+        assert plan.tuner.source == "hint"
+        assert plan.backend == hints["backend"]

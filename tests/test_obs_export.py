@@ -143,3 +143,82 @@ class TestGantt:
     def test_empty_telemetry(self):
         empty = Telemetry(backend="threaded", clock=CLOCK_CYCLES)
         assert gantt(empty) == "(no activity spans to draw)"
+
+
+class TestEdgeCases:
+    """Exporter edge cases: empty recorders, single spans, round-trips."""
+
+    def test_empty_recorder_normalizes_and_exports(self):
+        from repro.obs import SpanRecorder
+
+        recorder = SpanRecorder()
+        assert recorder.normalized() == []
+        telemetry = Telemetry(
+            backend="threaded", clock=CLOCK_CYCLES, spans=recorder.normalized()
+        )
+        assert telemetry.spans == []
+        assert gantt(telemetry) == "(no activity spans to draw)"
+        trace = chrome_trace(telemetry)
+        assert all(e["ph"] == "M" for e in trace["traceEvents"])
+        lines = spans_jsonl(telemetry).strip().splitlines()
+        assert len(lines) == 1  # header only
+        assert json.loads(lines[0])["record"] == "telemetry"
+
+    def test_single_span_gantt(self):
+        only = Telemetry(
+            backend="simulated",
+            clock=CLOCK_CYCLES,
+            spans=[Span("compute", CAT_COMPUTE, 0.0, 10.0, lane=0)],
+        )
+        lines = gantt(only, width=20).splitlines()
+        assert lines[1].startswith("p0  |")
+        assert "#" in lines[1]
+
+    def test_zero_duration_single_span_does_not_crash(self):
+        instant = Telemetry(
+            backend="simulated",
+            clock=CLOCK_CYCLES,
+            spans=[Span("compute", CAT_COMPUTE, 5.0, 5.0, lane=0)],
+        )
+        assert isinstance(gantt(instant), str)
+
+    def test_chrome_trace_events_are_pid_tagged(self, threaded_telemetry):
+        trace = chrome_trace(threaded_telemetry)
+        assert all("pid" in e and "tid" in e for e in trace["traceEvents"])
+        # All lanes share one process; tids partition the spans by lane.
+        assert {e["pid"] for e in trace["traceEvents"]} == {0}
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len({e["tid"] for e in xs}) > 1
+
+    def test_jsonl_round_trip(self, threaded_telemetry, tmp_path):
+        from repro.obs import read_spans_jsonl
+
+        path = write_spans_jsonl(threaded_telemetry, tmp_path / "rt.jsonl")
+        loaded = read_spans_jsonl(path)
+        assert loaded.as_dict() == threaded_telemetry.as_dict()
+
+    def test_jsonl_round_trip_from_raw_text(self):
+        from repro.obs import read_spans_jsonl
+
+        source = synthetic_telemetry()
+        loaded = read_spans_jsonl(spans_jsonl(source))
+        assert loaded.as_dict() == source.as_dict()
+
+    def test_jsonl_read_rejects_missing_header(self):
+        from repro.obs import read_spans_jsonl
+
+        span_only = (
+            '{"record": "span", "name": "c", "cat": "compute", '
+            '"start": 0.0, "end": 1.0, "lane": 0, "attrs": {}}\n'
+        )
+        with pytest.raises(ValueError, match="header"):
+            read_spans_jsonl(span_only)
+
+    def test_jsonl_read_rejects_duplicate_header_and_unknown_kind(self):
+        from repro.obs import read_spans_jsonl
+
+        header = spans_jsonl(synthetic_telemetry()).strip().splitlines()[0]
+        with pytest.raises(ValueError, match="duplicate"):
+            read_spans_jsonl(header + "\n" + header + "\n")
+        with pytest.raises(ValueError, match="unknown record kind"):
+            read_spans_jsonl(header + '\n{"record": "mystery"}\n')

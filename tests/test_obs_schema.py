@@ -329,3 +329,63 @@ class TestComposition:
         runner.run(loop)
         assert inner._obs_recorder is None
         assert inner._obs_metrics is None
+
+
+class TestPercentiles:
+    """MetricsRegistry.percentiles and its surfacing in serialized blobs."""
+
+    def test_quantiles_linear_interpolation(self):
+        from repro.obs import MetricsRegistry
+
+        met = MetricsRegistry()
+        met.observe_many("lat", [float(v) for v in range(1, 101)])
+        q = met.percentiles("lat")
+        assert q["p50"] == pytest.approx(50.5)
+        assert q["p95"] == pytest.approx(95.05)
+        assert q["p99"] == pytest.approx(99.01)
+
+    def test_single_sample_collapses_all_quantiles(self):
+        from repro.obs import MetricsRegistry
+
+        met = MetricsRegistry()
+        met.observe("lat", 7.0)
+        assert met.percentiles("lat") == {"p50": 7.0, "p95": 7.0, "p99": 7.0}
+
+    def test_unknown_histogram_is_empty(self):
+        from repro.obs import MetricsRegistry
+
+        assert MetricsRegistry().percentiles("never_observed") == {}
+
+    def test_as_dict_injects_quantiles_and_validates(self):
+        from repro.obs import MetricsRegistry
+
+        met = MetricsRegistry()
+        met.observe_many("level_width", [1.0, 2.0, 8.0])
+        blob = met.as_dict()["histograms"]["level_width"]
+        assert {"count", "sum", "min", "max", "p50", "p95", "p99"} <= set(blob)
+        telemetry = {
+            "schema_version": 1,
+            "backend": "vectorized",
+            "clock": "wall_seconds",
+            "spans": [],
+            "metrics": met.as_dict(),
+        }
+        validate_telemetry(telemetry)  # optional keys pass the gate
+
+    def test_merge_carries_samples(self):
+        from repro.obs import MetricsRegistry
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe_many("lat", [1.0, 2.0])
+        b.observe_many("lat", [3.0, 4.0])
+        a.merge(b)
+        assert a.percentiles("lat")["p50"] == pytest.approx(2.5)
+
+    def test_vectorized_run_reports_level_width_percentiles(self, loop):
+        from repro.passes import PlanSpec
+
+        result, _ = parallelize(
+            loop, spec=PlanSpec(backend="vectorized", observe=True)
+        )
+        hist = result.telemetry.metrics.as_dict()["histograms"]["level_width"]
+        assert "p50" in hist and hist["p50"] <= hist["max"]

@@ -1,0 +1,228 @@
+"""The statistical regression gate (ISSUE 8 tentpole, part 2).
+
+The two acceptance properties from the issue: an injected 2x slowdown on
+one key is flagged — and *only* that key — while a jittered-but-stable
+series raises nothing.  Plus the robustness machinery underneath: MAD
+outlier rejection, the median-of-k candidate, the minimum-effect floor,
+and the short-baseline skip.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.compare import (
+    compare_history,
+    format_comparisons,
+    group_history,
+    reject_outliers,
+)
+
+
+def row(benchmark, backend, wall, sha, n=1000):
+    return {
+        "benchmark": benchmark,
+        "backend": backend,
+        "n": n,
+        "wall_seconds": wall,
+        "git_sha": sha,
+        "date": "2026-08-08T00:00:00+00:00",
+        "machine": {"cpu_count": 8, "python": "3.11.0", "platform": "linux"},
+        "schema_version": 1,
+    }
+
+
+def series(benchmark, backend, walls, final_sha="sha-new"):
+    """One history bucket: one commit per wall sample, the last one being
+    the candidate commit."""
+    rows = [
+        row(benchmark, backend, w, f"sha-{i:03d}")
+        for i, w in enumerate(walls[:-1])
+    ]
+    rows.append(row(benchmark, backend, walls[-1], final_sha))
+    return rows
+
+
+#: ±10% deterministic jitter around 100ms — stable by any honest gate.
+JITTERED = [0.100, 0.108, 0.094, 0.103, 0.091, 0.106, 0.097, 0.110,
+            0.093, 0.102]
+
+
+class TestRejectOutliers:
+    def test_far_sample_dropped(self):
+        samples = [0.100, 0.101, 0.099, 0.102, 0.098, 0.500]
+        kept, rejected = reject_outliers(samples)
+        assert rejected == 1
+        assert 0.500 not in kept
+
+    def test_tight_samples_all_kept(self):
+        kept, rejected = reject_outliers(JITTERED)
+        assert rejected == 0
+        assert kept == JITTERED
+
+    def test_fewer_than_four_untouched(self):
+        assert reject_outliers([1.0, 100.0, 0.001]) == ([1.0, 100.0, 0.001], 0)
+
+    def test_zero_mad_untouched(self):
+        assert reject_outliers([0.1] * 6) == ([0.1] * 6, 0)
+
+
+class TestGrouping:
+    def test_keys_and_order(self):
+        rows = series("b1", "threaded", [0.1, 0.2, 0.3]) + series(
+            "b1", "vectorized", [0.01, 0.02]
+        )
+        groups = group_history(rows)
+        assert set(groups) == {
+            ("b1", "threaded", 1000),
+            ("b1", "vectorized", 1000),
+        }
+        walls = [r["wall_seconds"] for r in groups[("b1", "threaded", 1000)]]
+        assert walls == [0.1, 0.2, 0.3]  # file order preserved
+
+
+class TestGate:
+    def test_injected_2x_slowdown_flagged_and_only_that_key(self):
+        rows = (
+            series("b1", "threaded", JITTERED + [0.200])  # 2x on the last sha
+            + series("b1", "vectorized", JITTERED + [0.099])  # stable
+        )
+        verdicts = {c.key: c for c in compare_history(rows)}
+        assert verdicts["b1/threaded/n=1000"].regressed
+        assert not verdicts["b1/vectorized/n=1000"].regressed
+        assert verdicts["b1/threaded/n=1000"].rel_excess > 0.5
+
+    def test_jittered_but_stable_series_not_flagged(self):
+        # Candidate at the jitter ceiling: within the band, not a regression.
+        rows = series("b1", "threaded", JITTERED + [0.110])
+        (verdict,) = compare_history(rows)
+        assert not verdict.regressed
+        assert not verdict.skipped
+
+    def test_candidate_is_median_of_trailing_sha_block(self):
+        # Three repeats on the candidate sha: one hiccup cannot flag it.
+        rows = series("b1", "threaded", JITTERED)[:-1]
+        rows += [
+            row("b1", "threaded", w, "sha-new") for w in (0.101, 0.450, 0.099)
+        ]
+        (verdict,) = compare_history(rows)
+        assert verdict.candidate_count == 3
+        assert verdict.candidate_median == pytest.approx(0.101)
+        assert not verdict.regressed
+
+    def test_outlier_in_baseline_cannot_mask_regression(self):
+        # A historic 10x spike would inflate a naive mean baseline; MAD
+        # rejection keeps the gate honest.
+        walls = JITTERED[:5] + [1.0] + JITTERED[5:] + [0.200]
+        rows = series("b1", "threaded", walls)
+        (verdict,) = compare_history(rows)
+        assert verdict.rejected_outliers == 1
+        assert verdict.regressed
+
+    def test_min_effect_floor_silences_microbench_noise(self):
+        # 2x relative, but 2µs absolute: below any machine's resolution.
+        rows = series("b1", "threaded", [2e-6] * 8 + [4e-6])
+        (verdict,) = compare_history(rows)
+        assert not verdict.regressed
+
+    def test_short_baseline_skipped_not_judged(self):
+        rows = series("b1", "threaded", [0.1, 0.1, 0.4])
+        (verdict,) = compare_history(rows)
+        assert verdict.skipped
+        assert not verdict.regressed
+        assert "baseline too short" in verdict.reason
+
+    def test_window_bounds_baseline(self):
+        # Ancient slow rows age out of the window: only the recent past
+        # counts as the baseline.
+        rows = series("b1", "threaded", [0.400] * 10 + JITTERED + [0.103])
+        (verdict,) = compare_history(rows, window=10)
+        assert verdict.baseline_median == pytest.approx(0.1, abs=0.01)
+        assert not verdict.regressed
+
+    def test_threshold_is_relative(self):
+        rows = series("b1", "threaded", JITTERED + [0.125])  # +25%
+        (lenient,) = compare_history(rows, threshold=0.30)
+        (strict,) = compare_history(rows, threshold=0.10)
+        assert not lenient.regressed
+        assert strict.regressed
+
+
+class TestReporting:
+    def test_as_dict_json_safe(self):
+        import json
+
+        rows = series("b1", "threaded", JITTERED + [0.2])
+        (verdict,) = compare_history(rows)
+        assert json.loads(json.dumps(verdict.as_dict())) == verdict.as_dict()
+
+    def test_format_orders_regressions_first(self):
+        rows = (
+            series("b1", "threaded", JITTERED + [0.3])
+            + series("b1", "vectorized", JITTERED + [0.1])
+            + series("b2", "threaded", [0.1, 0.1, 0.1])  # skipped
+        )
+        report = format_comparisons(compare_history(rows))
+        lines = [ln for ln in report.splitlines() if "n=1000" in ln]
+        assert "REGRESSED" in lines[0]
+        assert "skipped" in lines[-1]
+
+    def test_empty_history_reports_nothing(self):
+        assert "no history" in format_comparisons([])
+
+
+class TestCompareCli:
+    def _write(self, tmp_path, rows):
+        from repro.perf.history import append_history
+
+        path = tmp_path / "h.jsonl"
+        append_history(rows, path)
+        return path
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        from repro.perf.cli import main as perf_main
+
+        path = self._write(
+            tmp_path, series("b1", "threaded", JITTERED + [0.250])
+        )
+        assert perf_main(["compare", f"--history={path}"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "1 regressed" in out
+
+    def test_report_mode_soft_fails(self, tmp_path, capsys):
+        from repro.perf.cli import main as perf_main
+
+        path = self._write(
+            tmp_path, series("b1", "threaded", JITTERED + [0.250])
+        )
+        assert perf_main(["compare", f"--history={path}", "--report"]) == 0
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_stable_history_exits_zero(self, tmp_path):
+        from repro.perf.cli import main as perf_main
+
+        path = self._write(
+            tmp_path, series("b1", "threaded", JITTERED + [0.102])
+        )
+        assert perf_main(["compare", f"--history={path}"]) == 0
+
+    def test_missing_history_is_not_an_error(self, tmp_path, capsys):
+        from repro.perf.cli import main as perf_main
+
+        rc = perf_main(["compare", f"--history={tmp_path / 'none.jsonl'}"])
+        assert rc == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        import json
+
+        from repro.perf.cli import main as perf_main
+
+        path = self._write(
+            tmp_path, series("b1", "threaded", JITTERED + [0.250])
+        )
+        perf_main(["compare", f"--history={path}", "--json", "--report"])
+        blob = json.loads(capsys.readouterr().out)
+        assert blob["regressed"] == 1
+        assert blob["comparisons"][0]["benchmark"] == "b1"

@@ -1,0 +1,215 @@
+"""The benchmark history pipeline (ISSUE 8 tentpole, part 1): provenance
+stamping, artifact normalization, the append-only trajectory, the bench
+registry's single artifact writer, and the ``bench-all`` orchestrator.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.bench.registry import REGISTRY, bench_by_name, write_artifact
+from repro.bench.schema import validate_history_row, validate_meta
+from repro.perf.history import (
+    append_history,
+    git_sha,
+    history_rows,
+    load_history,
+    machine_fingerprint,
+    run_metadata,
+)
+
+
+def payload(benchmark="bench-x", records=None):
+    return {
+        "benchmark": benchmark,
+        "records": records
+        if records is not None
+        else [
+            {"n": 100, "backend": "threaded", "wall_seconds": 0.01},
+            {"n": 100, "backend": "vectorized", "wall_seconds": 0.002,
+             "speedup": 5.0},
+        ],
+        "detail": {},
+    }
+
+
+class TestProvenance:
+    def test_git_sha_in_this_checkout_is_hex(self):
+        sha = git_sha()
+        assert len(sha) == 40
+        int(sha, 16)
+
+    def test_git_sha_outside_checkout_is_unknown(self, tmp_path):
+        assert git_sha(tmp_path) == "unknown"
+
+    def test_machine_fingerprint_shape(self):
+        fp = machine_fingerprint()
+        assert fp["cpu_count"] >= 1
+        assert fp["python"].count(".") == 2
+        assert isinstance(fp["platform"], str)
+
+    def test_run_metadata_validates(self):
+        meta = run_metadata()
+        validate_meta(meta, "meta")
+        assert meta["schema_version"] == 1
+        assert meta["date"].endswith("+00:00") or meta["date"].endswith("Z")
+
+
+class TestHistoryRows:
+    def test_one_row_per_record_with_provenance_flat(self):
+        meta = run_metadata()
+        rows = history_rows(payload(), meta)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["benchmark"] == "bench-x"
+            assert row["git_sha"] == meta["git_sha"]
+            assert row["date"] == meta["date"]
+            assert row["machine"] == meta["machine"]
+            validate_history_row(row, 0)
+        assert rows[1]["speedup"] == 5.0  # extra keys ride along
+
+    def test_missing_n_defaults_to_none(self):
+        rows = history_rows(
+            payload(records=[{"backend": "threaded", "wall_seconds": 0.01}])
+        )
+        assert rows[0]["n"] is None
+        validate_history_row(rows[0], 0)
+
+    def test_meta_defaults_to_payload_meta(self):
+        p = payload()
+        p["meta"] = run_metadata()
+        p["meta"]["git_sha"] = "f" * 40
+        rows = history_rows(p)
+        assert rows[0]["git_sha"] == "f" * 40
+
+    def test_append_load_round_trip(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        rows = history_rows(payload(), run_metadata())
+        append_history(rows, path)
+        append_history(rows[:1], path)  # append-only: grows, never rewrites
+        loaded = load_history(path)
+        assert len(loaded) == 3
+        assert loaded[0] == json.loads(json.dumps(rows[0]))
+
+    def test_load_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            load_history(path)
+
+    def test_load_rejects_non_object_line(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            load_history(path)
+
+
+class TestHistoryRowValidation:
+    def good(self):
+        row = history_rows(payload(), run_metadata())[0]
+        return row
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda r: r.update(benchmark=""),
+            lambda r: r.update(backend=3),
+            lambda r: r.update(n="hundred"),
+            lambda r: r.update(wall_seconds=-1.0),
+            lambda r: r.pop("wall_seconds"),
+            lambda r: r.update(git_sha=""),
+            lambda r: r.update(machine={"cpu_count": 0, "python": "3.11.1"}),
+        ],
+    )
+    def test_rejects(self, mutate):
+        row = self.good()
+        mutate(row)
+        with pytest.raises(TelemetryError):
+            validate_history_row(row, 0)
+
+
+class TestRegistry:
+    def test_registry_names_are_unique_and_resolvable(self):
+        names = [s.name for s in REGISTRY]
+        assert len(names) == len(set(names))
+        for name in names:
+            assert bench_by_name(name).name == name
+
+    def test_unknown_bench_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="bench-threaded"):
+            bench_by_name("bench-nonsense")
+
+    def test_write_artifact_stamps_and_validates(self, tmp_path):
+        path = write_artifact(payload(), tmp_path / "BENCH_x.json")
+        blob = json.loads(path.read_text())
+        validate_meta(blob["meta"], "meta")
+        assert blob["benchmark"] == "bench-x"
+        assert path.read_text().endswith("\n")
+
+    def test_write_artifact_rejects_invalid_payload(self, tmp_path):
+        bad = payload(records=[{"backend": "threaded"}])  # no wall_seconds
+        with pytest.raises(TelemetryError):
+            write_artifact(bad, tmp_path / "BENCH_bad.json")
+        assert not (tmp_path / "BENCH_bad.json").exists()
+
+    def test_write_artifact_does_not_mutate_caller_payload(self, tmp_path):
+        p = payload()
+        write_artifact(p, tmp_path / "BENCH_x.json")
+        assert "meta" not in p
+
+
+class TestBenchAllCli:
+    def test_list_shows_registry(self, capsys):
+        from repro.perf.cli import bench_all_main
+
+        assert bench_all_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for spec in REGISTRY:
+            assert spec.name in out
+
+    def test_unknown_only_name_fails_cleanly(self, capsys):
+        from repro.perf.cli import bench_all_main
+
+        assert bench_all_main(["--only=bench-nonsense"]) == 2
+        assert "bench-nonsense" in capsys.readouterr().out
+
+    def test_quick_single_bench_builds_valid_history(self, tmp_path, capsys):
+        from repro.perf.cli import bench_all_main
+
+        history = tmp_path / "BENCH_history.jsonl"
+        rc = bench_all_main(
+            [
+                "--quick",
+                "--only=bench-threaded",
+                f"--out-dir={tmp_path}",
+                f"--history={history}",
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "BENCH_threaded.json").exists()
+        rows = load_history(history)
+        assert rows
+        for pos, row in enumerate(rows):
+            validate_history_row(row, pos)
+        # All rows of one sweep share one provenance stamp.
+        assert len({row["git_sha"] for row in rows}) == 1
+        assert rows[0]["git_sha"] == git_sha()
+
+    def test_no_history_flag_skips_append(self, tmp_path):
+        from repro.perf.cli import bench_all_main
+
+        history = tmp_path / "h.jsonl"
+        rc = bench_all_main(
+            [
+                "--quick",
+                "--only=bench-threaded",
+                f"--out-dir={tmp_path}",
+                f"--history={history}",
+                "--no-history",
+            ]
+        )
+        assert rc == 0
+        assert not history.exists()

@@ -75,6 +75,7 @@ class TestValueObject:
             "analyze",
             "validate",
             "observe",
+            "diagnose",
             "wait_timeout",
         }
 

@@ -1,0 +1,95 @@
+"""The observation budget (ISSUE 8 satellite 1): ``observe=True`` must
+cost under 10% wall time on the 50k-row sparse triangular solve.
+
+Telemetry that doubles the run poisons its own numbers — the busy-wait
+fractions and phase extents the doctor and tuner consume would describe
+the instrumentation, not the loop.  The hot paths therefore batch raw
+span rows (:meth:`~repro.obs.spans.SpanRecorder.record_batch` /
+:meth:`~repro.obs.spans.SpanRecorder.record_wait_segments`) and
+materialize Span objects lazily, outside the timed region.  This file is
+the regression gate on that design.
+
+Measurement discipline: bare/observed runs are interleaved in pairs and
+compared by medians (single-run wall clocks on a shared CI box jitter by
+±20%, far above the effect being measured), against a shared warm
+inspector cache so the budget judges steady-state executor overhead.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.backends import InspectorCache, make_runner
+from repro.bench.bench_multiproc import _build_loop
+from repro.passes import PlanSpec
+
+#: The tested invariant: observed wall / bare wall - 1, per backend.
+OVERHEAD_BUDGET = 0.10
+
+#: Interleaved (bare, observed) pairs per backend.
+PAIRS = 5
+
+
+@pytest.fixture(scope="module")
+def trisolve():
+    loop, _nnz = _build_loop(224, 224)  # the >=50k-row triangular solve
+    assert loop.n >= 50_000
+    return loop
+
+
+def measured_overhead(loop, backend: str, processors: int = 4) -> float:
+    cache = InspectorCache()
+    bare = make_runner(
+        spec=PlanSpec(backend=backend, processors=processors), cache=cache
+    )
+    observed = make_runner(
+        spec=PlanSpec(backend=backend, processors=processors, observe=True),
+        cache=cache,
+    )
+    # Warm the shared inspector cache (and the allocator) outside the
+    # measurement so preprocessing cost cancels out of both arms.
+    result = bare.run(loop)
+    assert np.array_equal(result.y, loop.run_sequential())
+
+    bare_walls, observed_walls = [], []
+    for _ in range(PAIRS):
+        bare_walls.append(float(bare.run(loop).wall_seconds))
+        observed_walls.append(float(observed.run(loop).wall_seconds))
+    return statistics.median(observed_walls) / statistics.median(bare_walls) - 1.0
+
+
+@pytest.mark.parametrize("backend", ["threaded", "vectorized"])
+def test_observe_overhead_within_budget(trisolve, backend):
+    overhead = measured_overhead(trisolve, backend)
+    assert overhead < OVERHEAD_BUDGET, (
+        f"observe=True costs {overhead:.1%} wall time on the {backend} "
+        f"backend (budget {OVERHEAD_BUDGET:.0%}) — span recording has "
+        f"crept back into the hot loop"
+    )
+
+
+def test_bench_threaded_reports_the_budget_columns():
+    from repro.bench.bench_threaded import run_bench_threaded
+
+    result = run_bench_threaded(n=800)
+    assert result.bare_wall_seconds > 0
+    assert result.observe_overhead == pytest.approx(
+        result.wall_seconds / result.bare_wall_seconds - 1.0
+    )
+    d = result.as_dict()
+    assert {"bare_wall_seconds", "observe_overhead"} <= set(d)
+
+
+def test_bench_vectorized_reports_the_budget_columns():
+    from repro.bench.bench_vectorized import run_bench_vectorized
+
+    result = run_bench_vectorized(n=5_000, repeats=2)
+    assert result.vectorized_observed_seconds > 0
+    assert result.observe_overhead == pytest.approx(
+        result.vectorized_observed_seconds / result.vectorized_warm_seconds
+        - 1.0
+    )
+    assert "observe_overhead" in result.as_dict()
