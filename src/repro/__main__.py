@@ -77,6 +77,11 @@ Commands
     Sanitizer overhead benchmark: the ≥50k-row sparse triangular solve
     with and without ``validate="sanitize"``, gated at 5× overhead,
     written to ``BENCH_sanitize.json``.
+``bench-deptest [--small] [--json] [n]``
+    Dependence-distance elision benchmark: the battery-proven group
+    barriers vs. the per-element post/wait protocol on distance-k chain
+    and stencil workloads, gated at ≥30% fewer post/wait operations,
+    written to ``BENCH_deptest.json``.
 ``bench-all [--quick] [--only=a,b] [--list] [--history=PATH]
         [--no-history] [--out-dir=DIR]``
     Run every registered benchmark through one orchestrator, write each
@@ -264,6 +269,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.bench_sanitize import main as bench_san_main
 
         return bench_san_main(rest)
+    if command == "bench-deptest":
+        from repro.bench.bench_deptest import main as bench_dt_main
+
+        return bench_dt_main(rest)
     if command == "bench-autotune":
         from repro.bench.bench_autotune import main as bench_at_main
 

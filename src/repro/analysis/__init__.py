@@ -16,6 +16,13 @@ input*, where the runtime inspector only observes them for one:
 """
 
 from repro.analysis.checker import CrossCheckReport, check_proof, cross_check
+from repro.analysis.deptest import (
+    DIR_ANY,
+    DIR_NONE,
+    BatteryResult,
+    DependenceVector,
+    run_battery,
+)
 from repro.analysis.domains import (
     AffineFact,
     CongruenceFact,
@@ -24,7 +31,9 @@ from repro.analysis.domains import (
     MonotonicityFact,
 )
 from repro.analysis.elide import (
+    build_distance_record,
     build_symbolic_record,
+    distance_fingerprint,
     record_mismatches,
     records_equal,
     symbolic_fingerprint,
@@ -45,6 +54,8 @@ from repro.analysis.verdicts import (
     VERDICT_RUNTIME_ONLY,
     DependenceVerdict,
     SlotDependence,
+    is_min_distance_kind,
+    min_distance_kind,
 )
 
 __all__ = [
@@ -56,7 +67,9 @@ __all__ = [
     "cross_check",
     "CrossCheckReport",
     "build_symbolic_record",
+    "build_distance_record",
     "symbolic_fingerprint",
+    "distance_fingerprint",
     "records_equal",
     "record_mismatches",
     "AffineFact",
@@ -74,6 +87,13 @@ __all__ = [
     "VERDICT_CONSTANT_DISTANCE",
     "VERDICT_INJECTIVE_WRITE",
     "VERDICT_RUNTIME_ONLY",
+    "min_distance_kind",
+    "is_min_distance_kind",
+    "run_battery",
+    "BatteryResult",
+    "DependenceVector",
+    "DIR_ANY",
+    "DIR_NONE",
     "SLOT_TRUE",
     "SLOT_INTRA",
     "SLOT_ANTI",

@@ -32,8 +32,10 @@ from repro.analysis.verdicts import (
     VERDICT_CONSTANT_DISTANCE,
     VERDICT_DOALL,
     DependenceVerdict,
+    SlotDependence,
 )
 from repro.errors import ProofError
+from repro.ir.loop import IrregularLoop
 from repro.ir.analysis import (
     CAT_ANTI,
     CAT_INTRA,
@@ -46,7 +48,9 @@ from repro.ir.analysis import (
 __all__ = ["check_proof", "cross_check", "CrossCheckReport"]
 
 
-def check_proof(loop, verdict: DependenceVerdict | None = None) -> list[str]:
+def check_proof(
+    loop: IrregularLoop, verdict: DependenceVerdict | None = None
+) -> list[str]:
     """Audit a verdict's proof object; returns a list of problems."""
     if verdict is None:
         verdict = analyze_loop(loop)
@@ -88,7 +92,13 @@ class CrossCheckReport:
         return "\n".join([head] + ["  " + p for p in self.problems])
 
 
-def _check_slot_terms(dep, categories, readers, writers, problems):
+def _check_slot_terms(
+    dep: SlotDependence,
+    categories: np.ndarray,
+    readers: np.ndarray,
+    writers: np.ndarray,
+    problems: list[str],
+) -> None:
     """Validate one slot's claimed classification against the observed
     per-term categories (``categories`` etc. already filtered to the
     slot's terms)."""
@@ -151,7 +161,7 @@ def _check_slot_terms(dep, categories, readers, writers, problems):
 
 
 def cross_check(
-    loop,
+    loop: IrregularLoop,
     verdict: DependenceVerdict | None = None,
     strict: bool = False,
 ) -> CrossCheckReport:
@@ -217,6 +227,14 @@ def cross_check(
                 f"constant-distance d={verdict.distance} claimed, "
                 f"inspector observes distances "
                 f"{observed.tolist() or 'none'}"
+            )
+    if verdict.min_distance is not None:
+        observed = observed_distances(loop)
+        if len(observed) and int(observed[0]) < verdict.min_distance:
+            report.problems.append(
+                f"battery claims every true dependence has distance "
+                f">= {verdict.min_distance}, inspector observes "
+                f"distance {int(observed[0])}"
             )
     if verdict.write_injective:
         if len(np.unique(loop.write)) != loop.n:

@@ -1,0 +1,96 @@
+"""Dependence vectors: direction + exact-or-bounded distance per slot.
+
+A :class:`DependenceVector` is the battery's conclusion about one read
+slot against the loop's write subscript.  The ``direction`` string names
+every relation an aliasing (writer, reader) iteration pair may take —
+``"<"`` writer-earlier (a true dependence), ``"="`` intra-iteration,
+``">"`` writer-later (an antidependence) — so ``"<="`` reads "true or
+intra, never anti".  :data:`DIR_NONE` means no aliasing is possible for
+any input; :data:`DIR_ANY` means the tests could not narrow the set.
+
+``distance`` is the exact dependence distance when every dependent pair
+shares one; ``min_distance`` is the load-bearing field: a proven lower
+bound on the distance of *every* cross-iteration true dependence the
+slot can carry, valid for every input (``None`` when no true dependence
+is possible or nothing is provable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.analysis.proofs import ProofStep
+
+__all__ = [
+    "DependenceVector",
+    "direction_string",
+    "DIR_ANY",
+    "DIR_NONE",
+]
+
+#: No aliasing pair exists for any input.
+DIR_NONE = "-"
+#: The battery could not constrain the direction set.
+DIR_ANY = "*"
+
+
+def direction_string(may_lt: bool, may_eq: bool, may_gt: bool) -> str:
+    """Canonical direction string for a set of possible relations."""
+    out = ("<" if may_lt else "") + ("=" if may_eq else "")
+    out += ">" if may_gt else ""
+    return out or DIR_NONE
+
+
+@dataclass(frozen=True)
+class DependenceVector:
+    """One slot's direction/distance summary from the test battery."""
+
+    slot: int
+    test: str
+    applicable: bool
+    direction: str
+    distance: Optional[int] = None
+    min_distance: Optional[int] = None
+    steps: Tuple[ProofStep, ...] = field(default_factory=tuple)
+
+    @property
+    def may_carry_true(self) -> bool:
+        """Whether a cross-iteration true dependence may exist."""
+        if not self.applicable:
+            return True
+        return self.direction == DIR_ANY or "<" in self.direction
+
+    def signature(self) -> tuple:
+        """Hashable summary (folded into verdict signatures)."""
+        return (
+            self.slot,
+            self.test,
+            self.applicable,
+            self.direction,
+            self.distance,
+            self.min_distance,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "slot": self.slot,
+            "test": self.test,
+            "applicable": self.applicable,
+            "direction": self.direction,
+            "distance": self.distance,
+            "min_distance": self.min_distance,
+            "steps": [s.as_dict() for s in self.steps],
+        }
+
+    def describe(self) -> str:
+        if not self.applicable:
+            return (
+                f"slot {self.slot}: tests inapplicable (runtime subscript)"
+            )
+        body = f"direction {self.direction!r}"
+        if self.distance is not None:
+            body += f", distance={self.distance}"
+        elif self.min_distance is not None:
+            body += f", distance>={self.min_distance}"
+        return f"slot {self.slot}: {body} ({self.test})"

@@ -37,7 +37,9 @@ from repro.ir.transform import plan_transform, structural_signature
 
 __all__ = [
     "build_symbolic_record",
+    "build_distance_record",
     "symbolic_fingerprint",
+    "distance_fingerprint",
     "records_equal",
     "record_mismatches",
 ]
@@ -57,7 +59,7 @@ def symbolic_fingerprint(loop: IrregularLoop) -> str:
     return h.hexdigest()
 
 
-def _slot_term_layout(loop: IrregularLoop):
+def _slot_term_layout(loop: IrregularLoop) -> tuple[np.ndarray, np.ndarray]:
     """Per-flat-term ``(iteration, slot)`` in read-table order, with the
     per-iteration counts validated against the table."""
     n = loop.n
@@ -213,6 +215,81 @@ def build_symbolic_record(
         intra_flat=intra_flat,
         plan=plan_transform(loop, verdict=verdict),
         fingerprint=symbolic_fingerprint(loop),
+    )
+
+
+def distance_fingerprint(loop: IrregularLoop, group: int) -> str:
+    """Cache key for a group-synchronous record.
+
+    Unlike :func:`symbolic_fingerprint` this is *content*-addressed (via
+    :func:`~repro.backends.cache.loop_fingerprint`): the record's per-term
+    flags come from materialized subscripts, so loops that share a proof
+    but not index contents must not share an entry.
+    """
+    from repro.backends.cache import loop_fingerprint
+
+    h = hashlib.sha256()
+    h.update(f"distance|{int(group)}|".encode())
+    h.update(loop_fingerprint(loop).encode())
+    return h.hexdigest()
+
+
+def build_distance_record(
+    loop: IrregularLoop,
+    group: int,
+    verdict: DependenceVerdict | None = None,
+) -> InspectorRecord:
+    """Inspector record whose wavefronts are distance groups ``i // group``.
+
+    The dependence-test battery's bound ``min_distance >= group`` proves
+    every cross-iteration true dependence reaches back into a strictly
+    earlier group, so the groups are legal wavefront levels — usually far
+    wider (and far fewer) than the exact DAG levels.  Unlike
+    :func:`build_symbolic_record` this does **not** elide the inspector:
+    per-term flags still come from the materialized subscripts (the
+    verdict need not be fully classified — a ``min-distance-k`` bound on
+    an unclassifiable read side is enough).  Raises
+    :class:`~repro.errors.ProofError` when the bound does not hold
+    statically, or when the inspector's observed distances contradict it
+    (the runtime rendering of the lint rule ``DISTANCE-MISMATCH``).
+    """
+    from repro.ir.analysis import CAT_INTRA, CAT_TRUE, classify_reads
+
+    if group < 1:
+        raise ProofError(f"{loop.name}: group size must be >= 1, got {group}")
+    if verdict is None:
+        verdict = analyze_loop(loop)
+    m = verdict.min_distance
+    if m is None or m < group:
+        raise ProofError(
+            f"{loop.name}: no proven dependence-distance bound >= {group} "
+            f"(battery bound: {m})"
+        )
+    n, y_size = loop.n, loop.y_size
+
+    iter_array = np.full(y_size, MAXINT, dtype=np.int64)
+    iter_array[loop.write] = np.arange(n, dtype=np.int64)
+
+    readers, writers, categories = classify_reads(loop)
+    true_flat = categories == CAT_TRUE
+    intra_flat = categories == CAT_INTRA
+    observed = (readers - writers)[true_flat]
+    if len(observed) and int(observed.min()) < group:
+        raise ProofError(
+            f"{loop.name}: inspector observes a true dependence of "
+            f"distance {int(observed.min())}, contradicting the proven "
+            f"bound >= {group} (distance mismatch)"
+        )
+
+    levels = np.arange(n, dtype=np.int64) // int(group)
+    return assemble_record(
+        loop,
+        iter_array=iter_array,
+        schedule=_schedule_from_levels(levels),
+        true_flat=true_flat,
+        intra_flat=intra_flat,
+        plan=plan_transform(loop, verdict=verdict),
+        fingerprint=distance_fingerprint(loop, group),
     )
 
 

@@ -31,6 +31,8 @@ from math import gcd
 
 import numpy as np
 
+from repro.analysis.deptest.battery import run_battery
+from repro.analysis.domains import DomainFacts
 from repro.analysis.eval import facts_for_subscript
 from repro.analysis.proofs import (
     RULE_AFFINE_INJECTIVE,
@@ -61,13 +63,19 @@ from repro.analysis.verdicts import (
     VERDICT_RUNTIME_ONLY,
     DependenceVerdict,
     SlotDependence,
+    min_distance_kind,
 )
 from repro.errors import ProofError
+from repro.ir.accesses import ReadSlot
+from repro.ir.loop import IrregularLoop
+from repro.ir.subscript import Subscript
 
 __all__ = ["analyze_loop", "slot_term_map"]
 
 
-def _write_injectivity(loop, wf):
+def _write_injectivity(
+    loop: IrregularLoop, wf: DomainFacts | None
+) -> tuple[bool, ProofStep | None]:
     """(proven, step) for the write subscript over ``0..n-1``."""
     n = loop.n
     if n <= 1:
@@ -100,7 +108,13 @@ def _write_injectivity(loop, wf):
     return False, None
 
 
-def _classify_slot(j, slot, wf, write_sub, n):
+def _classify_slot(
+    j: int,
+    slot: ReadSlot,
+    wf: DomainFacts | None,
+    write_sub: Subscript,
+    n: int,
+) -> tuple[SlotDependence, ProofStep | None]:
     """(SlotDependence, ProofStep | None) for one declared read slot."""
     lo, hi = slot.active_range(n)
     target = f"slot[{j}]"
@@ -325,7 +339,9 @@ def _classify_slot(j, slot, wf, write_sub, n):
     return SlotDependence(j, SLOT_UNKNOWN, "", (lo, hi)), None
 
 
-def analyze_loop(loop, use_cache: bool = True) -> DependenceVerdict:
+def analyze_loop(
+    loop: IrregularLoop, use_cache: bool = True
+) -> DependenceVerdict:
     """Produce the symbolic dependence verdict for ``loop``.
 
     The verdict is memoized on the loop object (the analysis is pure in
@@ -334,6 +350,7 @@ def analyze_loop(loop, use_cache: bool = True) -> DependenceVerdict:
     if use_cache:
         cached = loop.__dict__.get("_symbolic_verdict")
         if cached is not None:
+            assert isinstance(cached, DependenceVerdict)
             return cached
 
     n = loop.n
@@ -373,6 +390,14 @@ def analyze_loop(loop, use_cache: bool = True) -> DependenceVerdict:
         and loop.write_subscript.statically_known
         and reads_known
     )
+    # The classical test battery runs alongside the exact classifier:
+    # its per-slot direction/distance vectors ride on the verdict, and
+    # its loop-level bound both upgrades otherwise-unclassifiable loops
+    # to a ``min-distance-k`` verdict and legalizes group-synchronous
+    # post/wait elision (repro.passes.distance.DistancePass).
+    battery = run_battery(loop)
+    batt_min = battery.min_distance
+    steps.extend(battery.proof_steps())
     true_slots = [s for s in slots if s.kind == SLOT_TRUE]
     distance = None
     if fully:
@@ -404,11 +429,19 @@ def analyze_loop(loop, use_cache: bool = True) -> DependenceVerdict:
                     "distances differ: injective write only"
                 )
     elif injective:
-        kind = VERDICT_INJECTIVE_WRITE
-        compose_checks = ()
-        conclusion = (
-            "write proven injective; read side not fully classifiable"
-        )
+        if batt_min is not None and batt_min >= 2:
+            kind = min_distance_kind(batt_min)
+            compose_checks = (Check("ge", (batt_min, 2)),)
+            conclusion = (
+                f"read side not fully classifiable, but every true "
+                f"dependence has proven distance >= {batt_min}"
+            )
+        else:
+            kind = VERDICT_INJECTIVE_WRITE
+            compose_checks = ()
+            conclusion = (
+                "write proven injective; read side not fully classifiable"
+            )
     else:
         kind = VERDICT_RUNTIME_ONLY
         compose_checks = ()
@@ -432,12 +465,14 @@ def analyze_loop(loop, use_cache: bool = True) -> DependenceVerdict:
         slots=tuple(slots),
         proof=Proof(tuple(steps)),
         distance=distance,
+        min_distance=batt_min,
+        vectors=battery.vectors,
     )
     loop.__dict__["_symbolic_verdict"] = verdict
     return verdict
 
 
-def slot_term_map(loop) -> np.ndarray:
+def slot_term_map(loop: IrregularLoop) -> np.ndarray:
     """Per-flat-term slot id under the slot contract.
 
     Iteration ``i``'s terms are its active slots in increasing slot

@@ -12,10 +12,18 @@ The engine's output is a :class:`DependenceVerdict` — one of four kinds:
 - :data:`VERDICT_RUNTIME_ONLY` — nothing useful is provable; the runtime
   inspector is required.
 
+plus the parametric **min-distance-k** family (:func:`min_distance_kind`):
+the read side resisted exact classification, but the dependence-test
+battery (:mod:`repro.analysis.deptest`) proved every cross-iteration true
+dependence reaches back at least ``k >= 2`` iterations — enough for
+group-synchronous post/wait elision even without an exact distance.
+
 Orthogonally, ``fully_classified`` records whether *every* read slot got
 an exact per-iteration classification — the precondition for eliding the
 runtime inspector (a mixed-distance loop can be fully classified yet not
-be a constant-distance doacross).
+be a constant-distance doacross) — and ``min_distance`` carries the
+battery's loop-level bound regardless of kind (a constant-distance loop
+has ``min_distance == distance``).
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.analysis.deptest.vectors import DependenceVector
 from repro.analysis.proofs import Proof
 
 __all__ = [
@@ -32,6 +41,9 @@ __all__ = [
     "VERDICT_CONSTANT_DISTANCE",
     "VERDICT_INJECTIVE_WRITE",
     "VERDICT_RUNTIME_ONLY",
+    "VERDICT_MIN_DISTANCE_PREFIX",
+    "min_distance_kind",
+    "is_min_distance_kind",
     "SLOT_TRUE",
     "SLOT_INTRA",
     "SLOT_ANTI",
@@ -44,6 +56,18 @@ VERDICT_DOALL = "doall-proven"
 VERDICT_CONSTANT_DISTANCE = "constant-distance"
 VERDICT_INJECTIVE_WRITE = "injective-write"
 VERDICT_RUNTIME_ONLY = "runtime-only"
+#: Prefix of the parametric ``min-distance-k`` verdict kinds.
+VERDICT_MIN_DISTANCE_PREFIX = "min-distance-"
+
+
+def min_distance_kind(k: int) -> str:
+    """The verdict kind for a proven loop-level distance bound ``k``."""
+    return f"{VERDICT_MIN_DISTANCE_PREFIX}{k}"
+
+
+def is_min_distance_kind(kind: str) -> bool:
+    """Whether ``kind`` belongs to the ``min-distance-k`` family."""
+    return kind.startswith(VERDICT_MIN_DISTANCE_PREFIX)
 
 #: Slot kinds.  ``no-true`` means "provably anti or no dependence, never
 #: true and never intra" — exact enough for elision (the executor treats
@@ -111,6 +135,11 @@ class DependenceVerdict:
     slots: Tuple[SlotDependence, ...]
     proof: Proof
     distance: Optional[int] = None
+    #: The battery's proven lower bound on every cross-iteration true
+    #: dependence distance (``None``: unbounded or no true dependence).
+    min_distance: Optional[int] = None
+    #: Per-slot direction/distance vectors from the test battery.
+    vectors: Tuple[DependenceVector, ...] = ()
 
     @property
     def elidable(self) -> bool:
@@ -131,6 +160,8 @@ class DependenceVerdict:
             "loop": self.loop_name,
             "n": self.n,
             "distance": self.distance,
+            "min_distance": self.min_distance,
+            "vectors": [v.as_dict() for v in self.vectors],
             "write_injective": self.write_injective,
             "fully_classified": self.fully_classified,
             "elidable": self.elidable,
@@ -142,6 +173,8 @@ class DependenceVerdict:
         head = f"{self.loop_name}: {self.kind}"
         if self.kind == VERDICT_CONSTANT_DISTANCE:
             head += f" (d={self.distance})"
+        elif self.min_distance is not None:
+            head += f" (d>={self.min_distance})"
         flags = []
         if self.write_injective:
             flags.append("write-injective")
@@ -158,10 +191,12 @@ class DependenceVerdict:
         return (
             self.kind,
             self.distance,
+            self.min_distance,
             self.write_injective,
             self.fully_classified,
             tuple(
                 (s.kind, s.distance, s.active, s.dep_range)
                 for s in self.slots
             ),
+            tuple(v.signature() for v in self.vectors),
         )

@@ -74,6 +74,15 @@ class Runner(abc.ABC):
     #: is set.  ``None`` means unsanitized — again, hook-free hot paths.
     _san_capture: "ShadowCapture | None" = None
 
+    #: Distance-elision hook: :func:`~repro.passes.execute.execute_plan`
+    #: attaches the proven synchronization group size here when the
+    #: :class:`~repro.passes.distance.DistancePass` certified that every
+    #: cross-iteration true dependence reaches back at least this many
+    #: iterations.  Backends that understand it run group-synchronously
+    #: (one barrier per group instead of per-element post/wait flags);
+    #: ``None`` means the standard protocol.
+    _group_sync: "int | None" = None
+
     @abc.abstractmethod
     def run(
         self,

@@ -381,6 +381,103 @@ def _task_executor(sess: dict, opts: dict, wid: int) -> dict:
     return payload
 
 
+def _task_gexec(sess: dict, opts: dict, wid: int) -> dict:
+    """One *group round* of the group-synchronous executor.
+
+    ``opts["glo"]:opts["ghi"]`` is one distance group: the DistancePass
+    proved every cross-iteration true dependence reaches into a strictly
+    earlier group (the group size is a chunk-aligned floor of the proven
+    ``min_distance``), and the coordinator collects every worker between
+    rounds, so all renamed reads here are already written — the per-term
+    classification codes are reused, but code 2 (cross-chunk true
+    dependence) becomes a direct ``ynew`` read with **no flag check** and
+    no flag is ever set.  The coordinator's collect *is* the barrier;
+    the shadow log records it as one ``("g", round)`` barrier generation
+    per worker so the sanitizer can witness the same ordering.
+    """
+    v = sess["views"]
+    write, ptr, index = v["write"], v["ptr"], v["index"]
+    coeff, init = v["coeff"], v["init"]
+    y, ynew = v["y"], v["ynew"]
+    glo, ghi = opts["glo"], opts["ghi"]
+    chunk, workers = opts["chunk"], opts["workers"]
+    external, observe = opts["external"], opts["observe"]
+    events: list | None = [] if opts.get("sanitize") else None
+    pid = os.getpid()
+    if observe:
+        t0 = time.perf_counter()
+
+    elided_waits = iterations = 0
+    # The group is chunk-aligned, so the global chunk -> worker deal
+    # (chunk c belongs to worker c % workers) restricts cleanly.
+    for c in range(glo // chunk, -(-ghi // chunk)):
+        if c % workers != wid:
+            continue
+        lo = c * chunk
+        hi = min(ghi, lo + chunk)
+        key = (chunk, workers, lo)
+        code = sess["codes"].get(key)
+        if code is None:
+            code = sess["codes"][key] = _code_natural(sess, lo, hi)
+        cur = 0
+        for i in range(lo, hi):
+            w = write[i]
+            acc = init[i] if external else y[w]
+            for k in range(ptr[i], ptr[i + 1]):
+                cd = code[cur]
+                cur += 1
+                idx = index[k]
+                if cd == 0:
+                    if events is not None:
+                        events.append(("r", i, int(idx), 0))
+                    value = y[idx]
+                elif cd == 3:
+                    value = acc
+                else:
+                    # Renamed read: same-chunk program order (code 1) or
+                    # a strictly earlier group (code 2, the elided wait).
+                    if cd == 2:
+                        elided_waits += 1
+                    if events is not None:
+                        events.append(("r", i, int(idx), 1))
+                    value = ynew[idx]
+                acc += coeff[k] * value
+            ynew[w] = acc
+            # Elided post: ready[w] is never written in group mode.
+            if events is not None:
+                events.append(("w", i, int(w)))
+        iterations += hi - lo
+
+    payload: dict = {
+        "wid": wid,
+        "metrics": {
+            "flag_checks": 0,
+            "flag_sets": 0,
+            "busy_waits": 0,
+            "wait_seconds": 0.0,
+            "iterations": iterations,
+            "sync_elisions": iterations + elided_waits,
+        },
+    }
+    if observe:
+        payload["spans"] = [
+            (
+                "executor",
+                CAT_PHASE,
+                t0,
+                time.perf_counter(),
+                {"pid": pid, "group_round": opts["round"]},
+            )
+        ]
+    if events is not None:
+        # Every worker logs the round barrier, share or no share — the
+        # sanitizer's replay releases a generation only when *all* lanes
+        # arrive.
+        events.append(("b", ("g", opts["round"])))
+        payload["sanitize"] = {"pid": pid, "events": events}
+    return payload
+
+
 def _task_post(sess: dict, opts: dict, wid: int) -> dict:
     """Phase 3: reset scratch for the written elements and publish
     ``ynew`` into ``y`` — the arrays are reusable immediately after."""
@@ -414,6 +511,7 @@ def _task_post(sess: dict, opts: dict, wid: int) -> dict:
 _TASKS = {
     "inspector": _task_inspector,
     "executor": _task_executor,
+    "gexec": _task_gexec,
     "post": _task_post,
 }
 
@@ -783,28 +881,62 @@ class MultiprocRunner(Runner):
             self._broadcast(("inspector", sess.key, opts))
             self._apply(self._collect("inspector"), rec, met)
 
-        # Phase 2: executor.  On WaitTimeout the session stays dirty and
-        # is scrubbed on the next run; the pool itself survives.
-        self._broadcast(("executor", sess.key, opts))
-        payloads = self._collect("executor")
-        self._apply(payloads, rec, met)
-        if san is not None:
-            timeout_exc: WaitTimeout | None = None
-            for payload in payloads:
-                if payload is None:
-                    continue
-                blob = payload.get("sanitize")
-                if blob is not None:
-                    san.ingest(
-                        payload["wid"], blob["events"], pid=blob["pid"]
-                    )
-                if timeout_exc is None:
-                    timeout_exc = payload.get("wait_timeout")
-            if timeout_exc is not None:
-                # Same contract as the unsanitized "err" path: the post
-                # phase never runs, the session stays dirty and is
-                # scrubbed wholesale by the next run.
-                raise timeout_exc
+        # Group-synchronous elision (DistancePass): natural order only,
+        # and the group must be a chunk-aligned multiple so the global
+        # chunk -> worker deal restricts cleanly to each group window.
+        group = self._group_sync if order is None else None
+        if group is not None and (group < c_size or group % c_size):
+            group = None
+
+        if group is not None:
+            # Phase 2 (group mode): one round per distance group; the
+            # collect between rounds is the group barrier.  No flags.
+            n_groups = -(-n // group) if n else 0
+            for gk in range(n_groups):
+                gopts = dict(
+                    opts,
+                    glo=gk * group,
+                    ghi=min(n, (gk + 1) * group),
+                    round=gk,
+                )
+                self._broadcast(("gexec", sess.key, gopts))
+                payloads = self._collect("gexec")
+                self._apply(payloads, rec, met)
+                if san is not None:
+                    for payload in payloads:
+                        if payload is None:
+                            continue
+                        blob = payload.get("sanitize")
+                        if blob is not None:
+                            san.ingest(
+                                payload["wid"], blob["events"],
+                                pid=blob["pid"],
+                            )
+            if met is not None:
+                met.count("group_barriers", n_groups)
+        else:
+            # Phase 2: executor.  On WaitTimeout the session stays dirty
+            # and is scrubbed on the next run; the pool itself survives.
+            self._broadcast(("executor", sess.key, opts))
+            payloads = self._collect("executor")
+            self._apply(payloads, rec, met)
+            if san is not None:
+                timeout_exc: WaitTimeout | None = None
+                for payload in payloads:
+                    if payload is None:
+                        continue
+                    blob = payload.get("sanitize")
+                    if blob is not None:
+                        san.ingest(
+                            payload["wid"], blob["events"], pid=blob["pid"]
+                        )
+                    if timeout_exc is None:
+                        timeout_exc = payload.get("wait_timeout")
+                if timeout_exc is not None:
+                    # Same contract as the unsanitized "err" path: the
+                    # post phase never runs, the session stays dirty and
+                    # is scrubbed wholesale by the next run.
+                    raise timeout_exc
 
         # Phase 3: postprocess/reset — scratch reusable afterwards.
         self._broadcast(("post", sess.key, opts))
@@ -829,6 +961,8 @@ class MultiprocRunner(Runner):
         result.extras["chunk"] = c_size
         result.extras["workers"] = self.workers
         result.extras["start_method"] = self.start_method
+        if group is not None:
+            result.extras["distance_group"] = int(group)
         if self.cache is not None:
             stats = self.cache.stats()
             result.extras["cache_hit"] = hit

@@ -121,8 +121,11 @@ class ThreadedRunner(Runner):
                 from repro.analysis import cross_check
 
                 cross_check(loop, verdict, strict=True)
+        # Group-synchronous elision (DistancePass): only sound in natural
+        # order — the distance bound is on iteration numbers.
+        group = self._group_sync if order is None else None
         t0 = time.perf_counter()
-        y = self._execute(loop, order=order, prefill_iter=elide)
+        y = self._execute(loop, order=order, prefill_iter=elide, group=group)
         wall = time.perf_counter() - t0
         cm = CostModel()
         result = RunResult(
@@ -143,6 +146,8 @@ class ThreadedRunner(Runner):
                 result.extras["verdict"] = verdict.kind
                 if verdict.distance is not None:
                     result.extras["verdict_distance"] = int(verdict.distance)
+        if group is not None:
+            result.extras["distance_group"] = int(group)
         ignored = {}
         cyclic_reason = (
             "the threaded backend always distributes iterations cyclically "
@@ -177,12 +182,18 @@ class ThreadedRunner(Runner):
         loop: IrregularLoop,
         order: np.ndarray | None = None,
         prefill_iter: bool = False,
+        group: int | None = None,
     ) -> np.ndarray:
         """The three-phase protocol on real threads; returns final ``y``.
 
         With ``prefill_iter`` (symbolic elision, write proven injective),
         ``iter`` is filled once on the calling thread and the workers skip
-        phase 1."""
+        phase 1.  With ``group`` (a proven dependence-distance lower
+        bound, natural order only), the executor runs group-synchronously:
+        no per-element ready flags at all — every cross-iteration true
+        dependence is proven to reach into a strictly earlier group, so
+        one barrier per group of ``group`` iterations orders every
+        renamed read after its write."""
         if order is not None:
             order = np.asarray(order, dtype=np.int64)
             validate_execution_order(loop, order)
@@ -201,7 +212,13 @@ class ThreadedRunner(Runner):
             # Closed-form inspector: injectivity is proven, so no fill
             # order matters and the workers' phase-1 loops are skipped.
             iter_arr[write] = np.arange(n, dtype=np.int64)
-        ready = [threading.Event() for _ in range(loop.y_size)]
+        # Group-synchronous runs never touch per-element flags.
+        ready = (
+            None
+            if group is not None
+            else [threading.Event() for _ in range(loop.y_size)]
+        )
+        n_groups = 0 if group is None else -(-n // group) if n else 0
         barrier = threading.Barrier(t_count)
         failures: list[BaseException] = []
         failure_lock = threading.Lock()
@@ -267,6 +284,83 @@ class ThreadedRunner(Runner):
                     t_phase = now()
                 observing = rec is not None
                 waits_append = waits.append
+                if group is not None:
+                    # Group-synchronous executor: iterations are processed
+                    # group by group (cyclic within each group), with a
+                    # barrier between groups.  The proven distance bound
+                    # puts every renamed read's writer in a strictly
+                    # earlier group, so no flag is ever checked or set.
+                    elided = 0
+                    executed = 0
+                    for gk in range(n_groups):
+                        ghi = min(n, (gk + 1) * group)
+                        for i in range(gk * group + tid, ghi, t_count):
+                            w = write[i]
+                            acc = init_values[i] if external else y[w]
+                            for k in range(ptr[i], ptr[i + 1]):
+                                idx = r_idx[k]
+                                writer = iter_arr[idx]
+                                if writer == i:
+                                    value = acc
+                                elif writer < i:
+                                    # Elided wait: the write completed
+                                    # before the last group barrier.
+                                    elided += 1
+                                    if events is not None:
+                                        events.append(("r", i, int(idx), 1))
+                                    value = ynew[idx]
+                                else:
+                                    if events is not None:
+                                        events.append(("r", i, int(idx), 0))
+                                    value = y[idx]
+                                acc += r_coeff[k] * value
+                            ynew[w] = acc
+                            # Elided post: no ready flag exists to set.
+                            if events is not None:
+                                events.append(("w", i, int(w)))
+                            executed += 1
+                        if events is not None:
+                            events.append(("b", ("g", gk)))
+                        barrier.wait()
+                    if met is not None:
+                        # sync_elisions = posts never set (one per
+                        # iteration) + waits never performed (one per
+                        # cross-iteration renamed read).
+                        met.count("sync_elisions", executed + elided)
+                        if tid == 0:
+                            met.count("group_barriers", n_groups)
+                    if rec is not None:
+                        t_end = now()
+                        buf.append(
+                            ("executor", CAT_PHASE, t_phase, t_end, tid, None)
+                        )
+                        rec.record_wait_segments(tid, t_phase, t_end, waits)
+                    if events is not None:
+                        events.append(("b", 1))
+                    barrier.wait()
+
+                    # Phase 3 (group mode): reset scratch, copy back —
+                    # identical minus the flag clears (none were set).
+                    if rec is not None:
+                        t_phase = now()
+                    for p in positions_for(tid):
+                        w = write[p]
+                        iter_arr[w] = MAXINT
+                        y[w] = ynew[w]
+                    if rec is not None:
+                        buf.append((
+                            "postprocessor", CAT_PHASE, t_phase, now(), tid,
+                            None,
+                        ))
+                        rec.record_batch(buf)
+                    if met is not None:
+                        met.count("flag_checks", 0)
+                        met.count("flag_sets", 0)
+                        met.count("busy_waits", 0)
+                        met.count("wait_seconds", 0.0)
+                        met.count("iterations", len(positions_for(tid)))
+                        met.count("inspector_iterations", inspected)
+                    return
                 for p in positions_for(tid):
                     i = p if order is None else int(order[p])
                     w = write[i]

@@ -114,7 +114,34 @@ class VectorizedRunner(Runner):
         read term is classified against memory) and cached under the
         structure-only fingerprint; otherwise the runtime inspector path
         of :class:`InspectorCache` is used unchanged.
+
+        When the DistancePass attached a group size (``_group_sync``),
+        the record's wavefronts are the distance groups ``i // group``
+        instead of the exact DAG levels — usually far fewer, far wider
+        levels (:func:`repro.analysis.build_distance_record`).  This
+        works even for verdicts that are *not* fully classified: a
+        ``min-distance-k`` bound is enough.
         """
+        group = self._group_sync
+        if group is not None and group >= 2:
+            from repro.analysis import (
+                analyze_loop,
+                build_distance_record,
+                cross_check,
+                distance_fingerprint,
+            )
+
+            verdict = analyze_loop(loop)
+            record, hit = self.cache.get_or_build(
+                loop,
+                builder=lambda lp: build_distance_record(
+                    lp, group, verdict
+                ),
+                fingerprint=distance_fingerprint(loop, group),
+            )
+            if self.analyze == "symbolic+check":
+                cross_check(loop, verdict, strict=True)
+            return record, hit, False, verdict
         if self.analyze is not None:
             from repro.analysis import (
                 analyze_loop,
@@ -439,6 +466,8 @@ class VectorizedRunner(Runner):
                 "plan": record.plan.describe(),
             }
         )
+        if self._group_sync is not None:
+            result.extras["distance_group"] = int(self._group_sync)
         if self.analyze is not None:
             result.extras["analyze"] = self.analyze
             result.extras["inspector_elided"] = elided

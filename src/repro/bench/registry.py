@@ -82,6 +82,12 @@ REGISTRY: tuple[BenchSpec, ...] = (
         description="auto backend vs every fixed backend",
     ),
     BenchSpec(
+        name="bench-deptest",
+        module="repro.bench.bench_deptest",
+        artifact="BENCH_deptest.json",
+        description="proven-distance group barriers vs post/wait flags",
+    ),
+    BenchSpec(
         name="bench-sanitize",
         module="repro.bench.bench_sanitize",
         artifact="BENCH_sanitize.json",

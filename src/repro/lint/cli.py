@@ -34,6 +34,11 @@ Options
                          produces, dropping stale entries (fixed findings
                          whose baseline keys would otherwise shadow any
                          future regression), and exit 0
+``--fix``                apply mechanical fix-its (LEGACY-KWARGS: fold
+                         deprecated keywords into ``spec=PlanSpec(...)``)
+                         — dry run by default, printing a unified diff of
+                         what *would* change
+``--write``              with ``--fix``: write the fixed sources in place
 
 A baseline file is JSON — ``{"version": 1, "findings": [key, ...]}``
 with one ``rule|loop|location`` key per accepted finding.  Suppressed
@@ -235,6 +240,8 @@ def main(argv: list[str]) -> int:
     baseline_path: Path | None = None
     write_baseline: Path | None = None
     prune_baseline = False
+    fix = False
+    write = False
     targets: list[str] = []
     try:
         for arg in argv:
@@ -242,6 +249,10 @@ def main(argv: list[str]) -> int:
                 as_json = True
             elif arg == "--strict":
                 strict = True
+            elif arg == "--fix":
+                fix = True
+            elif arg == "--write":
+                write = True
             elif arg == "--prune-baseline":
                 prune_baseline = True
             elif arg.startswith("--baseline="):
@@ -280,11 +291,15 @@ def main(argv: list[str]) -> int:
                 "--prune-baseline needs --baseline=FILE to know which "
                 "file to rewrite"
             )
+        if write and not fix:
+            raise ValueError("--write only makes sense with --fix")
         if not targets:
             raise ValueError(
                 "no targets; give a .py file, a directory, or a builtin "
                 "spec (figure4/chain/random)"
             )
+        if fix:
+            return _run_fixes(targets, write)
         loops = collect_loops(targets)
     except ValueError as exc:
         print(f"lint: {exc}", file=sys.stderr)
@@ -418,6 +433,50 @@ def main(argv: list[str]) -> int:
         return 1
     if strict and worst == SEVERITY_WARNING:
         return 1
+    return 0
+
+
+def _run_fixes(targets: list[str], write: bool) -> int:
+    """``--fix`` mode: rewrite LEGACY-KWARGS call sites in the target
+    sources — a unified-diff dry run unless ``write`` is set."""
+    import difflib
+
+    from repro.lint.fixes import fix_legacy_kwargs
+
+    sources = collect_sources(targets)
+    if not sources:
+        print("lint: --fix found no .py sources in the targets", file=sys.stderr)
+        return 2
+    changed = 0
+    skipped: list[str] = []
+    for file in sources:
+        try:
+            text = file.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        result = fix_legacy_kwargs(str(file), text)
+        skipped.extend(result.skipped)
+        if not result.changed:
+            continue
+        changed += 1
+        if write:
+            file.write_text(result.fixed_source, encoding="utf-8")
+            print(f"fixed {result.fixed_calls} call(s) in {file}")
+        else:
+            diff = difflib.unified_diff(
+                text.splitlines(keepends=True),
+                result.fixed_source.splitlines(keepends=True),
+                fromfile=str(file),
+                tofile=f"{file} (fixed)",
+            )
+            sys.stdout.writelines(diff)
+    for note in skipped:
+        print(f"skipped: {note}")
+    verb = "fixed" if write else "would fix"
+    print(
+        f"{verb} {changed} file(s) of {len(sources)} scanned"
+        + ("" if write else " (dry run; pass --write to apply)")
+    )
     return 0
 
 

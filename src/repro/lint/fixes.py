@@ -1,0 +1,166 @@
+"""Source fix-its for mechanical lint findings.
+
+The one fixable rule today is ``LEGACY-KWARGS``: a call that passes the
+deprecated per-option keywords (``schedule=``/``chunk=``/``validate=``/
+``observe=``/``analyze=``) to ``parallelize``/``make_runner`` is
+rewritten to fold them into a consolidated ``spec=PlanSpec(...)``
+argument, and a ``from repro.passes.spec import PlanSpec`` import is
+added when the file has none.
+
+The rewriter works on the AST: each offending call's source span is
+replaced by the unparse of the transformed call node, everything outside
+the span is preserved byte-for-byte.  That keeps the transformation
+trivially correct at the cost of normalizing the formatting (and
+dropping any comments) *inside* the rewritten call only — which is why
+the CLI defaults to a dry-run diff and applies nothing without
+``--write``.
+
+Calls that already pass ``spec=`` are left alone (merging two specs is a
+judgment call, not a mechanical fix); they are reported as skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.rules import LegacyKwargsRule
+
+__all__ = ["FixResult", "fix_legacy_kwargs"]
+
+#: The import inserted when a rewritten file never names PlanSpec.
+_PLANSPEC_IMPORT = "from repro.passes.spec import PlanSpec"
+
+
+@dataclass
+class FixResult:
+    """Outcome of fixing one source file."""
+
+    path: str
+    source: str
+    fixed_source: str
+    fixed_calls: int = 0
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return self.fixed_source != self.source
+
+
+def _line_offsets(source: str) -> list[int]:
+    """Byte offset of the start of each 1-indexed line."""
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _span(offsets: list[int], node: ast.AST) -> tuple[int, int]:
+    start = offsets[node.lineno - 1] + node.col_offset
+    end = offsets[node.end_lineno - 1] + node.end_col_offset
+    return start, end
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _fold_call(node: ast.Call, deprecated: tuple[str, ...]) -> None:
+    """Transform the call *in place*: deprecated keywords folded into a
+    fresh ``spec=PlanSpec(...)`` keyword (appended last, in source
+    order).  In-place mutation makes nested offending calls compose — an
+    outer call's unparse sees its inner calls already transformed."""
+    hit = [kw for kw in node.keywords if kw.arg in deprecated]
+    kept = [kw for kw in node.keywords if kw.arg not in deprecated]
+    spec_call = ast.Call(
+        func=ast.Name(id="PlanSpec", ctx=ast.Load()),
+        args=[],
+        keywords=[ast.keyword(arg=kw.arg, value=kw.value) for kw in hit],
+    )
+    kept.append(ast.keyword(arg="spec", value=spec_call))
+    node.keywords = kept
+
+
+def _insert_import(source: str, tree: ast.Module) -> str:
+    """Add the PlanSpec import after the file's import block (or after
+    the module docstring when there are no imports)."""
+    last_import_end = 0
+    body = tree.body
+    docstring_end = 0
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ):
+        docstring_end = body[0].end_lineno
+    for stmt in body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            last_import_end = max(last_import_end, stmt.end_lineno)
+    anchor = last_import_end or docstring_end
+    lines = source.splitlines(keepends=True)
+    insertion = _PLANSPEC_IMPORT + "\n"
+    if anchor == 0:
+        return insertion + source
+    return "".join(lines[:anchor]) + insertion + "".join(lines[anchor:])
+
+
+def fix_legacy_kwargs(path: str, source: str) -> FixResult:
+    """Rewrite every LEGACY-KWARGS call site in ``source``.
+
+    Returns a :class:`FixResult`; a file that fails to parse comes back
+    unchanged (the lint rule skips it too).
+    """
+    result = FixResult(path=path, source=source, fixed_source=source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return result
+
+    deprecated = LegacyKwargsRule.DEPRECATED
+    targets: list[tuple[ast.Call, tuple[str, ...]]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name not in deprecated:
+            continue
+        if not any(kw.arg in deprecated[name] for kw in node.keywords):
+            continue
+        if any(kw.arg == "spec" for kw in node.keywords):
+            result.skipped.append(
+                f"{path}:{node.lineno}: {name}() already passes spec=; "
+                f"merge the deprecated keyword(s) into it by hand"
+            )
+            continue
+        targets.append((node, deprecated[name]))
+    if not targets:
+        return result
+
+    offsets = _line_offsets(source)
+    spans = [_span(offsets, node) for node, _dep in targets]
+    for node, dep in targets:
+        _fold_call(node, dep)
+    result.fixed_calls = len(targets)
+
+    # Splice only the *outermost* transformed spans (a nested offending
+    # call is already covered by its ancestor's unparse), bottom-up so
+    # earlier spans keep their byte offsets.
+    outermost = [
+        (span, node)
+        for span, (node, _dep) in zip(spans, targets)
+        if not any(
+            other != span and other[0] <= span[0] and span[1] <= other[1]
+            for other in spans
+        )
+    ]
+    fixed = source
+    for (start, end), node in sorted(outermost, reverse=True):
+        fixed = fixed[:start] + ast.unparse(node) + fixed[end:]
+
+    if "PlanSpec" not in source:
+        fixed = _insert_import(fixed, tree)
+    result.fixed_source = fixed
+    return result

@@ -45,8 +45,10 @@ __all__ = [
     "RaceReport",
     "LevelHappensBefore",
     "WorkerHappensBefore",
+    "GroupHappensBefore",
     "waits_from_iter",
     "level_happens_before",
+    "group_happens_before",
     "threaded_happens_before",
     "multiproc_happens_before",
     "simulated_happens_before",
@@ -172,6 +174,40 @@ class WorkerHappensBefore:
         keys = readers * np.int64(self.y_size) + elements
         waited = np.isin(keys, self.wait_keys, assume_unique=False)
         return program_order | waited
+
+
+class GroupHappensBefore:
+    """Group-synchronous order: the distance-elided execution mode.
+
+    When the dependence-test battery proves every cross-iteration true
+    dependence has distance >= ``group``, the backends run natural-order
+    groups of ``group`` consecutive iterations with one barrier between
+    groups and no per-element flags.  ``w`` happens before ``r`` iff
+    ``w``'s group is strictly earlier — which covers every true
+    dependence exactly when the bound holds (``r - w >= group`` puts the
+    writer below the reader's group floor).
+    """
+
+    def __init__(self, group: int, label: str = "group-sync"):
+        if group < 1:
+            raise ValueError(f"group size must be >= 1, got {group}")
+        self.group = int(group)
+        self.label = label
+
+    def covers(
+        self,
+        writers: np.ndarray,
+        readers: np.ndarray,
+        elements: np.ndarray,
+    ) -> np.ndarray:
+        return writers // self.group < readers // self.group
+
+
+def group_happens_before(
+    group: int, backend: str = "threaded"
+) -> GroupHappensBefore:
+    """The order a distance-elided (``_group_sync``) run induces."""
+    return GroupHappensBefore(group, label=f"{backend}/group({group})")
 
 
 def waits_from_iter(
@@ -417,6 +453,7 @@ def check_backend_schedule(
     schedule: IterationSchedule | str | None = None,
     chunk: int = 1,
     order: np.ndarray | None = None,
+    group: int | None = None,
 ) -> RaceReport:
     """Race-check the schedule a named backend would execute.
 
@@ -425,7 +462,26 @@ def check_backend_schedule(
     position chunks + ladder waits), or ``"simulated"`` (iteration
     schedule + flags).  This is the entry point behind
     ``validate="static"``.
+
+    ``group`` models the distance-elided (group-synchronous) mode the
+    DistancePass plans: natural-order groups of ``group`` iterations with
+    one barrier between them and no per-element flags.  It replaces the
+    backend's flag-based order — the check then verifies the battery's
+    distance bound really covers every materialized dependence edge.
     """
+    if group is not None:
+        if order is not None:
+            raise ValueError(
+                "group-synchronous execution only applies in natural "
+                "order; drop order= or group="
+            )
+        if backend == "simulated":
+            raise ValueError(
+                "the simulated backend has no group-synchronous mode"
+            )
+        return check_dependence_coverage(
+            loop, group_happens_before(group, backend)
+        )
     if backend == "vectorized":
         hb: LevelHappensBefore | WorkerHappensBefore = level_happens_before(
             loop

@@ -35,6 +35,16 @@ Every built-in rule is grounded in the paper:
                    ``analyze=``) to ``parallelize``/``make_runner``
                    instead of a consolidated ``PlanSpec`` — source-level
                    (AST) rule, driven per file by the lint CLI.
+``SYNC-ELIDABLE``  the dependence-test battery proves every true
+                   dependence has distance >= the synchronization
+                   granularity: the per-element post/wait protocol can be
+                   replaced by one barrier per group (proof-backed).
+``COUPLED-SUBSCRIPT`` a declared read slot's subscript defeats the whole
+                   test battery (non-affine / runtime-coupled): only the
+                   runtime inspector can schedule the loop.
+``DISTANCE-MISMATCH`` the battery's proven distance lower bound exceeds
+                   a distance the inspector actually observes — the
+                   static model is unsound for this loop (error).
 =================  ====================================================
 
 ``DOALL-ABLE`` and ``AFFINE-WRITE`` are *proof-backed*: when the
@@ -76,6 +86,9 @@ __all__ = [
     "UnreachedElementRule",
     "SymbolicMismatchRule",
     "LegacyKwargsRule",
+    "SyncElidableRule",
+    "CoupledSubscriptRule",
+    "DistanceMismatchRule",
 ]
 
 
@@ -487,6 +500,137 @@ class LegacyKwargsRule(LintRule):
                 location=f"{path}:{node.lineno}",
                 paper_ref=self.paper_ref,
             )
+
+
+@register
+class SyncElidableRule(LintRule):
+    rule_id = "SYNC-ELIDABLE"
+    default_severity = SEVERITY_WARNING
+    paper_ref = "§2.2 (synchronization distance); arXiv 1311.2927"
+    description = (
+        "the battery proves every cross-iteration true dependence has "
+        "distance >= the synchronization granularity: per-element "
+        "post/wait can be replaced by one barrier per iteration group"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        # A doall plan has no synchronization to elide; every other
+        # strategy (inspector-based or linear) still runs the Figure-5
+        # post/wait protocol the group barrier replaces.
+        if ctx.loop.n == 0 or ctx.plan.strategy == STRATEGY_DOALL:
+            return
+        verdict = ctx.verdict
+        m = verdict.min_distance
+        if m is None or m < 2 or not verdict.write_injective:
+            return
+        if ctx.summary.true_terms == 0:
+            # Nothing to synchronize at all — DOALL-ABLE owns that case.
+            return
+        group = int(m)
+        suggestion = (
+            f"run with analyze=\"symbolic\": the distance-elision pass "
+            f"replaces every post/wait with one barrier per group of "
+            f"{group} iterations (proof-carrying certificate recorded in "
+            f"the plan)"
+        )
+        chunk = ctx.chunk
+        if chunk and chunk > 1:
+            if chunk > m:
+                suggestion += (
+                    f"; note chunk={chunk} exceeds the proven distance "
+                    f"{m}, so the multiproc backend cannot group-align — "
+                    f"lower the chunk to <= {m}"
+                )
+            elif m % chunk:
+                aligned = chunk * (m // chunk)
+                suggestion += (
+                    f"; the multiproc group is chunk-aligned down to "
+                    f"{aligned} — raise the chunk to a divisor of {m} "
+                    f"(or to {m} itself) to keep the full group"
+                )
+        yield self.finding(
+            ctx,
+            f"every cross-iteration true dependence is proven to have "
+            f"distance >= {m} (verdict {verdict.kind!r}, write "
+            f"injectivity proven): the planned per-element post/wait "
+            f"protocol is {m}x finer than the dependences require",
+            suggestion=suggestion,
+            location=f"min_distance={m}",
+        )
+
+
+@register
+class CoupledSubscriptRule(LintRule):
+    rule_id = "COUPLED-SUBSCRIPT"
+    default_severity = SEVERITY_INFO
+    paper_ref = "§2 (runtime inspection); GCD/Banerjee applicability"
+    description = (
+        "a declared read slot's subscript defeats the whole dependence-"
+        "test battery; only the runtime inspector can schedule the loop"
+    )
+
+    max_listed = 8
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        vectors = ctx.verdict.vectors
+        if not vectors:
+            return
+        opaque = [v for v in vectors if not v.applicable]
+        if not opaque:
+            return
+        listed = ", ".join(str(v.slot) for v in opaque[: self.max_listed])
+        if len(opaque) > self.max_listed:
+            listed += ", …"
+        yield self.finding(
+            ctx,
+            f"{len(opaque)} of {len(vectors)} declared read slot(s) "
+            f"[{listed}] carry subscripts the test battery cannot model "
+            f"(non-affine or runtime-coupled): no static direction or "
+            f"distance is provable for them",
+            suggestion=(
+                "keep the runtime inspector for this loop — the paper's "
+                "preprocessing is exactly the fallback for subscripts "
+                "static tests cannot decide; declaring the slot with an "
+                "affine/strided closed form (if one exists) would bring "
+                "it into the battery's reach"
+            ),
+            location=f"slot(s) {listed}",
+        )
+
+
+@register
+class DistanceMismatchRule(LintRule):
+    rule_id = "DISTANCE-MISMATCH"
+    default_severity = SEVERITY_ERROR
+    paper_ref = "§2.2 (synchronization distance)"
+    description = (
+        "the battery's proven distance lower bound exceeds a distance "
+        "the inspector actually observes: the static model is unsound"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        static_min = ctx.static_min_distance
+        if static_min is None:
+            return
+        observed = ctx.summary.min_distance
+        if observed is None or observed >= static_min:
+            return
+        yield self.finding(
+            ctx,
+            f"the battery proves every cross-iteration true dependence "
+            f"has distance >= {static_min}, but the inspector observes a "
+            f"dependence at distance {observed}: the declared subscripts "
+            f"do not describe the materialized read table, and any "
+            f"schedule elided from the static bound would race",
+            suggestion=(
+                "fix the ReadSlot declarations (SYMBOLIC-MISMATCH "
+                "pinpoints the first diverging term) and do not run "
+                "analyze=\"symbolic\" until the bound matches; "
+                "cross_check(loop, verdict) reproduces this finding as a "
+                "hard failure"
+            ),
+            location=f"static>={static_min}, observed={observed}",
+        )
 
 
 @register

@@ -263,6 +263,10 @@ def default_passes(spec: PlanSpec) -> list[SchedulePass]:
     else:
         passes.append(FixedBackendPass())
     passes.append(StripminePass())
+    if spec.analyze is not None:
+        from repro.passes.distance import DistancePass
+
+        passes.append(DistancePass())
     if spec.validate == "sanitize":
         passes.append(SanitizePass())
     if spec.backend == "vectorized" and spec.analyze is None:

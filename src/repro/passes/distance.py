@@ -1,0 +1,108 @@
+"""The DistancePass: proof-carrying synchronization elision.
+
+The dependence-test battery (:mod:`repro.analysis.deptest`) proves a
+lower bound ``min_distance`` on the distance of every cross-iteration
+true dependence.  Whenever that bound is at least the synchronization
+granularity, the per-element post/wait protocol of §2.2 is overkill: run
+iterations in *groups* of ``g <= min_distance`` consecutive iterations
+with one barrier between groups, and every renamed read's writer has
+already passed a barrier — no ready flag is ever checked or set (after
+"Parallelization of Loops with Variable Distance Data Dependences",
+arXiv 1311.2927).
+
+This pass decides the group size per backend and records the decision —
+with the battery's machine-checkable certificate — in the plan:
+
+- ``threaded`` / ``vectorized``: ``g = min_distance`` (the threaded
+  backend swaps flags for barriers; the vectorized backend widens its
+  wavefront levels to the groups).
+- ``multiproc``: strips must not straddle group boundaries, so
+  ``g = chunk * (min_distance // chunk)`` — requires ``chunk <=
+  min_distance``.
+
+:func:`~repro.passes.execute.execute_plan` hands the group size to the
+backend via the ``_group_sync`` hook; the elision only applies in
+natural order (the bound is on iteration numbers) and when the write is
+proven injective (concurrent renamed writes to one element would race).
+"""
+
+from __future__ import annotations
+
+from repro.passes.base import PassContext, SchedulePass
+
+__all__ = ["DistancePass", "plan_distance_elision"]
+
+#: Backends that understand the ``_group_sync`` hook.
+_GROUP_BACKENDS = ("threaded", "multiproc", "vectorized")
+
+
+def plan_distance_elision(
+    loop,
+    backend: str,
+    chunk: int | None,
+    *,
+    natural_order: bool,
+) -> dict | None:
+    """The elision decision for one loop/backend/chunk combination.
+
+    Returns ``None`` when group-synchronous execution is not provably
+    sound (or not supported), else a JSON-safe dict carrying the group
+    size and the battery's proof-backed certificate.
+    """
+    if not natural_order or backend not in _GROUP_BACKENDS:
+        return None
+    from repro.analysis import analyze_loop
+
+    verdict = analyze_loop(loop)
+    m = verdict.min_distance
+    if m is None or m < 2 or not verdict.write_injective:
+        return None
+    if backend == "multiproc":
+        if chunk is None or chunk > m:
+            return None
+        group = int(chunk) * (int(m) // int(chunk))
+    else:
+        group = int(m)
+    if group < 2:
+        return None
+    return {
+        "backend": backend,
+        "min_distance": int(m),
+        "group": group,
+        "verdict": verdict.kind,
+        "certificate": {
+            "loop": loop.name,
+            "min_distance": int(m),
+            "vectors": [v.as_dict() for v in verdict.vectors],
+        },
+    }
+
+
+class DistancePass(SchedulePass):
+    """Plan group-synchronous post/wait elision from the battery's bound.
+
+    Publishes the ``distance_elision`` artifact: ``None`` when the
+    standard protocol must run, else the group decision + certificate
+    (see :func:`plan_distance_elision`).  Requires the resolved backend
+    and chunk (the multiproc group must be chunk-aligned) and the
+    doconsider decision (the bound is only meaningful in natural order).
+    """
+
+    name = "distance-elision"
+    requires = ("backend", "chunk", "order")
+    provides = ("distance_elision",)
+
+    def run(self, ctx: PassContext) -> None:
+        spec = ctx.spec
+        if spec.analyze is None:
+            ctx.set("distance_elision", None)
+            return
+        ctx.set(
+            "distance_elision",
+            plan_distance_elision(
+                ctx.loop,
+                ctx.get("backend"),
+                ctx.get("chunk"),
+                natural_order=ctx.get("order") is None,
+            ),
+        )

@@ -100,11 +100,26 @@ def execute_plan(
         if verdict is not None:
             cross_check(loop, verdict, strict=True)
 
+    elision = plan.artifacts.get("distance_elision")
+    target = _innermost(runner) if elision is not None else None
+
     started = time.perf_counter()
-    result = runner.run(loop, **run_kwargs)
+    if target is not None:
+        # The DistancePass certified group-synchronous execution: hand
+        # the proven group size to the backend for this run only.
+        target._group_sync = elision["group"]
+    try:
+        result = runner.run(loop, **run_kwargs)
+    finally:
+        if target is not None:
+            target._group_sync = None
     elapsed = time.perf_counter() - started
 
     result.extras["schedule_plan"] = plan.describe()
+    if elision is not None:
+        result.extras["distance_elision"] = {
+            k: v for k, v in elision.items() if k != "certificate"
+        }
     if verdict is not None:
         result.extras.setdefault("analyze", spec.analyze)
         result.extras.setdefault("verdict", verdict.kind)

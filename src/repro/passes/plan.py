@@ -92,6 +92,11 @@ class Plan:
             out["chunk"] = int(self.chunk)
         if self.tuner is not None:
             out["tuner"] = self.tuner.as_dict()
+        elision = self.artifacts.get("distance_elision")
+        if elision is not None:
+            out["distance_elision"] = {
+                k: v for k, v in elision.items() if k != "certificate"
+            }
         return out
 
     def summary(self) -> str:

@@ -1,0 +1,207 @@
+"""The DistancePass: proof-carrying group-synchronous sync elision.
+
+Covers the planning decision (:func:`plan_distance_elision` and the
+pass's ``distance_elision`` artifact) and the execution contract: every
+distance-elided schedule must run under ``validate="sanitize"`` without
+a single race report, produce output bitwise-identical to the
+sequential oracle, set/check **zero** post/wait flags, and account one
+barrier per iteration group.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.cache import InspectorCache
+from repro.core.sequential import run_reference
+from repro.passes.distance import plan_distance_elision
+from repro.passes.execute import plan_loop, run_with_spec
+from repro.passes.spec import PlanSpec
+from repro.workloads.synthetic import (
+    affine_loop,
+    chain_loop,
+    random_irregular_loop,
+)
+
+
+def _counters(result) -> dict:
+    assert result.telemetry is not None
+    return result.telemetry.metrics.as_dict()["counters"]
+
+
+def _stencil(n: int, d: int):
+    """Variable reads at distances d and 2d: provable min_distance d."""
+    return affine_loop(
+        n, (1, 0), [(1, -d), (1, -2 * d)], name=f"stencil(n={n},d={d})"
+    )
+
+
+# ----------------------------------------------------------------------
+# The planning decision
+# ----------------------------------------------------------------------
+def test_threaded_group_is_the_proven_bound():
+    decision = plan_distance_elision(
+        chain_loop(400, 8), "threaded", None, natural_order=True
+    )
+    assert decision is not None
+    assert decision["min_distance"] == 8
+    assert decision["group"] == 8
+    assert decision["verdict"] == "constant-distance"
+
+
+def test_multiproc_group_is_chunk_aligned_down():
+    chain = chain_loop(400, 8)
+    decision = plan_distance_elision(chain, "multiproc", 3, natural_order=True)
+    assert decision is not None
+    assert decision["group"] == 6  # 3 * (8 // 3): strips never straddle
+
+
+def test_multiproc_requires_a_chunk_no_larger_than_the_bound():
+    chain = chain_loop(400, 8)
+    assert plan_distance_elision(chain, "multiproc", None, natural_order=True) is None
+    assert plan_distance_elision(chain, "multiproc", 12, natural_order=True) is None
+
+
+def test_no_elision_outside_natural_order_or_group_backends():
+    chain = chain_loop(400, 8)
+    assert plan_distance_elision(chain, "threaded", None, natural_order=False) is None
+    assert plan_distance_elision(chain, "simulated", None, natural_order=True) is None
+
+
+def test_no_elision_without_a_usable_bound():
+    # Distance 1: grouping degenerates to sequential pairs — keep flags.
+    assert (
+        plan_distance_elision(chain_loop(64, 1), "threaded", None, natural_order=True)
+        is None
+    )
+    # Runtime subscripts: the battery proves nothing.
+    assert (
+        plan_distance_elision(
+            random_irregular_loop(64, seed=2), "threaded", None, natural_order=True
+        )
+        is None
+    )
+
+
+def test_certificate_carries_the_machine_checkable_evidence():
+    decision = plan_distance_elision(
+        chain_loop(400, 8), "threaded", None, natural_order=True
+    )
+    cert = decision["certificate"]
+    assert cert["loop"] == "chain(n=400,d=8)"
+    assert cert["min_distance"] == 8
+    assert cert["vectors"][0]["test"] == "deptest-strong-siv"
+    assert cert["vectors"][0]["steps"], "certificate must embed the proof"
+
+
+# ----------------------------------------------------------------------
+# The pass inside the pipeline
+# ----------------------------------------------------------------------
+def test_pass_publishes_the_artifact_only_under_analyze():
+    chain = chain_loop(400, 8)
+    spec = PlanSpec(backend="threaded", processors=4, analyze="symbolic")
+    plan = plan_loop(chain, spec)
+    artifact = plan.artifacts["distance_elision"]
+    assert artifact is not None and artifact["group"] == 8
+    # No symbolic analysis requested: the protocol must run as planned.
+    bare = plan_loop(chain, PlanSpec(backend="threaded", processors=4))
+    assert bare.artifacts.get("distance_elision") is None
+
+
+def test_pass_declines_under_doconsider_reordering():
+    # The bound is on iteration numbers; a wavefront reorder voids it.
+    plan = plan_loop(
+        chain_loop(400, 8),
+        PlanSpec(
+            backend="threaded",
+            processors=4,
+            analyze="symbolic",
+            reorder="doconsider",
+        ),
+    )
+    assert plan.artifacts["distance_elision"] is None
+
+
+# ----------------------------------------------------------------------
+# Execution: sanitize-clean, oracle-identical, zero flag traffic
+# ----------------------------------------------------------------------
+CASES = [
+    ("threaded", dict(processors=4), chain_loop(400, 8), 8),
+    ("threaded", dict(processors=4), _stencil(400, 6), 6),
+    ("multiproc", dict(processors=2, chunk=4), chain_loop(400, 8), 8),
+    ("multiproc", dict(processors=2, chunk=3), _stencil(400, 6), 6),
+    ("vectorized", dict(), chain_loop(400, 8), 8),
+    ("vectorized", dict(), _stencil(400, 6), 6),
+]
+
+
+@pytest.mark.parametrize(
+    "backend,kwargs,loop,distance",
+    CASES,
+    ids=[f"{b}-{l.name.split('(')[0]}" for b, _k, l, _d in CASES],
+)
+def test_elided_schedule_is_sanitize_clean_and_oracle_identical(
+    backend, kwargs, loop, distance
+):
+    spec = PlanSpec(
+        backend=backend,
+        analyze="symbolic",
+        validate="sanitize",  # raises SanitizerError on any race
+        observe=True,
+        **kwargs,
+    )
+    result, _plan = run_with_spec(loop, spec, cache=InspectorCache())
+
+    oracle = run_reference(loop).y
+    np.testing.assert_array_equal(result.y, oracle)
+
+    elision = result.extras["distance_elision"]
+    assert elision["min_distance"] == distance
+    assert "certificate" not in elision  # extras stay human-sized
+
+    chunk = kwargs.get("chunk")
+    expected_group = (
+        chunk * (distance // chunk) if backend == "multiproc" else distance
+    )
+    assert elision["group"] == expected_group
+
+    counters = _counters(result)
+    if backend == "vectorized":
+        # The vectorized backend never ran a flag protocol; the group
+        # shows up as widened wavefront levels instead.
+        assert result.extras["distance_group"] == expected_group
+    else:
+        assert counters.get("flag_sets", 0) == 0
+        assert counters.get("flag_checks", 0) == 0
+        assert counters["sync_elisions"] > 0
+        assert counters["group_barriers"] == -(-loop.n // expected_group)
+
+
+@pytest.mark.parametrize("backend,kwargs", [
+    ("threaded", dict(processors=4)),
+    ("multiproc", dict(processors=2, chunk=4)),
+])
+def test_baseline_protocol_still_runs_without_analyze(backend, kwargs):
+    chain = chain_loop(400, 8)
+    spec = PlanSpec(backend=backend, observe=True, **kwargs)
+    result, _plan = run_with_spec(chain, spec, cache=InspectorCache())
+    np.testing.assert_array_equal(result.y, run_reference(chain).y)
+    assert "distance_elision" not in result.extras
+    counters = _counters(result)
+    assert counters.get("flag_sets", 0) + counters.get("flag_checks", 0) > 0
+
+
+def test_undersized_bound_keeps_the_flags_on_multiproc():
+    # chunk 4 > min_distance 3: grouping would need straddling strips —
+    # the pass must decline and the flag protocol must survive.
+    chain = chain_loop(200, 3)
+    spec = PlanSpec(
+        backend="multiproc",
+        processors=2,
+        chunk=4,
+        analyze="symbolic",
+        validate="sanitize",
+        observe=True,
+    )
+    result, _plan = run_with_spec(chain, spec, cache=InspectorCache())
+    assert "distance_elision" not in result.extras
+    np.testing.assert_array_equal(result.y, run_reference(chain).y)

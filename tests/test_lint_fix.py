@@ -1,0 +1,141 @@
+"""``lint --fix``: the LEGACY-KWARGS rewriter and its CLI surface."""
+
+import ast
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.lint.fixes import _PLANSPEC_IMPORT, fix_legacy_kwargs
+
+SIMPLE = '''\
+import repro
+
+result = repro.parallelize(loop, backend="threaded", chunk=4, observe=True)
+'''
+
+
+# ----------------------------------------------------------------------
+# The rewriter
+# ----------------------------------------------------------------------
+def test_fix_folds_deprecated_kwargs_into_planspec():
+    result = fix_legacy_kwargs("demo.py", SIMPLE)
+    assert result.changed
+    assert result.fixed_calls == 1
+    assert result.skipped == []
+    fixed = result.fixed_source
+    assert "spec=PlanSpec(chunk=4, observe=True)" in fixed
+    assert 'backend="threaded"' in fixed or "backend='threaded'" in fixed
+    assert "chunk=4, observe=True)" in fixed
+    assert _PLANSPEC_IMPORT in fixed
+    ast.parse(fixed)  # the rewrite must stay valid Python
+
+
+def test_fix_import_goes_after_the_import_block():
+    fixed = fix_legacy_kwargs("demo.py", SIMPLE).fixed_source
+    lines = fixed.splitlines()
+    assert lines[0] == "import repro"
+    assert lines[1] == _PLANSPEC_IMPORT
+
+
+def test_fix_skips_files_that_already_name_planspec():
+    src = (
+        "from repro.passes.spec import PlanSpec\n"
+        "r = parallelize(loop, chunk=2)\n"
+    )
+    fixed = fix_legacy_kwargs("demo.py", src).fixed_source
+    assert fixed.count("import PlanSpec") == 1
+    assert "spec=PlanSpec(chunk=2)" in fixed
+
+
+def test_fix_leaves_spec_calls_alone_with_a_note():
+    src = "r = parallelize(loop, chunk=2, spec=PlanSpec())\n"
+    result = fix_legacy_kwargs("demo.py", src)
+    assert not result.changed
+    assert result.fixed_calls == 0
+    assert len(result.skipped) == 1
+    assert "merge" in result.skipped[0]
+
+
+def test_fix_returns_syntax_error_files_unchanged():
+    src = "def broken(:\n"
+    result = fix_legacy_kwargs("demo.py", src)
+    assert not result.changed
+    assert result.fixed_calls == 0
+
+
+def test_fix_ignores_clean_files_and_unknown_calls():
+    src = "r = parallelize(loop, backend='threaded')\nother(chunk=3)\n"
+    assert not fix_legacy_kwargs("demo.py", src).changed
+
+
+def test_fix_handles_nested_offending_calls():
+    src = "r = parallelize(make_runner('threaded', observe=True), chunk=2)\n"
+    result = fix_legacy_kwargs("demo.py", src)
+    assert result.fixed_calls == 2
+    fixed = result.fixed_source
+    # The inner call's fold must survive the outer call's unparse.
+    assert "make_runner('threaded', spec=PlanSpec(observe=True))" in fixed
+    assert "spec=PlanSpec(chunk=2)" in fixed
+    ast.parse(fixed)
+
+
+def test_fix_handles_multiple_sites_and_method_calls():
+    src = (
+        "a = repro.parallelize(l1, chunk=1)\n"
+        "b = make_runner('simulated', validate='static')\n"
+    )
+    result = fix_legacy_kwargs("demo.py", src)
+    assert result.fixed_calls == 2
+    fixed = result.fixed_source
+    assert "spec=PlanSpec(chunk=1)" in fixed
+    assert "spec=PlanSpec(validate='static')" in fixed
+
+
+# ----------------------------------------------------------------------
+# The CLI
+# ----------------------------------------------------------------------
+@pytest.fixture
+def offender(tmp_path):
+    path = tmp_path / "legacy.py"
+    path.write_text(SIMPLE)
+    return path
+
+
+def test_cli_fix_dry_run_prints_a_diff_and_writes_nothing(
+    offender, capsys
+):
+    code = repro_main(["lint", str(offender), "--fix"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "--- " in out and "+++ " in out  # unified diff
+    assert "+" in out and "spec=PlanSpec" in out
+    assert "dry run" in out
+    assert offender.read_text() == SIMPLE  # untouched
+
+
+def test_cli_fix_write_applies_in_place(offender, capsys):
+    code = repro_main(["lint", str(offender), "--fix", "--write"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fixed 1 file(s)" in out
+    rewritten = offender.read_text()
+    assert "spec=PlanSpec(chunk=4, observe=True)" in rewritten
+    assert _PLANSPEC_IMPORT in rewritten
+    # A second pass finds nothing left to fix.
+    repro_main(["lint", str(offender), "--fix", "--write"])
+    assert offender.read_text() == rewritten
+
+
+def test_cli_fix_reports_skipped_spec_calls(tmp_path, capsys):
+    path = tmp_path / "mixed.py"
+    path.write_text("r = parallelize(loop, chunk=2, spec=PlanSpec())\n")
+    code = repro_main(["lint", str(path), "--fix"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "already passes spec=" in out
+
+
+def test_cli_write_without_fix_is_a_usage_error(offender, capsys):
+    code = repro_main(["lint", str(offender), "--write"])
+    assert code == 2
+    assert "--write" in capsys.readouterr().err

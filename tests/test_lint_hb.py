@@ -151,3 +151,71 @@ def test_level_happens_before_reads_executed_slices(fig4):
     # Also accepts a prebuilt LevelSchedule.
     hb2 = level_happens_before(compute_levels(fig4))
     assert np.array_equal(hb.levels, hb2.levels)
+
+
+# ----------------------------------------------------------------------
+# Group-synchronous happens-before (the DistancePass's elided mode)
+# ----------------------------------------------------------------------
+def test_group_happens_before_covers_proven_distances():
+    from repro.lint.hb import GroupHappensBefore, group_happens_before
+
+    chain = repro.chain_loop(240, 8)
+    hb = group_happens_before(8, backend="threaded")
+    assert isinstance(hb, GroupHappensBefore)
+    assert hb.label == "threaded/group(8)"
+    report = check_dependence_coverage(chain, hb)
+    assert report.passed
+    assert report.checked_edges == len(dependence_pairs(chain))
+
+
+def test_group_happens_before_races_when_the_group_is_oversized():
+    from repro.lint.hb import group_happens_before
+
+    # Distance 3 but groups of 8: same-group pairs share no barrier.
+    report = check_dependence_coverage(
+        repro.chain_loop(240, 3), group_happens_before(8)
+    )
+    assert not report.passed
+    assert report.races
+
+
+def test_group_happens_before_rejects_degenerate_groups():
+    from repro.lint.hb import GroupHappensBefore
+
+    with pytest.raises(ValueError, match="group"):
+        GroupHappensBefore(0)
+
+
+def test_group_covers_is_elementwise():
+    from repro.lint.hb import GroupHappensBefore
+
+    hb = GroupHappensBefore(4)
+    writers = np.array([0, 3, 4, 5])
+    readers = np.array([4, 4, 7, 6])
+    # Edge covered iff the writer's group is strictly earlier.
+    assert hb.covers(writers, readers, np.zeros(4, dtype=np.int64)).tolist() == [
+        True,
+        True,
+        False,
+        False,
+    ]
+
+
+@pytest.mark.parametrize("backend", ["threaded", "multiproc", "vectorized"])
+def test_check_backend_schedule_group_mode(backend):
+    chain = repro.chain_loop(240, 8)
+    report = check_backend_schedule(chain, backend, group=8)
+    assert report.passed
+    # Undersized bound: the same entry point must report the races.
+    bad = check_backend_schedule(repro.chain_loop(240, 3), backend, group=8)
+    assert not bad.passed
+
+
+def test_check_backend_schedule_group_mode_rejections():
+    chain = repro.chain_loop(60, 4)
+    with pytest.raises(ValueError, match="natural"):
+        check_backend_schedule(
+            chain, "threaded", group=4, order=np.arange(60)
+        )
+    with pytest.raises(ValueError, match="simulated"):
+        check_backend_schedule(chain, "simulated", group=4)

@@ -87,6 +87,9 @@ def test_registry_knows_the_built_in_rules():
         "UNREACHED-ELEMENT",
         "SYMBOLIC-MISMATCH",
         "LEGACY-KWARGS",
+        "SYNC-ELIDABLE",
+        "COUPLED-SUBSCRIPT",
+        "DISTANCE-MISMATCH",
     }
     assert all(isinstance(r, LintRule) for r in all_rules())
 
@@ -208,3 +211,71 @@ def test_run_lints_only_filter():
     loop = repro.make_test_loop(n=64, m=2, l=8)
     ds = run_lints(loop, only=["UNREACHED-ELEMENT"])
     assert {d.rule for d in ds} == {"UNREACHED-ELEMENT"}
+
+
+# ----------------------------------------------------------------------
+# Distance rules (the dependence-test battery's lint surface)
+# ----------------------------------------------------------------------
+def test_sync_elidable_fires_on_a_proven_distance():
+    found = {d.rule: d for d in run_lints(repro.chain_loop(400, 8))}
+    assert "SYNC-ELIDABLE" in found
+    d = found["SYNC-ELIDABLE"]
+    assert d.severity == "warning"
+    assert d.location == "min_distance=8"
+    assert 'analyze="symbolic"' in d.suggestion
+
+
+def test_sync_elidable_gives_chunk_alignment_advice():
+    chain = repro.chain_loop(400, 8)
+    oversize = {
+        d.rule: d for d in run_lints(chain, chunk=12, processors=2)
+    }
+    assert "lower the chunk to <= 8" in oversize["SYNC-ELIDABLE"].suggestion
+    misaligned = {
+        d.rule: d for d in run_lints(chain, chunk=3, processors=2)
+    }
+    assert "chunk-aligned down to 6" in misaligned["SYNC-ELIDABLE"].suggestion
+
+
+def test_sync_elidable_quiet_without_a_usable_bound():
+    # Distance 1: the bound proves nothing worth elising.
+    assert "SYNC-ELIDABLE" not in rules_fired(repro.chain_loop(64, 1))
+    # Runtime subscripts: no bound at all.
+    assert "SYNC-ELIDABLE" not in rules_fired(
+        repro.random_irregular_loop(64, seed=1)
+    )
+    # Independent loop: the plan is doall, nothing to synchronize.
+    assert "SYNC-ELIDABLE" not in rules_fired(
+        repro.make_test_loop(n=64, m=2, l=7)
+    )
+
+
+def test_coupled_subscript_lists_the_opaque_slots():
+    found = {
+        d.rule: d for d in run_lints(repro.random_irregular_loop(64, seed=0))
+    }
+    assert "COUPLED-SUBSCRIPT" in found
+    d = found["COUPLED-SUBSCRIPT"]
+    assert d.severity == "info"
+    assert "slot(s) 0" == d.location
+    assert "inspector" in d.suggestion
+    # Fully affine loops: every slot is in the battery's reach.
+    assert "COUPLED-SUBSCRIPT" not in rules_fired(repro.chain_loop(64, 3))
+
+
+def test_distance_mismatch_fires_only_on_a_doctored_bound():
+    import dataclasses
+
+    chain = repro.chain_loop(64, 3)
+    # Sound verdict: quiet.
+    assert "DISTANCE-MISMATCH" not in rules_fired(chain)
+    # Inflate the proven bound past the observed distance-3 dependence:
+    # the rule must flag the static model as unsound.
+    ctx = LintContext(chain)
+    ctx._verdict = dataclasses.replace(ctx.verdict, min_distance=5)
+    ctx._verdict_computed = True
+    findings = list(get_rule("DISTANCE-MISMATCH").check(ctx))
+    assert len(findings) == 1
+    assert findings[0].severity == "error"
+    assert findings[0].location == "static>=5, observed=3"
+    assert "cross_check" in findings[0].suggestion

@@ -111,3 +111,58 @@ def test_chain_distance_is_recovered_exactly(d, n):
         build_symbolic_record(loop).iter_array,
         build_inspector_record(loop).iter_array,
     )
+
+
+# ----------------------------------------------------------------------
+# The dependence-test battery (direction/distance vectors)
+# ----------------------------------------------------------------------
+@given(affine_loops())
+@settings(max_examples=60, deadline=None)
+def test_battery_bound_never_exceeds_an_observed_distance(loop):
+    # The load-bearing soundness property of the distance elision: the
+    # proven lower bound must survive contact with the inspector on
+    # every instance — a single observed distance below it would make a
+    # group-synchronous schedule race.
+    verdict = analyze_loop(loop)
+    observed = observed_distances(loop)
+    if verdict.min_distance is not None and len(observed):
+        assert int(observed.min()) >= verdict.min_distance
+
+
+@given(affine_loops())
+@settings(max_examples=60, deadline=None)
+def test_battery_vectors_agree_with_brute_force_pairs(loop):
+    from repro.analysis import DIR_ANY
+
+    verdict = analyze_loop(loop)
+    n = loop.n
+    w = loop.write_subscript.materialize(n)
+    for vec in verdict.vectors:
+        slot = loop.read_slots[vec.slot]
+        lo, hi = slot.active_range(n)
+        if hi <= lo or not vec.applicable:
+            continue
+        r = slot.subscript.materialize(hi)
+        relations = set()
+        true_distances = []
+        for ir in range(lo, hi):
+            for iw in np.nonzero(w == r[ir])[0]:
+                if iw < ir:
+                    relations.add("<")
+                    true_distances.append(ir - int(iw))
+                elif iw == ir:
+                    relations.add("=")
+                else:
+                    relations.add(">")
+        # Every observed relation must be in the claimed direction set
+        # (DIR_NONE claims no aliasing at all; vacuously checked).
+        if vec.direction != DIR_ANY:
+            assert all(rel in vec.direction for rel in relations), (
+                f"slot {vec.slot}: claimed {vec.direction!r}, "
+                f"observed {sorted(relations)}"
+            )
+        if true_distances:
+            if vec.min_distance is not None:
+                assert min(true_distances) >= vec.min_distance
+            if vec.distance is not None:
+                assert set(true_distances) == {vec.distance}
