@@ -31,6 +31,13 @@ Commands
     solve: threaded vs. vectorized vs. multiproc across worker counts and
     chunk sizes, written to ``BENCH_multiproc.json`` (``--small``: smoke
     grid for CI, correctness checks only).
+``bench-speculative [--small] [--json] [n]``
+    Conflict-density frontier sweep: race the speculative backend
+    against the threaded/vectorized inspector paths and the sequential
+    oracle while dialing the fraction of conflicting chunk boundaries
+    from 0 (DOALL) to 1 (dense chain), written to
+    ``BENCH_speculative.json`` (``--small``: smoke size for CI,
+    correctness and rollback-counter checks only).
 ``bench-autotune [--small] [--json]``
     Race ``backend="auto"`` (the telemetry-driven tuner) against every
     fixed wall-clock backend on the chain / stencil / gather-scatter
@@ -277,6 +284,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.bench_autotune import main as bench_at_main
 
         return bench_at_main(rest)
+    if command == "bench-speculative":
+        from repro.bench.bench_speculative import main as bench_spec_main
+
+        return bench_spec_main(rest)
     if command == "bench-all":
         from repro.perf.cli import bench_all_main
 

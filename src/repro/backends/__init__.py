@@ -22,6 +22,11 @@ benchmarks select them interchangeably (``parallelize(..., backend=...)``).
   ``multiprocessing.shared_memory`` arrays (``iter``/``ready``/``ynew``)
   with §2.3 strip-mined chunking, every wait bounded by a
   :class:`~repro.backends.waitladder.WaitLadder`.
+- :mod:`repro.backends.speculative` — the optimistic dual of the
+  inspector: chunks execute in parallel with no inspection at all,
+  conflicts are detected from per-chunk access logs after the fact, and
+  losers are rolled back and re-executed (bounded retry budget, then
+  sequential fallback).
 - :mod:`repro.backends.cache` — the inspector cache (Figure-3 amortization
   with hit/miss counters).
 - :mod:`repro.backends.base` — the :class:`Runner` protocol and shared
@@ -32,6 +37,7 @@ from repro.backends.base import Runner, validate_execution_order
 from repro.backends.cache import InspectorCache, InspectorRecord, loop_fingerprint
 from repro.backends.multiproc import MultiprocRunner
 from repro.backends.simulated import SimulatedRunner
+from repro.backends.speculative import SpeculativeRunner
 from repro.backends.threaded import ThreadedRunner
 from repro.backends.validating import ValidatingRunner
 from repro.backends.vectorized import VectorizedRunner
@@ -43,6 +49,7 @@ __all__ = [
     "ThreadedRunner",
     "VectorizedRunner",
     "MultiprocRunner",
+    "SpeculativeRunner",
     "ValidatingRunner",
     "InspectorCache",
     "InspectorRecord",
@@ -54,7 +61,7 @@ __all__ = [
 ]
 
 #: Names accepted by ``make_runner`` / ``parallelize(backend=...)``.
-BACKENDS = ("simulated", "threaded", "vectorized", "multiproc")
+BACKENDS = ("simulated", "threaded", "vectorized", "multiproc", "speculative")
 
 
 _UNSET = object()
@@ -233,6 +240,11 @@ def _build_runner(
         runner = MultiprocRunner(
             workers=processors, cache=cache, analyze=analyze, ladder=ladder
         )
+    elif backend == "speculative":
+        # Speculation never busy-waits, so wait_timeout has nothing to
+        # bound (same silent no-op as on the vectorized backend); the
+        # liveness bound is the retry budget instead.
+        runner = SpeculativeRunner(workers=processors, analyze=analyze)
     else:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of "

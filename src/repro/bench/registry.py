@@ -76,6 +76,13 @@ REGISTRY: tuple[BenchSpec, ...] = (
         description="shared-memory multiprocessing backend on the trisolve",
     ),
     BenchSpec(
+        name="bench-speculative",
+        module="repro.bench.bench_speculative",
+        artifact="BENCH_speculative.json",
+        description="speculative rollback vs inspector paths across "
+        "conflict density",
+    ),
+    BenchSpec(
         name="bench-autotune",
         module="repro.bench.bench_autotune",
         artifact="BENCH_autotune.json",

@@ -53,7 +53,7 @@ __all__ = [
 
 #: Backends the tuner chooses among.  The simulated backend is excluded:
 #: its "time" is modeled cycles, not comparable with measured wall clock.
-AUTO_CANDIDATES = ("vectorized", "threaded", "multiproc")
+AUTO_CANDIDATES = ("vectorized", "threaded", "multiproc", "speculative")
 
 #: Measurements kept per (fingerprint, backend): enough for a stable
 #: median, bounded so a long-lived cache cannot grow without limit.
@@ -149,13 +149,16 @@ def _heuristic_order(levels, n: int) -> tuple[str, ...]:
     """Candidate priority from the wavefront shape alone.
 
     Wide wavefronts are the vectorized backend's home turf (each level is
-    one big NumPy batch); deep, narrow DAGs make per-level dispatch
-    overhead dominate, so point-to-point backends go first there.
+    one big NumPy batch) and mean few cross-chunk conflicts, so the
+    speculative backend ranks high there too; deep, narrow DAGs make
+    per-level dispatch overhead dominate and force speculation into its
+    rollback/fallback worst case, so point-to-point backends go first
+    and speculation last there.
     """
     avg = levels.average_width() if levels is not None else float(n)
     if avg >= 4.0:
-        return ("vectorized", "multiproc", "threaded")
-    return ("threaded", "vectorized", "multiproc")
+        return ("vectorized", "speculative", "multiproc", "threaded")
+    return ("threaded", "vectorized", "multiproc", "speculative")
 
 
 def record_run_outcome(

@@ -44,7 +44,9 @@ AUTO_BACKEND = "auto"
 #: the auto-tuned selector).  Kept in sync with
 #: :data:`repro.backends.BACKENDS` by a test rather than an import, so
 #: this module stays import-light.
-SPEC_BACKENDS = ("simulated", "threaded", "vectorized", "multiproc", "auto")
+SPEC_BACKENDS = (
+    "simulated", "threaded", "vectorized", "multiproc", "speculative", "auto",
+)
 
 #: Iteration-order choices for the doconsider pass.
 REORDER_KINDS = ("natural", "doconsider")
@@ -61,6 +63,7 @@ OPTION_SUPPORT: dict[str, frozenset[str]] = {
     "threaded": frozenset({"wait_timeout", "sanitize"}),
     "vectorized": frozenset({"sanitize"}),
     "multiproc": frozenset({"chunk", "wait_timeout", "sanitize"}),
+    "speculative": frozenset({"chunk", "sanitize"}),
     # The tuner picks among the real backends; options it cannot
     # guarantee on every candidate are rejected up front.
     "auto": frozenset({"chunk", "wait_timeout"}),
@@ -94,6 +97,14 @@ _REASONS = {
         "the multiproc backend always assigns contiguous chunks "
         "round-robin (deadlock-freedom precondition); use chunk= to size "
         "the strips"
+    ),
+    ("speculative", "schedule"): (
+        "the speculative backend always executes contiguous chunks and "
+        "commits them in natural chunk order; use chunk= to size them"
+    ),
+    ("speculative", "wait_timeout"): (
+        "speculative execution never busy-waits: conflicts are detected "
+        "after the fact and bounded by the retry budget, not a timeout"
     ),
     ("auto", "schedule"): (
         "the auto-tuner selects among backends that pick their own "

@@ -15,7 +15,7 @@ Two modes:
 Options
 -------
 ``--backend=NAME``    execution backend (simulated/threaded/vectorized/
-                      multiproc; default threaded)
+                      multiproc/speculative; default threaded)
 ``--processors=P``    thread/worker/processor count (default 4)
 ``--json``            machine-readable output instead of text
 ``--strict``          also fail when a loop's run was uninstrumented
@@ -36,7 +36,9 @@ from repro.errors import SanitizerError
 
 __all__ = ["main"]
 
-_BACKENDS = ("simulated", "threaded", "vectorized", "multiproc")
+_BACKENDS = (
+    "simulated", "threaded", "vectorized", "multiproc", "speculative",
+)
 
 
 def _run_targets(

@@ -4,11 +4,13 @@ A race detector that never fires is indistinguishable from one that
 cannot fire.  This module provides the evidence: a deterministic
 :class:`ProtocolInterpreter` that *models* the §2.2 post/wait protocol
 in each backend shape (chunked workers, cyclic threads, wavefront
-levels) and emits exactly the shadow logs a conforming backend would —
-then a registry of :data:`MUTANTS` that corrupt the protocol the way a
-buggy executor would: dropped waits, dropped posts, reversed chunk
-round-robin, stale ``iter`` entries, skipped shm scrubs,
-posts-before-writes, merged wavefront levels, skipped barriers.
+levels, speculative commit chains) and emits exactly the shadow logs a
+conforming backend would — then a registry of :data:`MUTANTS` that
+corrupt the protocol the way a buggy executor would: dropped waits,
+dropped posts, reversed chunk round-robin, stale ``iter`` entries,
+skipped shm scrubs, posts-before-writes, merged wavefront levels,
+skipped barriers, skipped snapshot restores, dropped conflict edges,
+out-of-order rollback re-execution.
 
 The interpreter distinguishes the **planned** schedule (which drives
 wait-*elision* decisions, exactly as a real backend bakes elisions in at
@@ -55,7 +57,7 @@ class InterpreterConfig:
     """Knobs of one protocol interpretation.  The default configuration
     is a conforming execution; mutants flip individual knobs."""
 
-    mode: str = "chunked"  # "chunked" | "threaded" | "levels"
+    mode: str = "chunked"  # "chunked" | "threaded" | "levels" | "speculative"
     lanes: int = 3
     chunk: int = 4
     # --- mutation knobs (all off by default) ---
@@ -83,6 +85,18 @@ class InterpreterConfig:
     skip_barrier_lane: int | None = None
     #: (levels mode) Suppress the chain handoff post out of this level.
     drop_chain_link_at: int | None = None
+    #: (speculative mode) The first N RAW-conflicting chunks commit the
+    #: values they computed against the stale snapshot instead of being
+    #: rolled back and re-executed — the skipped-restore bug.
+    skip_restore: int = 0
+    #: (speculative mode) The conflict detector misses the RAW edge of
+    #: the first N conflicting chunks whose writer chunk is deferred:
+    #: the reader chunk commits *before* the chunk that produces its
+    #: input, while its log still claims the new value.
+    drop_conflict_edge: int = 0
+    #: (speculative mode) Rolled-back chunks re-execute in reverse chunk
+    #: order instead of ascending chunk order.
+    reverse_reexec: bool = False
 
 
 class ProtocolInterpreter:
@@ -123,6 +137,8 @@ class ProtocolInterpreter:
             self._run_threaded(capture)
         elif cfg.mode == "levels":
             self._run_levels(capture)
+        elif cfg.mode == "speculative":
+            self._run_speculative(capture)
         else:  # pragma: no cover - config error
             raise ValueError(f"unknown interpreter mode {cfg.mode!r}")
         return capture
@@ -345,6 +361,102 @@ class ProtocolInterpreter:
             if k + 1 < n_levels and cfg.drop_chain_link_at != k:
                 events.append(("p", -(k + 1)))
 
+    def _run_speculative(self, capture: ShadowCapture) -> None:
+        """Speculative shape: one lane per chunk, a commit chain of
+        synthetic ``("c", k)`` tokens ordering the commits.
+
+        The model mirrors the backend's commit rule in two phases:
+        phase 1 commits the hazard-free chunks in chunk order (a chunk
+        is deferred on a cross-chunk RAW, or when its writes touch
+        elements an already-deferred chunk reads or writes); phase 2
+        re-executes the deferred chunks, again in chunk order.  Reads
+        served by an already-committed write log ``SRC_NEW``; snapshot
+        reads log ``SRC_OLD``.  The mutants commit conflicting chunks
+        without the rollback (``skip_restore``), drop a conflict edge so
+        a reader chunk commits before its writer
+        (``drop_conflict_edge``), or reverse the phase-2 order
+        (``reverse_reexec``)."""
+        cfg = self.cfg
+        loop = self.loop
+        n = loop.n
+        n_chunks = -(-n // cfg.chunk)
+        iter_arr = self._corrupted_iter()
+        restore_budget = cfg.skip_restore
+        edge_budget = cfg.drop_conflict_edge
+
+        def span(c: int) -> range:
+            return range(c * cfg.chunk, min((c + 1) * cfg.chunk, n))
+
+        def chunk_reads(c: int) -> List[int]:
+            out: List[int] = []
+            for i in span(c):
+                indices, _ = loop.reads.terms_of(i)
+                out.extend(int(idx) for idx in indices)
+            return out
+
+        phase1: List[int] = []
+        phase2: List[int] = []
+        #: Chunks whose commit carries snapshot-stale true-dep values.
+        stale_chunks: set = set()
+        #: Chunks committed although their writer chunk is deferred.
+        optimistic_chunks: set = set()
+        deferred_rw: set = set()
+        for c in range(n_chunks):
+            reads = chunk_reads(c)
+            writes = [int(loop.write[i]) for i in span(c)]
+            raw_writers = {
+                c_w
+                for idx in reads
+                if 0 <= (w := int(iter_arr[idx])) < c * cfg.chunk
+                for c_w in (w // cfg.chunk,)
+            }
+            war = any(e in deferred_rw for e in writes)
+            if raw_writers and restore_budget > 0:
+                restore_budget -= 1
+                stale_chunks.add(c)
+                phase1.append(c)
+            elif (
+                raw_writers & set(phase2)
+                and not war
+                and edge_budget > 0
+            ):
+                edge_budget -= 1
+                optimistic_chunks.add(c)
+                phase1.append(c)
+            elif raw_writers or war:
+                phase2.append(c)
+                deferred_rw.update(reads)
+                deferred_rw.update(writes)
+            else:
+                phase1.append(c)
+        if cfg.reverse_reexec:
+            phase2 = phase2[::-1]
+
+        commits = 0
+        for c in phase1 + phase2:
+            events = capture.lane(c)
+            if commits > 0:
+                events.append(("a", ("c", commits - 1)))
+            for i in span(c):
+                indices, _ = loop.reads.terms_of(i)
+                for idx in indices:
+                    idx = int(idx)
+                    writer = int(iter_arr[idx])
+                    if writer == i:
+                        continue
+                    if 0 <= writer < i:
+                        cross = writer // cfg.chunk < c
+                        if c in stale_chunks and cross:
+                            src = SRC_OLD  # snapshot value, never redone
+                        else:
+                            src = SRC_NEW
+                    else:
+                        src = SRC_OLD
+                    events.append(("r", i, idx, src))
+                events.append(("w", i, int(loop.write[i])))
+            events.append(("p", ("c", commits)))
+            commits += 1
+
 
 # ----------------------------------------------------------------------
 # Mutant registry
@@ -457,6 +569,32 @@ MUTANTS: Tuple[Mutant, ...] = (
         ("unsatisfied-acquire", "no-hb-edge"),
         _set(drop_chain_link_at=1),
     ),
+    Mutant(
+        "skip-restore",
+        "conflicting chunks commit their stale speculation instead of "
+        "rolling back to the snapshot",
+        "speculative",
+        ("stale-read",),
+        _set(skip_restore=2),
+    ),
+    Mutant(
+        "drop-conflict-edge",
+        "the conflict detector misses a RAW edge: the reader chunk "
+        "commits before the deferred chunk that produces its input",
+        "speculative",
+        ("no-hb-edge",),
+        _set(drop_conflict_edge=2),
+        only=("chain",),
+    ),
+    Mutant(
+        "reverse-reexecution",
+        "rolled-back chunks re-execute newest-first instead of in "
+        "chunk order",
+        "speculative",
+        ("no-hb-edge",),
+        _set(reverse_reexec=True),
+        only=("chain",),
+    ),
 )
 
 
@@ -563,7 +701,7 @@ def run_mutation_suite(
         workloads = _default_workloads()
     report = MutationReport()
 
-    for mode in ("chunked", "threaded", "levels"):
+    for mode in ("chunked", "threaded", "levels", "speculative"):
         for wl_name, loop in workloads:
             capture = ProtocolInterpreter(
                 loop, InterpreterConfig(mode=mode)

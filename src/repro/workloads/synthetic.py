@@ -12,6 +12,11 @@
   and read subscripts (affine pairs or :class:`~repro.ir.subscript.SymExpr`
   expressions), auto-shifted into a valid ``y`` range.  The generator for
   the symbolic-analysis property tests and the ``workloads/`` suite.
+- :func:`conflict_frontier_loop` — a chunk-granular conflict-density dial
+  for the speculative backend: writes are the identity, most reads hit a
+  never-written pad, and a chosen fraction of chunk boundaries carry one
+  distance-1 true dependence into the previous chunk.  ``fraction=0`` is
+  a DOALL; ``fraction=1`` threads every chunk into a dense chain.
 """
 
 from __future__ import annotations
@@ -29,7 +34,12 @@ from repro.ir.subscript import (
     SymExpr,
 )
 
-__all__ = ["random_irregular_loop", "chain_loop", "affine_loop"]
+__all__ = [
+    "random_irregular_loop",
+    "chain_loop",
+    "affine_loop",
+    "conflict_frontier_loop",
+]
 
 
 def random_irregular_loop(
@@ -123,6 +133,69 @@ def chain_loop(
         read_slots=[
             ReadSlot(AffineSubscript(1, -distance), start=distance)
         ],
+    )
+
+
+def conflict_frontier_loop(
+    n: int,
+    chunk: int,
+    fraction: float,
+    terms: int = 2,
+    pad: int = 64,
+    seed: int = 0,
+) -> IrregularLoop:
+    """A loop whose cross-chunk conflict density is an explicit dial.
+
+    Writes are the identity subscript (``y[i] = ...``), every iteration
+    reads ``terms`` elements from the never-written pad ``[n, n+pad)``,
+    and ``fraction`` of the ``ceil(n/chunk) - 1`` chunk boundaries are
+    made *conflicting*: the first iteration of such a chunk additionally
+    reads ``y[i-1]`` — the element the previous chunk's last iteration
+    writes.  Under chunk-speculative execution with chunk size ``chunk``
+    that read is a RAW conflict forcing a rollback; every other read is
+    conflict-free.
+
+    ``fraction=0.0`` is a DOALL (speculation's best case: one round, no
+    rollbacks); ``fraction=1.0`` threads *every* chunk into a dense
+    chunk-granular dependence chain (its worst case: one commit per
+    round until the retry budget drains).  The conflicting boundaries
+    are spread evenly so partial fractions stress independent rollbacks
+    rather than one contiguous chain.
+    """
+    if n < 1:
+        raise InvalidLoopError(f"n must be >= 1, got {n}")
+    if chunk < 1:
+        raise InvalidLoopError(f"chunk must be >= 1, got {chunk}")
+    if not 0.0 <= fraction <= 1.0:
+        raise InvalidLoopError(
+            f"fraction must be in [0, 1], got {fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    chunks = -(-n // chunk)
+    boundaries = list(range(1, chunks))
+    count = round(fraction * len(boundaries))
+    conflicting: set[int] = set()
+    if count:
+        step = len(boundaries) / count
+        conflicting = {boundaries[int(j * step)] for j in range(count)}
+    per_iteration: list[list[tuple[int, float]]] = []
+    for i in range(n):
+        row: list[tuple[int, float]] = []
+        c = i // chunk
+        if c in conflicting and i == c * chunk:
+            row.append((i - 1, 0.5))
+        for _ in range(terms):
+            row.append((int(rng.integers(n, n + pad)), 0.1))
+        per_iteration.append(row)
+    reads = ReadTable.from_lists(per_iteration)
+    return IrregularLoop(
+        n=n,
+        y_size=n + pad,
+        write_subscript=AffineSubscript(1, 0),
+        reads=reads,
+        init_kind=INIT_OLD_VALUE,
+        y0=rng.normal(size=n + pad),
+        name=f"frontier(n={n},chunk={chunk},p={fraction})",
     )
 
 

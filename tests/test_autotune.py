@@ -138,7 +138,12 @@ class TestPolicy:
 
     def test_exploits_best_median_once_all_measured(self, loop, cache):
         fp = loop_fingerprint(loop)
-        walls = {"vectorized": 0.002, "threaded": 0.010, "multiproc": 0.050}
+        walls = {
+            "vectorized": 0.002,
+            "threaded": 0.010,
+            "multiproc": 0.050,
+            "speculative": 0.020,
+        }
         for backend, wall in walls.items():
             for jitter in (0.0, wall, -0.0005):
                 record_run_outcome(cache, fp, backend, wall + jitter)

@@ -1,11 +1,11 @@
 """Cross-backend conformance matrix.
 
 Every execution path — sequential oracle, simulated machine, real
-threads, vectorized wavefronts, shared-memory processes — must produce
-the *bitwise identical* ``y`` on the same loop: the executors all sum a
-given iteration's terms in the same order, so there is no associativity
-slack to hide behind (DESIGN.md §3).  The matrix crosses the five
-backends with five workload families:
+threads, vectorized wavefronts, shared-memory processes, speculative
+chunk rollback — must produce the *bitwise identical* ``y`` on the same
+loop: the executors all sum a given iteration's terms in the same order,
+so there is no associativity slack to hide behind (DESIGN.md §3).  The
+matrix crosses the six backends with five workload families:
 
 - ``chain`` — uniform-distance recurrence (the classic doacross shape);
 - ``stencil`` — forward substitution over ILU(0) of a five-point
@@ -69,7 +69,7 @@ WORKLOADS = _workloads()
 
 #: The real-concurrency and simulated execution paths; the sequential
 #: oracle is the reference every cell is compared against.
-BACKENDS = ("simulated", "threaded", "vectorized", "multiproc")
+BACKENDS = ("simulated", "threaded", "vectorized", "multiproc", "speculative")
 
 
 @pytest.fixture(scope="module")
@@ -140,7 +140,9 @@ def test_matrix_cell_is_rerunnable(backend, multiproc_runner):
 
 
 @pytest.mark.slow
-@pytest.mark.parametrize("backend", ("threaded", "vectorized", "multiproc"))
+@pytest.mark.parametrize(
+    "backend", ("threaded", "vectorized", "multiproc", "speculative")
+)
 def test_large_stencil_conformance(backend, multiproc_runner):
     """The wall-clock backends on a 4096-iteration stencil solve — big
     enough that chunking, wavefront batching, and the busy-wait protocol

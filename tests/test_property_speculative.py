@@ -1,0 +1,117 @@
+"""Property-based conformance of the speculative backend.
+
+Speculation's correctness story is subtler than the inspector paths':
+nothing *prevents* a wrong interleaving up front — chunks run
+optimistically and the conflict detector must catch every cross-chunk
+true dependence after the fact.  So the properties drive it through
+arbitrary runtime dependence structures (including the adversarial
+high-conflict chains that maximize rollbacks), arbitrary chunk sizes,
+and arbitrary retry budgets (small budgets force the sequential
+fallback), and demand the bitwise oracle answer every time.
+
+The flip side is pinned too: on conflict-free loops speculation must
+*not* pay — one round, zero conflicts, zero rollbacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import SpeculativeRunner
+from repro.workloads.synthetic import (
+    chain_loop,
+    conflict_frontier_loop,
+    random_irregular_loop,
+)
+
+
+@given(
+    n=st.integers(0, 60),
+    seed=st.integers(0, 2000),
+    max_terms=st.integers(0, 5),
+    external=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_loops_match_oracle(n, seed, max_terms, external):
+    loop = random_irregular_loop(
+        n, max_terms=max_terms, seed=seed, external_init=external
+    )
+    result = SpeculativeRunner(workers=2).run(loop)
+    assert np.array_equal(result.y, loop.run_sequential())
+
+
+@given(
+    n=st.integers(0, 60),
+    seed=st.integers(0, 2000),
+    chunk=st.integers(1, 80),
+)
+@settings(max_examples=30, deadline=None)
+def test_any_chunk_size_matches_oracle(n, seed, chunk):
+    """Chunking changes which conflicts exist (a dependence inside one
+    chunk is invisible to the detector; across chunks it forces a
+    rollback) but never the committed values."""
+    loop = random_irregular_loop(n, seed=seed)
+    result = SpeculativeRunner(workers=2).run(loop, chunk=chunk)
+    assert np.array_equal(result.y, loop.run_sequential())
+    if n:
+        assert result.extras["speculation"]["chunk"] == chunk
+
+
+@given(
+    n=st.integers(8, 120),
+    distance=st.integers(1, 3),
+    chunk=st.integers(4, 8),
+)
+@settings(max_examples=30, deadline=None)
+def test_adversarial_chains_roll_back_and_still_match(n, distance, chunk):
+    """Uniform chains with distance < chunk make every chunk boundary a
+    RAW conflict: the detector *must* fire (at least one rollback, more
+    than one round) and the committed values must still be the
+    oracle's."""
+    loop = chain_loop(n, distance)
+    result = SpeculativeRunner(workers=2).run(loop, chunk=chunk)
+    assert np.array_equal(result.y, loop.run_sequential())
+    stats = result.extras["speculation"]
+    if n > chunk and distance < chunk:
+        assert stats["chunks_conflicted"] >= 1
+        assert stats["chunks_rolled_back"] >= 1
+        assert stats["rounds"] >= 2 or stats["sequential_fallback"]
+
+
+@given(
+    n=st.integers(1, 120),
+    chunk=st.integers(1, 40),
+    seed=st.integers(0, 500),
+    terms=st.integers(0, 3),
+)
+@settings(max_examples=30, deadline=None)
+def test_conflict_free_loops_commit_in_one_round(n, chunk, seed, terms):
+    """A DOALL (reads only touch the never-written pad) must speculate
+    for free: one round, nothing conflicted, nothing rolled back."""
+    loop = conflict_frontier_loop(n, chunk, 0.0, terms=terms, seed=seed)
+    result = SpeculativeRunner(workers=2).run(loop, chunk=chunk)
+    assert np.array_equal(result.y, loop.run_sequential())
+    stats = result.extras["speculation"]
+    assert stats["rounds"] == 1
+    assert stats["chunks_conflicted"] == 0
+    assert stats["chunks_rolled_back"] == 0
+    assert not stats["sequential_fallback"]
+
+
+@given(
+    n=st.integers(1, 80),
+    seed=st.integers(0, 1000),
+    max_rounds=st.integers(1, 4),
+)
+@settings(max_examples=30, deadline=None)
+def test_any_retry_budget_matches_oracle(n, seed, max_rounds):
+    """Tiny retry budgets force the sequential fallback mid-flight; the
+    committed prefix plus the fallback suffix must still compose to the
+    bitwise oracle answer."""
+    loop = random_irregular_loop(n, seed=seed)
+    runner = SpeculativeRunner(workers=2, max_rounds=max_rounds)
+    result = runner.run(loop, chunk=3)
+    assert np.array_equal(result.y, loop.run_sequential())
+    assert result.extras["speculation"]["rounds"] <= max_rounds

@@ -27,7 +27,9 @@ def suite_report():
 
 
 class TestInterpreterConformance:
-    @pytest.mark.parametrize("mode", ["chunked", "threaded", "levels"])
+    @pytest.mark.parametrize(
+        "mode", ["chunked", "threaded", "levels", "speculative"]
+    )
     def test_unmutated_logs_are_clean(self, mode):
         for loop in (chain_loop(48, 1), random_irregular_loop(100, seed=5)):
             capture = ProtocolInterpreter(
@@ -55,11 +57,11 @@ class TestInterpreterConformance:
 
 
 class TestMutantRegistry:
-    def test_registry_covers_all_three_shapes(self):
+    def test_registry_covers_all_four_shapes(self):
         modes = {m.mode for m in MUTANTS}
-        assert modes == {"chunked", "threaded", "levels"}
-        assert len(MUTANTS) == 11
-        assert len({m.name for m in MUTANTS}) == 11
+        assert modes == {"chunked", "threaded", "levels", "speculative"}
+        assert len(MUTANTS) == 14
+        assert len({m.name for m in MUTANTS}) == 14
 
     @pytest.mark.parametrize("mutant", MUTANTS, ids=lambda m: m.name)
     def test_each_mutant_is_killed_with_the_expected_kind(self, mutant):

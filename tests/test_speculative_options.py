@@ -1,0 +1,93 @@
+"""Option handling and constructor validation of the speculative backend.
+
+The conformance matrix and property suites drive the execution engine;
+this file pins the API surface around it: constructor rejection of
+nonsensical configurations, the ``analyze="symbolic"`` diagnosis path
+(which, unlike the inspector backends, never changes execution — there
+is no inspector phase to elide), and the note-and-continue contract for
+options speculation cannot honor (``order``/``schedule``/``trace``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import SpeculativeRunner
+from repro.errors import ScheduleError
+from repro.workloads.synthetic import chain_loop, random_irregular_loop
+
+
+class TestConstructorValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="at least one worker"):
+            SpeculativeRunner(workers=0)
+
+    def test_rejects_nonpositive_chunk(self):
+        with pytest.raises(ValueError, match="chunk must be >= 1"):
+            SpeculativeRunner(chunk=0)
+
+    def test_rejects_empty_retry_budget(self):
+        with pytest.raises(ValueError, match="retry budget"):
+            SpeculativeRunner(max_rounds=0)
+
+    def test_rejects_unknown_analyze_mode(self):
+        with pytest.raises(ValueError, match="unknown analyze mode"):
+            SpeculativeRunner(analyze="psychic")
+
+    def test_rejects_nonpositive_run_chunk(self):
+        with pytest.raises(ValueError, match="chunk must be >= 1"):
+            SpeculativeRunner().run(chain_loop(16, 1), chunk=0)
+
+
+class TestSymbolicDiagnosis:
+    def test_verdict_attached_without_changing_values(self):
+        loop = chain_loop(64, 3)
+        result = SpeculativeRunner(workers=2, analyze="symbolic").run(loop)
+        assert np.array_equal(result.y, loop.run_sequential())
+        assert result.extras["analyze"] == "symbolic"
+        assert result.extras["verdict"] == "constant-distance"
+        assert result.extras["verdict_distance"] == 3
+
+    def test_cross_checked_mode_runs_clean(self):
+        loop = random_irregular_loop(80, seed=3)
+        runner = SpeculativeRunner(workers=2, analyze="symbolic+check")
+        result = runner.run(loop)
+        assert np.array_equal(result.y, loop.run_sequential())
+        assert result.extras["analyze"] == "symbolic+check"
+
+
+class TestIgnoredOptions:
+    def test_valid_order_is_validated_then_noted(self):
+        loop = chain_loop(32, 1)
+        result = SpeculativeRunner(workers=2).run(
+            loop, order=np.arange(loop.n)
+        )
+        assert np.array_equal(result.y, loop.run_sequential())
+        notes = {n["option"]: n for n in result.extras["ignored_options"]}
+        assert "order" in notes
+        assert "natural chunk order" in notes["order"]["reason"]
+
+    def test_invalid_order_is_still_rejected(self):
+        # Ignored-but-validated: a bogus order is an API misuse even
+        # though a valid one would not change the result.
+        loop = chain_loop(32, 1)
+        with pytest.raises(ScheduleError, match="not a permutation"):
+            SpeculativeRunner(workers=2).run(
+                loop, order=np.zeros(loop.n, dtype=np.int64)
+            )
+
+    def test_schedule_and_trace_are_noted(self):
+        loop = chain_loop(32, 1)
+        result = SpeculativeRunner(workers=2).run(
+            loop, schedule="block", trace=True
+        )
+        assert np.array_equal(result.y, loop.run_sequential())
+        options = {
+            n["option"] for n in result.extras["ignored_options"]
+        }
+        assert options == {"schedule", "trace"}
+
+    def test_defaults_leave_no_notes(self):
+        result = SpeculativeRunner(workers=2).run(chain_loop(32, 1))
+        assert "ignored_options" not in result.extras
